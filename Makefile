@@ -1,0 +1,27 @@
+# Developer entry points.  The offline-friendly install path is documented
+# in README.md ("Install").
+
+.PHONY: install test bench bench-full reproduce examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+# Paper-scale benchmarks (15 services / 19 nodes / 1 h).  Slow.
+bench-full:
+	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -s
+
+reproduce:
+	hyscale-repro reproduce
+
+examples:
+	for f in examples/*.py; do echo "=== $$f ==="; python $$f; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,2 @@
+"""Benchmark suite: one module per table/figure in the paper (see DESIGN.md
+section 6 for the experiment index)."""

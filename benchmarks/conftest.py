@@ -1,0 +1,44 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark module regenerates one table or figure from the paper:
+it runs the experiment(s), prints the same rows/series the paper reports
+(visible with ``pytest benchmarks/ --benchmark-only -s`` or in the captured
+output), and asserts the published *shape* — orderings and rough factors,
+not absolute numbers (our substrate is a simulator, the authors' was a
+24-node testbed).
+
+Experiments are executed once per module via cached fixtures;
+``benchmark.pedantic(..., rounds=1)`` wraps the run so pytest-benchmark
+records wall-clock cost without re-executing hour-long simulations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ExperimentSpec
+from repro.metrics.summary import RunSummary
+
+#: The three algorithms the paper's Figures 6-7 compare (the network scaler
+#: is evaluated on network-bound loads, Figure 8).
+CORE_ALGORITHMS = ("kubernetes", "hybrid", "hybridmem")
+ALL_ALGORITHMS = ("kubernetes", "hybrid", "hybridmem", "network")
+
+
+def run_matrix(spec: ExperimentSpec, algorithms=CORE_ALGORITHMS) -> dict[str, RunSummary]:
+    """Run one workload under several algorithms."""
+    return {name: spec.run(name) for name in algorithms}
+
+
+def print_figure(title: str, summaries: dict[str, RunSummary]) -> None:
+    """Emit the paper-style comparison table for one figure."""
+    from repro.experiments.report import comparison_table
+
+    print()
+    print(comparison_table(summaries, title=title))
+
+
+@pytest.fixture(scope="session")
+def benchmark_banner():
+    print("\n=== HyScale reproduction benchmarks (REPRO_FULL=1 for paper scale) ===")
+    return True

@@ -1,0 +1,80 @@
+"""Capacity planning: how many machines does this workload really need?
+
+The data-centre question behind the whole paper (Section I: machines cost
+capex, power, and housing; SLA violations cost penalties).  We sweep the
+worker-fleet size for a fixed bursty workload under HyScale, price each
+fleet with the cost model, and print the sweet spot — where adding machines
+stops buying SLA adherence faster than it burns money.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import HyScaleCpuMem, Simulation, SimulationConfig
+from repro.cluster import MicroserviceSpec
+from repro.config import ClusterConfig
+from repro.experiments.report import format_table
+from repro.metrics import Sla
+from repro.metrics.costs import evaluate_costs
+from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
+
+FLEET_SIZES = (4, 6, 8, 12, 16)
+SLA = Sla(response_time_target=5.0, penalty_per_violation=0.01)
+
+
+def run_fleet(worker_nodes: int):
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=worker_nodes), seed=31)
+    specs = [MicroserviceSpec(name=f"svc-{i}", max_replicas=12) for i in range(4)]
+    loads = [
+        ServiceLoad(
+            service=spec.name,
+            profile=CPU_BOUND,
+            pattern=HighBurstLoad(base=6.0, peak=16.0, period=150.0, duty=0.3, phase=i * 37.5, ramp=6.0),
+        )
+        for i, spec in enumerate(specs)
+    ]
+    sim = Simulation.build(
+        config=config, specs=specs, loads=loads, policy=HyScaleCpuMem(),
+        workload_label=f"fleet-{worker_nodes}",
+    )
+    summary = sim.run(300.0)
+    costs = evaluate_costs(sim.collector, SLA)
+    return summary, costs
+
+
+def main() -> None:
+    rows = []
+    best = None
+    for nodes in FLEET_SIZES:
+        print(f"simulating a {nodes}-machine fleet ...")
+        summary, costs = run_fleet(nodes)
+        rows.append(
+            [
+                str(nodes),
+                f"{summary.avg_response_time:.3f}",
+                f"{summary.percent_failed:.2f}",
+                f"{summary.availability:.4f}",
+                f"{costs.energy_kwh:.3f}",
+                str(costs.sla_violations),
+                f"${costs.total_cost:.3f}",
+            ]
+        )
+        if best is None or costs.total_cost < best[1].total_cost:
+            best = (nodes, costs)
+
+    print()
+    print(
+        format_table(
+            ["machines", "avg resp (s)", "failed %", "availability", "kWh", "violations", "total cost"],
+            rows,
+        )
+    )
+    print()
+    assert best is not None
+    print(f"cheapest fleet for this workload: {best[0]} machines (${best[1].total_cost:.3f}/run)")
+    print("below it, SLA penalties dominate; above it, idle power does.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Chaos day: surviving machine loss during a traffic spike.
+
+Exercises the dynamic-fleet support (the paper's Section VII future work):
+a storefront fleet takes its usual spiky traffic while, mid-spike, one of
+the busiest machines dies; two minutes later the operations team brings a
+replacement online.  HyScale must rebuild the lost capacity on the
+surviving machines, then spread back out.
+
+Run with::
+
+    python examples/chaos_day.py
+"""
+
+from repro import HyScaleCpuMem, Simulation, SimulationConfig
+from repro.cluster import MicroserviceSpec
+from repro.cluster.resources import ResourceVector
+from repro.config import ClusterConfig
+from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
+
+CRASH_AT = 90.0
+REPLACEMENT_AT = 210.0
+
+
+def main() -> None:
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=5), seed=13)
+    specs = [
+        MicroserviceSpec(name=f"svc-{i}", min_replicas=2, max_replicas=10)
+        for i in range(3)
+    ]
+    loads = [
+        ServiceLoad(
+            service=spec.name,
+            profile=CPU_BOUND,
+            pattern=HighBurstLoad(base=4.0, peak=14.0, period=150.0, duty=0.3, phase=i * 50.0, ramp=6.0),
+        )
+        for i, spec in enumerate(specs)
+    ]
+
+    sim = Simulation.build(
+        config=config, specs=specs, loads=loads, policy=HyScaleCpuMem(), workload_label="chaos-day"
+    )
+
+    # Find the machine hosting the most replicas and schedule its demise.
+    busiest = max(sim.cluster.sorted_nodes(), key=lambda n: len(n.containers))
+    sim.faults.schedule_crash(CRASH_AT, busiest.name)
+    sim.faults.schedule_add(
+        REPLACEMENT_AT, "replacement-node", capacity=ResourceVector(4.0, 8192.0, 1000.0)
+    )
+
+    summary = sim.run(360.0)
+
+    print(f"crashed machine      : {busiest.name} at t={CRASH_AT:.0f}s")
+    print(f"requests lost to it  : {sim.faults.log.lost_requests}")
+    print(f"replacement online   : t={REPLACEMENT_AT:.0f}s")
+    print()
+    print(f"requests handled     : {summary.total_requests}")
+    print(f"avg response         : {summary.avg_response_time:.3f} s")
+    print(f"removal failures     : {summary.percent_removal_failures:.2f} %")
+    print(f"connection failures  : {summary.percent_connection_failures:.2f} %")
+    print(f"availability         : {summary.availability:.4f}")
+    print(f"replicas added       : {summary.horizontal_scale_ups}")
+    print(f"vertical resizes     : {summary.vertical_scale_ops}")
+    for service in sim.cluster.sorted_services():
+        nodes = sorted(
+            {sim.client.node_name_of(c.container_id) for c in service.active_replicas()}
+        )
+        print(f"  {service.name}: {service.replica_count} replicas on {nodes}")
+
+    from repro.metrics.events import render_event_log
+
+    print()
+    print(f"scaling audit trail around the crash (t={CRASH_AT - 10:.0f}..{CRASH_AT + 40:.0f}s):")
+    window = sim.collector.events.between(CRASH_AT - 10.0, CRASH_AT + 40.0)
+    from repro.metrics.events import ScalingEventLog
+
+    excerpt = ScalingEventLog()
+    for event in window:
+        excerpt.record(event)
+    print(render_event_log(excerpt, limit=12))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: autoscale one CPU-bound microservice with HyScale.
+
+Builds the smallest meaningful deployment — one microservice on a small
+cluster under a gently swelling client load — runs the HyScale_CPU+Mem
+hybrid autoscaler for two simulated minutes, and prints the user-perceived
+statistics the paper reports (response times, failure breakdown) plus the
+scaling actions the MONITOR took.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import HyScaleCpuMem, Simulation, SimulationConfig
+from repro.cluster import MicroserviceSpec
+from repro.config import ClusterConfig
+from repro.workloads import CPU_BOUND, LowBurstLoad, ServiceLoad
+
+
+def main() -> None:
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=42)
+
+    # One microservice: starts at 0.5 cores / 512 MiB per replica, may grow
+    # to 8 replicas, targets 50 % utilization (the paper's setting).
+    spec = MicroserviceSpec(
+        name="checkout",
+        cpu_request=0.5,
+        mem_limit=512.0,
+        net_rate=50.0,
+        min_replicas=1,
+        max_replicas=8,
+        target_utilization=0.5,
+        profile="cpu_bound",
+    )
+
+    # Clients arrive at ~8 req/s with a +/-30 % swell every two minutes.
+    load = ServiceLoad(
+        service="checkout",
+        profile=CPU_BOUND,
+        pattern=LowBurstLoad(base=8.0, amplitude=0.3, period=120.0),
+    )
+
+    sim = Simulation.build(
+        config=config,
+        specs=[spec],
+        loads=[load],
+        policy=HyScaleCpuMem(),
+        workload_label="quickstart",
+    )
+    summary = sim.run(duration=120.0)
+
+    print(f"requests handled : {summary.total_requests}")
+    print(f"avg response     : {summary.avg_response_time:.3f} s")
+    print(f"p95 response     : {summary.p95_response_time:.3f} s")
+    print(f"failed           : {summary.percent_failed:.2f} %")
+    print(f"availability     : {summary.availability:.4f}")
+    print(f"vertical resizes : {summary.vertical_scale_ops}")
+    print(f"replicas added   : {summary.horizontal_scale_ups}")
+    print(f"replicas removed : {summary.horizontal_scale_downs}")
+
+
+if __name__ == "__main__":
+    main()

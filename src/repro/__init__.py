@@ -1,0 +1,72 @@
+"""HyScale reproduction: hybrid and network autoscaling of dockerized
+microservices, on a deterministic cluster simulator.
+
+Reproduces Wong, Kwan, Jacobsen & Muthusamy, *HyScale: Hybrid and Network
+Scaling of Dockerized Microservices in Cloud Data Centres*, ICDCS 2019.
+
+Quickstart::
+
+    from repro import Simulation, SimulationConfig, HyScaleCpuMem
+    from repro.cluster import MicroserviceSpec
+    from repro.workloads import CPU_BOUND, LowBurstLoad, ServiceLoad
+
+    spec = MicroserviceSpec(name="api", profile="cpu_bound")
+    load = ServiceLoad("api", CPU_BOUND, LowBurstLoad(base=8.0))
+    sim = Simulation.build(
+        config=SimulationConfig(),
+        specs=[spec],
+        loads=[load],
+        policy=HyScaleCpuMem(),
+    )
+    summary = sim.run(duration=120.0)
+    print(summary.as_row())
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the scripts
+that regenerate every figure in the paper.
+"""
+
+from repro.config import ClusterConfig, OverheadModel, PAPER_CONFIG, SimulationConfig
+from repro.core import (
+    AddReplica,
+    AutoscalingPolicy,
+    HyScaleCpu,
+    HyScaleCpuMem,
+    KubernetesHpa,
+    NetworkHpa,
+    RemoveReplica,
+    VerticalScale,
+)
+from repro.errors import ReproError
+from repro.experiments.runner import Simulation, run_experiment
+from repro.metrics import MetricsCollector, RunSummary, Sla, evaluate_sla
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SimulationConfig",
+    "ClusterConfig",
+    "OverheadModel",
+    "PAPER_CONFIG",
+    # the paper's algorithms
+    "AutoscalingPolicy",
+    "KubernetesHpa",
+    "NetworkHpa",
+    "HyScaleCpu",
+    "HyScaleCpuMem",
+    # actions
+    "VerticalScale",
+    "AddReplica",
+    "RemoveReplica",
+    # running experiments
+    "Simulation",
+    "run_experiment",
+    # metrics
+    "MetricsCollector",
+    "RunSummary",
+    "Sla",
+    "evaluate_sla",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,26 @@
+"""Cross-run analysis: speedups, crossovers, and multi-run comparison."""
+
+from repro.analysis.compare import ComparisonReport, compare_runs
+from repro.analysis.stats import SeedAggregate, multi_seed, ordering_holds
+from repro.analysis.timeline import allocation_efficiency, render_timeline, sparkline
+from repro.analysis.speedup import (
+    crossover_replicas,
+    failure_reduction,
+    response_speedup,
+    speedup_matrix,
+)
+
+__all__ = [
+    "response_speedup",
+    "failure_reduction",
+    "speedup_matrix",
+    "crossover_replicas",
+    "ComparisonReport",
+    "compare_runs",
+    "sparkline",
+    "render_timeline",
+    "allocation_efficiency",
+    "SeedAggregate",
+    "multi_seed",
+    "ordering_holds",
+]

@@ -1,0 +1,68 @@
+"""Multi-run comparison reports.
+
+Bundles one workload's runs under every algorithm into a single object with
+the paper's derived quantities (speedups vs. Kubernetes, failure
+reductions, availability floor) plus a printable table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.speedup import failure_reduction, response_speedup
+from repro.errors import ExperimentError
+from repro.experiments.report import comparison_table
+from repro.metrics.summary import RunSummary
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All algorithms' results on one workload, plus derived metrics."""
+
+    workload: str
+    summaries: dict[str, RunSummary]
+    baseline: str = "kubernetes"
+
+    def __post_init__(self) -> None:
+        if self.baseline not in self.summaries:
+            raise ExperimentError(f"baseline {self.baseline!r} not among runs")
+
+    def speedups(self) -> dict[str, float]:
+        """Response-time speedup of each algorithm over the baseline."""
+        base = self.summaries[self.baseline]
+        return {name: response_speedup(s, base) for name, s in self.summaries.items()}
+
+    def failure_reductions(self) -> dict[str, float]:
+        """Failure-rate reduction factor of each algorithm over the baseline."""
+        base = self.summaries[self.baseline]
+        return {name: failure_reduction(s, base) for name, s in self.summaries.items()}
+
+    def fastest(self) -> str:
+        """Algorithm with the lowest average response time."""
+        return min(self.summaries, key=lambda n: self.summaries[n].avg_response_time)
+
+    def most_available(self) -> str:
+        """Algorithm with the fewest failed requests (ties by name)."""
+        return min(
+            sorted(self.summaries),
+            key=lambda n: self.summaries[n].percent_failed,
+        )
+
+    def availability_floor(self) -> float:
+        """Worst availability across algorithms (the paper's >= 99.8% check
+        applies to Kubernetes/HyScale on CPU loads)."""
+        return min(s.availability for s in self.summaries.values())
+
+    def to_table(self) -> str:
+        """Printable Figures-6-to-8-style table."""
+        return comparison_table(self.summaries, title=self.workload)
+
+
+def compare_runs(workload: str, summaries: dict[str, RunSummary], baseline: str = "kubernetes") -> ComparisonReport:
+    """Build a :class:`ComparisonReport`, validating the inputs."""
+    if not summaries:
+        raise ExperimentError("no runs to compare")
+    labels = {s.workload for s in summaries.values()}
+    if len(labels) > 1:
+        raise ExperimentError(f"runs come from different workloads: {sorted(labels)}")
+    return ComparisonReport(workload=workload, summaries=dict(summaries), baseline=baseline)

@@ -1,0 +1,88 @@
+"""Speedup and crossover arithmetic — the paper's headline numbers.
+
+The abstract claims "up to 1.49x speedups in response times for our hybrid
+algorithms, and 1.69x speedups for our network algorithm under high-burst
+network loads"; Section VI adds "up to 10 times fewer" failed requests and
+a "59.22%" response-time drop.  These helpers compute exactly those
+quantities from :class:`~repro.metrics.summary.RunSummary` pairs, and the
+Figure 2/3 crossover locator used by the Section III analysis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.section3 import ScalingPoint
+from repro.metrics.summary import RunSummary
+
+
+def response_speedup(candidate: RunSummary, baseline: RunSummary) -> float:
+    """``baseline_rt / candidate_rt`` — >1 means the candidate is faster.
+
+    This is the paper's "1.49x speedup" metric with Kubernetes as baseline.
+    """
+    if candidate.avg_response_time <= 0:
+        raise ExperimentError("candidate has zero response time; cannot compute speedup")
+    return baseline.avg_response_time / candidate.avg_response_time
+
+
+def response_drop_percent(candidate: RunSummary, baseline: RunSummary) -> float:
+    """Percent response-time reduction vs. baseline (the paper's 59.22%)."""
+    if baseline.avg_response_time <= 0:
+        raise ExperimentError("baseline has zero response time")
+    return 100.0 * (1.0 - candidate.avg_response_time / baseline.avg_response_time)
+
+
+def failure_reduction(candidate: RunSummary, baseline: RunSummary) -> float:
+    """How many times fewer failures the candidate has (the paper's "10x").
+
+    Returns ``inf`` when the candidate had zero failures but the baseline
+    had some, and 1.0 when both are failure-free.
+    """
+    if candidate.total_requests == 0 or baseline.total_requests == 0:
+        raise ExperimentError("both runs need traffic to compare failures")
+    candidate_rate = candidate.failed / candidate.total_requests
+    baseline_rate = baseline.failed / baseline.total_requests
+    if candidate_rate == 0:
+        return float("inf") if baseline_rate > 0 else 1.0
+    return baseline_rate / candidate_rate
+
+
+def speedup_matrix(summaries: dict[str, RunSummary], baseline: str = "kubernetes") -> dict[str, float]:
+    """Speedup of every algorithm against one baseline."""
+    if baseline not in summaries:
+        raise ExperimentError(f"baseline {baseline!r} missing from summaries")
+    base = summaries[baseline]
+    return {name: response_speedup(s, base) for name, s in summaries.items()}
+
+
+def crossover_replicas(curve_a: list[ScalingPoint], curve_b: list[ScalingPoint]) -> int | None:
+    """Replica count where curve B first beats curve A (or ``None``).
+
+    Used to locate where horizontal scaling starts to pay off on the
+    Section III curves — e.g. where Figure 3's gains taper (successive
+    improvements below 10 %) or where one strategy's response crosses the
+    other's.
+    """
+    by_replicas_a = {p.replicas: p.avg_response_time for p in curve_a}
+    for point in sorted(curve_b, key=lambda p: p.replicas):
+        other = by_replicas_a.get(point.replicas)
+        if other is not None and point.avg_response_time < other:
+            return point.replicas
+    return None
+
+
+def taper_point(curve: list[ScalingPoint], threshold: float = 0.10) -> int | None:
+    """First replica count where the marginal gain drops below ``threshold``.
+
+    Figure 3's text: horizontal network gains "taper off at around 8
+    replicas" — i.e. the first point whose improvement over the previous is
+    under 10 %.
+    """
+    ordered = sorted(curve, key=lambda p: p.replicas)
+    for prev, point in zip(ordered, ordered[1:]):
+        if prev.avg_response_time <= 0:
+            continue
+        gain = 1.0 - point.avg_response_time / prev.avg_response_time
+        if gain < threshold:
+            return point.replicas
+    return None

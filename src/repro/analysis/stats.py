@@ -1,0 +1,82 @@
+"""Multi-seed aggregation — the paper averages every experiment over 5 runs.
+
+:func:`multi_seed` runs one experiment factory under one algorithm for
+several seeds and aggregates the figures' y-axes (mean response, failed %)
+into mean ± population-std rows, so comparisons can be made the way the
+paper made them instead of off a single draw.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.metrics.summary import RunSummary
+
+
+@dataclass(frozen=True)
+class SeedAggregate:
+    """Mean ± std of one algorithm's headline metrics over seeds."""
+
+    algorithm: str
+    seeds: tuple[int, ...]
+    mean_response: float
+    std_response: float
+    mean_failed_pct: float
+    std_failed_pct: float
+    runs: tuple[RunSummary, ...]
+
+    def response_interval(self, sigmas: float = 2.0) -> tuple[float, float]:
+        """A +-N-sigma band around the mean response time."""
+        return (
+            max(0.0, self.mean_response - sigmas * self.std_response),
+            self.mean_response + sigmas * self.std_response,
+        )
+
+
+def multi_seed(
+    experiment_factory: Callable[[int], "object"],
+    algorithm: str,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+) -> SeedAggregate:
+    """Run ``experiment_factory(seed).run(algorithm)`` per seed and aggregate.
+
+    ``experiment_factory`` is any callable returning an object with a
+    ``run(algorithm) -> RunSummary`` method — the
+    :class:`~repro.experiments.configs.ExperimentSpec` factories qualify
+    directly (``lambda seed: cpu_bound("high", seed=seed)``).
+    """
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    runs = tuple(experiment_factory(seed).run(algorithm) for seed in seeds)
+    responses = [r.avg_response_time for r in runs]
+    failures = [r.percent_failed for r in runs]
+    return SeedAggregate(
+        algorithm=algorithm,
+        seeds=tuple(seeds),
+        mean_response=statistics.mean(responses),
+        std_response=statistics.pstdev(responses),
+        mean_failed_pct=statistics.mean(failures),
+        std_failed_pct=statistics.pstdev(failures),
+        runs=runs,
+    )
+
+
+def ordering_holds(
+    experiment_factory: Callable[[int], "object"],
+    faster: str,
+    slower: str,
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> bool:
+    """True if ``faster`` beats ``slower`` on response time at *every* seed.
+
+    The reproduction's robustness criterion: an ordering that flips under
+    reseeding is a coincidence, not a result.
+    """
+    for seed in seeds:
+        spec = experiment_factory(seed)
+        if spec.run(faster).avg_response_time >= spec.run(slower).avg_response_time:
+            return False
+    return True

@@ -1,0 +1,95 @@
+"""Plot-free run timelines.
+
+Renders a finished run's sampled timeline
+(:class:`~repro.metrics.collector.TimelinePoint`) as unicode sparklines and
+aligned text charts, so experiments are inspectable in a terminal or CI log
+without any plotting dependency.  Used by the CLI's ``--timeline`` flag and
+the examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.metrics.collector import TimelinePoint
+
+#: Glyph ramp for sparklines, light to heavy.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render a series as a fixed-width unicode sparkline.
+
+    Values are resampled to ``width`` points and mapped onto the block ramp
+    between the series' own min and max (a flat series renders flat-low).
+    """
+    if not len(values):
+        raise ExperimentError("cannot render an empty series")
+    if width < 1:
+        raise ExperimentError("width must be >= 1")
+    arr = np.asarray(values, dtype=float)
+    resampled = np.interp(
+        np.linspace(0, len(arr) - 1, width), np.arange(len(arr)), arr
+    )
+    lo = float(resampled.min())
+    span = float(resampled.max()) - lo
+    if span <= 0:
+        return _BLOCKS[1] * width
+    indices = ((resampled - lo) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def _row(label: str, values: Sequence[float], unit: str, width: int) -> str:
+    arr = np.asarray(values, dtype=float)
+    return (
+        f"{label:<14s} [{arr.min():8.2f} .. {arr.max():8.2f}] {unit:<7s} "
+        f"{sparkline(values, width)}"
+    )
+
+
+def render_timeline(timeline: Sequence[TimelinePoint], width: int = 72) -> str:
+    """Multi-row sparkline chart of a run's cluster state over time.
+
+    Rows: replica count, cluster CPU usage vs. allocation, memory usage,
+    egress, in-flight requests, and powered machines.
+    """
+    if len(timeline) < 2:
+        raise ExperimentError("timeline needs at least two samples to render")
+    start, end = timeline[0].time, timeline[-1].time
+    lines = [
+        f"timeline {start:.0f}s .. {end:.0f}s ({len(timeline)} samples)",
+        _row("replicas", [p.total_replicas for p in timeline], "", width),
+        _row("cpu used", [p.cpu_usage for p in timeline], "cores", width),
+        _row("cpu allocated", [p.cpu_allocated for p in timeline], "cores", width),
+        _row("mem used", [p.mem_usage / 1024.0 for p in timeline], "GiB", width),
+        _row("net egress", [p.net_usage for p in timeline], "Mbit/s", width),
+        _row("in flight", [p.inflight for p in timeline], "reqs", width),
+    ]
+    if any(p.total_nodes for p in timeline):
+        lines.append(_row("nodes on", [p.active_nodes for p in timeline], "", width))
+    if any(p.window_completed for p in timeline):
+        lines.append(
+            _row("latency", [p.window_avg_response for p in timeline], "s", width)
+        )
+        lines.append(
+            _row("failures", [float(p.window_failed) for p in timeline], "reqs", width)
+        )
+    return "\n".join(lines)
+
+
+def allocation_efficiency(timeline: Sequence[TimelinePoint]) -> float:
+    """Mean usage/allocation ratio over the run — the resource-efficiency
+    angle of Section I (reclaiming overprovisioned resources).
+
+    1.0 means every allocated core was busy; low values mean the scaler
+    hoarded.  Samples with no allocation are skipped.
+    """
+    ratios = [
+        p.cpu_usage / p.cpu_allocated for p in timeline if p.cpu_allocated > 0
+    ]
+    if not ratios:
+        raise ExperimentError("timeline has no allocation samples")
+    return float(np.mean(ratios))

@@ -1,0 +1,303 @@
+"""Command-line interface: run any paper experiment from a shell.
+
+Mirrors the paper's platform knob that algorithms "can be specified at
+initialization or through the command-line interface" (Section V-C).
+
+Examples::
+
+    hyscale-repro list
+    hyscale-repro run cpu --burst high --algorithms kubernetes hybrid
+    hyscale-repro run mixed --costs --events 10 --timeline
+    hyscale-repro run bitbrains --json runs.json && hyscale-repro inspect runs.json
+    hyscale-repro reproduce                      # the whole evaluation matrix
+    hyscale-repro section3 --which network
+    hyscale-repro trace --vms 50 --duration 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.compare import compare_runs
+from repro.experiments import bitbrains, cpu_bound, disk_bound, memory_bound, mixed, network_bound
+from repro.experiments.configs import ALGORITHMS, BURSTS, EXTENSION_ALGORITHMS, ExperimentSpec
+from repro.experiments.report import (
+    memory_table,
+    scaling_curve_table,
+    trace_series_table,
+)
+from repro.experiments.section3 import (
+    cpu_scaling_curve,
+    memory_scaling_table,
+    network_scaling_curve,
+)
+from repro.workloads.bitbrains import generate_bitbrains_trace
+
+#: Workload name -> (factory, takes_burst)
+WORKLOADS = {
+    "cpu": (cpu_bound, True),
+    "memory": (memory_bound, True),
+    "mixed": (mixed, True),
+    "network": (network_bound, True),
+    "disk": (disk_bound, True),
+    "bitbrains": (bitbrains, False),
+}
+
+#: Every runnable algorithm: the paper's four plus extensions.
+ALL_POLICY_NAMES = ALGORITHMS + EXTENSION_ALGORITHMS
+
+
+def _build_spec(workload: str, burst: str, seed: int) -> ExperimentSpec:
+    factory, takes_burst = WORKLOADS[workload]
+    return factory(burst, seed=seed) if takes_burst else factory(seed=seed)
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("workloads :", ", ".join(sorted(WORKLOADS)))
+    print("bursts    :", ", ".join(BURSTS))
+    print("algorithms:", ", ".join(ALGORITHMS), "(+ extensions:", ", ".join(EXTENSION_ALGORITHMS) + ")")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _build_spec(args.workload, args.burst, args.seed)
+    summaries = {}
+    cost_reports = {}
+    event_logs = {}
+    needs_collector = args.costs or args.events > 0
+    for algorithm in args.algorithms:
+        print(f"running {spec.label} under {algorithm} ...", file=sys.stderr)
+        if needs_collector:
+            from repro.experiments.configs import make_policy
+            from repro.experiments.runner import Simulation
+
+            simulation = Simulation.build(
+                config=spec.config,
+                specs=list(spec.specs),
+                loads=list(spec.loads),
+                policy=make_policy(algorithm, spec.config),
+                workload_label=spec.label,
+            )
+            summaries[algorithm] = simulation.run(spec.duration)
+            if args.costs:
+                from repro.metrics import Sla
+                from repro.metrics.costs import evaluate_costs
+
+                sla = Sla(response_time_target=args.sla_target)
+                cost_reports[algorithm] = evaluate_costs(simulation.collector, sla)
+            if args.events > 0:
+                event_logs[algorithm] = simulation.collector.events
+        else:
+            summaries[algorithm] = spec.run(algorithm)
+    # When the requested baseline was not among the runs (e.g. a single
+    # non-baseline algorithm), fall back to the first run so the table
+    # still renders.
+    baseline = args.baseline if args.baseline in summaries else args.algorithms[0]
+    report = compare_runs(spec.label, summaries, baseline=baseline)
+    print(report.to_table())
+    if len(summaries) > 1:
+        print()
+        for name, speedup in sorted(report.speedups().items()):
+            if name != baseline:
+                print(f"speedup of {name} over {baseline}: {speedup:.2f}x")
+    if cost_reports:
+        from repro.experiments.report import format_table
+        from repro.metrics.costs import cost_comparison_rows
+
+        print()
+        print(f"run cost (SLA target {args.sla_target:.1f}s)")
+        print(
+            format_table(
+                ["algorithm", "kWh", "node-h", "violations", "total", "savings"],
+                cost_comparison_rows(cost_reports, baseline=baseline),
+            )
+        )
+    if event_logs:
+        from repro.metrics.events import decision_summary, render_event_log
+
+        for name in sorted(event_logs):
+            log = event_logs[name]
+            print()
+            print(f"--- scaling events: {name} (last {args.events}) ---")
+            print(render_event_log(log, limit=args.events))
+            print("decision mix:", decision_summary(log))
+    if args.json:
+        import json
+
+        payload = {name: summary.to_dict() for name, summary in summaries.items()}
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.timeline:
+        from repro.analysis.timeline import allocation_efficiency, render_timeline
+
+        for name in sorted(summaries):
+            summary = summaries[name]
+            if len(summary.timeline) >= 2:
+                print()
+                print(f"--- {name} ---")
+                print(render_timeline(list(summary.timeline)))
+                print(f"allocation efficiency: {allocation_efficiency(summary.timeline):.2f}")
+    return 0
+
+
+def _cmd_section3(args: argparse.Namespace) -> int:
+    if args.which in ("cpu", "all"):
+        print(scaling_curve_table(cpu_scaling_curve(), title="Figure 2: CPU horizontal scaling"))
+        print()
+    if args.which in ("memory", "all"):
+        print(memory_table(memory_scaling_table(), title="Section III-B: memory scaling"))
+        print()
+    if args.which in ("network", "all"):
+        print(
+            scaling_curve_table(
+                network_scaling_curve(), title="Figure 3: network horizontal scaling (100 Mbit/s total)"
+            )
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = generate_bitbrains_trace(
+        n_vms=args.vms, duration=args.duration, interval=args.interval, seed=args.seed
+    )
+    print(
+        trace_series_table(
+            list(trace.times()),
+            list(trace.aggregate_cpu()),
+            list(trace.aggregate_mem()),
+            stride=args.stride,
+            title=f"Figure 9: synthetic Bitbrains Rnd aggregate ({trace.n_vms} VMs)",
+        )
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.timeline import allocation_efficiency, render_timeline
+    from repro.metrics.summary import RunSummary
+
+    with open(args.path) as handle:
+        payload = json.load(handle)
+    summaries = {name: RunSummary.from_dict(data) for name, data in payload.items()}
+    workload = next(iter(summaries.values())).workload if summaries else "?"
+    baseline = "kubernetes" if "kubernetes" in summaries else next(iter(sorted(summaries)), None)
+    if baseline is None:
+        print("(empty dump)")
+        return 1
+    report = compare_runs(workload, summaries, baseline=baseline)
+    print(report.to_table())
+    if args.timeline:
+        for name in sorted(summaries):
+            summary = summaries[name]
+            if len(summary.timeline) >= 2:
+                print()
+                print(f"--- {name} ---")
+                print(render_timeline(list(summary.timeline)))
+                print(f"allocation efficiency: {allocation_efficiency(summary.timeline):.2f}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.suite import render_reproduction, reproduce_evaluation
+
+    figures = tuple(args.figures) if args.figures else None
+    result = reproduce_evaluation(
+        seed=args.seed,
+        figures=figures,
+        progress=lambda msg: print(f"running {msg} ...", file=sys.stderr),
+    )
+    print(render_reproduction(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument schema (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="hyscale-repro",
+        description="Reproduce the HyScale (ICDCS 2019) experiments on the cluster simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, bursts, and algorithms").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one evaluation workload under one or more algorithms")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--burst", choices=BURSTS, default="low")
+    run.add_argument("--algorithms", nargs="+", choices=ALL_POLICY_NAMES, default=list(ALGORITHMS))
+    run.add_argument("--baseline", choices=ALL_POLICY_NAMES, default="kubernetes")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--costs",
+        action="store_true",
+        help="also price each run (energy + occupancy + SLA penalties)",
+    )
+    run.add_argument(
+        "--events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the last N scaling events of each run (the audit trail)",
+    )
+    run.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render each run's cluster timeline as text sparklines",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        help="dump every run's full summary (incl. timeline) as JSON",
+    )
+    run.add_argument(
+        "--sla-target",
+        type=float,
+        default=8.0,
+        help="response-time SLA target in seconds for --costs (default 8.0)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    rep = sub.add_parser(
+        "reproduce", help="run the paper's whole evaluation matrix and print every figure"
+    )
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument(
+        "--figures",
+        nargs="+",
+        choices=("fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "fig10"),
+        help="restrict to specific figures (default: all)",
+    )
+    rep.set_defaults(func=_cmd_reproduce)
+
+    s3 = sub.add_parser("section3", help="run the Section III microbenchmarks (Figures 2-3)")
+    s3.add_argument("--which", choices=("cpu", "memory", "network", "all"), default="all")
+    s3.set_defaults(func=_cmd_section3)
+
+    inspect_cmd = sub.add_parser("inspect", help="re-render a --json dump of earlier runs")
+    inspect_cmd.add_argument("path", help="JSON file written by `run --json`")
+    inspect_cmd.add_argument("--timeline", action="store_true",
+                             help="also render saved timelines")
+    inspect_cmd.set_defaults(func=_cmd_inspect)
+
+    trace = sub.add_parser("trace", help="print the synthetic Bitbrains aggregate (Figure 9)")
+    trace.add_argument("--vms", type=int, default=100)
+    trace.add_argument("--duration", type=float, default=1200.0)
+    trace.add_argument("--interval", type=float, default=30.0)
+    trace.add_argument("--stride", type=int, default=1)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``hyscale-repro`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

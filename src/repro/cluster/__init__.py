@@ -1,0 +1,29 @@
+"""Simulated cluster substrate: nodes, containers, microservices, placement."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.fairshare import weighted_fair_share
+from repro.cluster.microservice import Microservice, MicroserviceSpec
+from repro.cluster.node import Node
+from repro.cluster.placement import (
+    BinPackPlacement,
+    PlacementStrategy,
+    RandomPlacement,
+    SpreadPlacement,
+)
+from repro.cluster.resources import ResourceVector
+
+__all__ = [
+    "Cluster",
+    "Container",
+    "ContainerState",
+    "Microservice",
+    "MicroserviceSpec",
+    "Node",
+    "ResourceVector",
+    "weighted_fair_share",
+    "PlacementStrategy",
+    "SpreadPlacement",
+    "BinPackPlacement",
+    "RandomPlacement",
+]

@@ -1,0 +1,408 @@
+"""Simulated Docker container.
+
+A container is the unit of deployment (each houses exactly one microservice
+replica, as in Section V-A of the paper).  It carries:
+
+* **allocations** — CPU request (cores; exposed to the daemon as Docker CPU
+  shares), a hard memory limit, and an HTB network rate;
+* **runtime state** — the lifecycle state machine and in-flight requests;
+* **measured usage** — what ``docker stats`` would report: CPU cores used
+  last step, resident memory, and egress throughput.
+
+The *node* owns scheduling (fair-share CPU, NIC transmission); the container
+owns distributing whatever it was granted across its in-flight requests
+(processor sharing) and its own memory accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.config import OverheadModel
+from repro.errors import ContainerStateError
+from repro.units import cores_to_shares
+from repro.workloads.requests import FailureReason, Request, RequestState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cluster.node import Node
+
+_container_seq = itertools.count(1)
+
+
+class ContainerState(enum.Enum):
+    """Container lifecycle, matching the simulated daemon's view."""
+
+    PENDING = "pending"  # created, still booting
+    RUNNING = "running"
+    STOPPED = "stopped"  # removed gracefully or by scale-in
+    OOM_KILLED = "oom_killed"  # killed by the kernel for exceeding memory
+
+
+#: States in which the container occupies node resources.
+ACTIVE_STATES = (ContainerState.PENDING, ContainerState.RUNNING)
+
+
+class Container:
+    """One microservice replica inside a simulated Docker container."""
+
+    def __init__(
+        self,
+        service: str,
+        replica_index: int,
+        cpu_request: float,
+        mem_limit: float,
+        net_rate: float,
+        *,
+        created_at: float = 0.0,
+        boot_delay: float = 0.0,
+        max_concurrency: int = 16,
+        disk_quota: float = 50.0,
+        overheads: OverheadModel | None = None,
+    ):
+        if cpu_request < 0 or mem_limit <= 0 or net_rate < 0:
+            raise ContainerStateError(
+                "container allocations must satisfy cpu>=0, memory>0, network>=0"
+            )
+        if max_concurrency < 1:
+            raise ContainerStateError("max_concurrency must be >= 1")
+        self.container_id = f"{service}.r{replica_index}.c{next(_container_seq)}"
+        self.service = service
+        self.replica_index = replica_index
+        self.created_at = created_at
+        self.overheads = overheads or OverheadModel()
+
+        # Allocations (mutated by `docker update`, i.e. vertical scaling).
+        self.cpu_request = float(cpu_request)
+        self.mem_limit = float(mem_limit)
+        self.net_rate = float(net_rate)
+        # Reference disk bandwidth (MB/s) for the disk scaler's utilization
+        # denominator; not enforced (disk has no reservations).
+        self.disk_quota = float(disk_quota)
+
+        # Lifecycle.
+        self.state = ContainerState.PENDING if boot_delay > 0 else ContainerState.RUNNING
+        self.boot_remaining = float(boot_delay)
+        self.stopped_at: float | None = None
+
+        # Runtime.  ``inflight`` is arrival-ordered; only the first
+        # ``max_concurrency`` are actively processed (the application's
+        # thread pool), the rest wait in the connection backlog.
+        self.max_concurrency = int(max_concurrency)
+        self.inflight: list[Request] = []
+        self.finished: list[Request] = []  # drained by the node each step
+
+        # Measured usage (what `docker stats` reports).
+        self.cpu_usage = 0.0  # cores consumed last step
+        self.mem_usage = self.overheads.container_base_memory
+        self.net_usage = 0.0  # Mbit/s egress last step
+        self.disk_usage = 0.0  # MB/s of disk I/O last step
+
+        # Lifetime counters.
+        self.total_completed = 0
+        self.total_failed = 0
+
+        # CPU left over after compute this step; caps network syscall
+        # throughput (see OverheadModel.net_cpu_per_mbit).
+        self._net_cpu_headroom = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def cpu_shares(self) -> int:
+        """Docker CPU shares corresponding to the CPU request."""
+        return cores_to_shares(self.cpu_request)
+
+    @property
+    def is_active(self) -> bool:
+        """True while the container occupies node resources."""
+        return self.state in ACTIVE_STATES
+
+    @property
+    def is_serving(self) -> bool:
+        """True when the container can accept and progress requests."""
+        return self.state is ContainerState.RUNNING
+
+    def active_requests(self) -> list[Request]:
+        """Requests inside the thread pool (arrival order, bounded)."""
+        return self.inflight[: self.max_concurrency]
+
+    def queued_requests(self) -> list[Request]:
+        """Requests waiting in the connection backlog."""
+        return self.inflight[self.max_concurrency :]
+
+    def cpu_phase_requests(self) -> list[Request]:
+        """In-flight requests still in their compute phase (arrival order).
+
+        Progress flows through a *sliding* thread-pool window (see
+        :meth:`advance_compute`), so short requests queued behind the first
+        ``max_concurrency`` can still complete within one step; the window
+        bounds simultaneous residency (memory), not per-step turnover.
+        """
+        return [r for r in self.inflight if r.in_cpu_phase]
+
+    def disk_phase_requests(self) -> list[Request]:
+        """In-flight requests currently doing disk I/O (arrival order)."""
+        return [r for r in self.inflight if r.in_disk_phase]
+
+    def net_phase_requests(self) -> list[Request]:
+        """In-flight requests currently transmitting (arrival order)."""
+        return [r for r in self.inflight if r.in_net_phase]
+
+    def memory_working_set(self) -> float:
+        """Resident memory: application base footprint + active requests.
+
+        Backlogged requests sit in the socket queue and cost no memory —
+        which is what bounds the working set to
+        ``base + max_concurrency * footprint``.
+        """
+        return self.overheads.container_base_memory + sum(
+            r.resident_memory for r in self.active_requests()
+        )
+
+    @property
+    def is_swapping(self) -> bool:
+        """True when the working set exceeds the memory limit."""
+        return self.memory_working_set() > self.mem_limit + 1e-9
+
+    @property
+    def over_oom_threshold(self) -> bool:
+        """True when the working set exceeds ``oom_factor`` x the limit."""
+        return self.memory_working_set() > self.overheads.oom_factor * self.mem_limit
+
+    # ------------------------------------------------------------------
+    # Scheduling interface used by the node
+    # ------------------------------------------------------------------
+    def cpu_demand(self, node_capacity: float) -> float:
+        """How much CPU this container could usefully consume this step.
+
+        Work-conserving model: with compute work pending the container will
+        take any share it is granted (bounded only by node capacity); idle
+        containers still burn the application's background CPU.
+        """
+        if not self.is_serving:
+            return 0.0
+        background = self.overheads.container_background_cpu
+        if self.cpu_phase_requests() or self.net_phase_requests():
+            # Pending transmissions also need CPU (networking syscalls).
+            return node_capacity
+        return min(background, node_capacity)
+
+    def advance_compute(self, granted_cores: float, dt: float, contention_factor: float) -> None:
+        """Spend a CPU grant on in-flight compute, processor-sharing style.
+
+        Parameters
+        ----------
+        granted_cores:
+            Cores awarded by the node's weighted fair-share for this step.
+        dt:
+            Step width in seconds.
+        contention_factor:
+            ``1 + colocation_contention`` when other containers on the node
+            also demanded CPU (Section III-A's measured 17 % penalty);
+            1.0 otherwise.
+        """
+        if granted_cores < 0 or dt <= 0 or contention_factor < 1.0:
+            raise ContainerStateError("invalid compute grant")
+        background = min(self.overheads.container_background_cpu, granted_cores)
+        useful = max(0.0, granted_cores - background)
+        requests = self.cpu_phase_requests()
+        if not requests:
+            self.cpu_usage = background if self.is_serving else 0.0
+            self._net_cpu_headroom = useful
+            return
+
+        efficiency = 1.0 / contention_factor
+        if self.is_swapping:
+            efficiency *= self.overheads.swap_slowdown
+
+        budget = useful * dt * efficiency  # effective core-seconds this step
+        consumed = 0.0
+        # Processor sharing in epochs over a sliding thread-pool window: the
+        # first ``max_concurrency`` pending requests progress at equal rate;
+        # when the smallest finishes, the next queued request takes its slot
+        # within the same step (no budget is stranded at step boundaries).
+        candidates = [r for r in self.inflight if r.in_cpu_phase]
+        while candidates and budget > 1e-12:
+            window = candidates[: self.max_concurrency]
+            smallest = min(r.cpu_remaining for r in window)
+            per_request = min(budget / len(window), smallest)
+            for request in window:
+                request.advance_cpu(per_request)
+            spent = per_request * len(window)
+            consumed += spent
+            budget -= spent
+            if per_request < smallest - 1e-15:
+                break  # budget exhausted mid-epoch
+            candidates = [r for r in candidates if r.cpu_remaining > 1e-12]
+        # Measured usage is what was actually burned (back out efficiency so
+        # swap stalls still *look* busy to the monitor, as iowait does).
+        compute_cores = consumed / (dt * efficiency) if efficiency > 0 else 0.0
+        self.cpu_usage = background + compute_cores
+        self._net_cpu_headroom = max(0.0, useful - compute_cores)
+
+    def disk_demand(self, dt: float) -> float:
+        """Disk I/O demand in MB/s this step (outstanding I/O / dt)."""
+        if not self.is_serving:
+            return 0.0
+        return sum(r.disk_remaining for r in self.disk_phase_requests()) / dt
+
+    def advance_disk(self, granted_mbps: float, dt: float) -> None:
+        """Spend a disk grant (MB/s) on pending I/O, fair-share epochs."""
+        if granted_mbps < 0 or dt <= 0:
+            raise ContainerStateError("invalid disk grant")
+        candidates = self.disk_phase_requests()
+        if not candidates:
+            self.disk_usage = 0.0
+            return
+        budget = granted_mbps * dt  # MB served this step
+        served = 0.0
+        while candidates and budget > 1e-12:
+            window = candidates[: self.max_concurrency]
+            smallest = min(r.disk_remaining for r in window)
+            per_request = min(budget / len(window), smallest)
+            for request in window:
+                request.advance_disk(per_request)
+            served += per_request * len(window)
+            budget -= per_request * len(window)
+            if per_request < smallest - 1e-15:
+                break
+            candidates = [r for r in candidates if r.disk_remaining > 1e-12]
+        self.disk_usage = served / dt
+
+    def net_demand(self, dt: float) -> float:
+        """Egress demand in Mbit/s this step.
+
+        Bounded both by the pending payload and by the CPU left over for
+        networking syscalls — a compute-starved container cannot saturate
+        its shaped rate (the coupling Section VI-A leans on).
+        """
+        if not self.is_serving:
+            return 0.0
+        pending = sum(r.net_remaining for r in self.net_phase_requests())
+        demand = pending / dt
+        coefficient = self.overheads.net_cpu_per_mbit
+        if coefficient > 0:
+            demand = min(demand, self._net_cpu_headroom / coefficient)
+        return demand
+
+    def advance_network(self, granted_mbps: float, dt: float) -> None:
+        """Spend a NIC grant on pending response payloads (fair split)."""
+        if granted_mbps < 0 or dt <= 0:
+            raise ContainerStateError("invalid network grant")
+        requests = self.net_phase_requests()
+        if not requests:
+            self.net_usage = 0.0
+            return
+        budget = granted_mbps * dt  # Mbit transmitted this step
+        transmitted = 0.0
+        # Same epoch-based fair sharing as the CPU path: equal progress over
+        # the window; finished transfers free their slot within the step.
+        candidates = [r for r in self.inflight if r.in_net_phase]
+        while candidates and budget > 1e-12:
+            window = candidates[: self.max_concurrency]
+            smallest = min(r.net_remaining for r in window)
+            per_request = min(budget / len(window), smallest)
+            for request in window:
+                request.advance_net(per_request)
+            transmitted += per_request * len(window)
+            budget -= per_request * len(window)
+            if per_request < smallest - 1e-15:
+                break
+            candidates = [r for r in candidates if r.net_remaining > 1e-12]
+        self.net_usage = transmitted / dt
+        # Networking syscalls burn CPU proportional to bytes pushed; the
+        # monitor sees it as CPU usage (it is, to `docker stats`).
+        self.cpu_usage += self.net_usage * self.overheads.net_cpu_per_mbit
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def tick_boot(self, dt: float) -> None:
+        """Progress the boot timer; flips PENDING -> RUNNING when done."""
+        if self.state is ContainerState.PENDING:
+            self.boot_remaining -= dt
+            if self.boot_remaining <= 1e-9:
+                self.boot_remaining = 0.0
+                self.state = ContainerState.RUNNING
+
+    def freeze(self, duration: float) -> None:
+        """Pause the container for a live migration.
+
+        The container stops serving (state back to PENDING) for ``duration``
+        seconds — the checkpoint/restore window.  In-flight requests survive
+        the move but keep aging toward their deadlines, so long freezes cost
+        timeouts: migration is cheap, not free.
+        """
+        if not self.is_active:
+            raise ContainerStateError(f"cannot freeze {self.container_id} in state {self.state}")
+        if duration < 0:
+            raise ContainerStateError("freeze duration must be non-negative")
+        self.state = ContainerState.PENDING
+        self.boot_remaining = max(self.boot_remaining, float(duration))
+
+    def accept(self, request: Request, now: float, overhead_factor: float = 1.0) -> None:
+        """Take ownership of a routed request."""
+        if not self.is_serving:
+            raise ContainerStateError(
+                f"container {self.container_id} cannot accept requests in state {self.state}"
+            )
+        request.assign(self.container_id, now, overhead_factor=overhead_factor)
+        self.inflight.append(request)
+
+    def settle_requests(self, now: float) -> None:
+        """Complete finished requests and fail timed-out ones."""
+        still_inflight: list[Request] = []
+        for request in self.inflight:
+            if (
+                request.state is RequestState.RUNNING
+                and request.cpu_remaining <= 1e-12
+                and request.disk_remaining <= 1e-12
+                and request.net_remaining <= 1e-12
+            ):
+                request.complete(now)
+                self.total_completed += 1
+                self.finished.append(request)
+            elif now >= request.deadline():
+                request.fail(now, FailureReason.CONNECTION)
+                self.total_failed += 1
+                self.finished.append(request)
+            else:
+                still_inflight.append(request)
+        self.inflight = still_inflight
+        self.mem_usage = self.memory_working_set()
+
+    def terminate(self, now: float, *, oom: bool = False) -> list[Request]:
+        """Stop the container, failing all in-flight requests as removals.
+
+        Returns the failed requests so the caller can hand them to metrics.
+        """
+        if not self.is_active:
+            raise ContainerStateError(f"container {self.container_id} already stopped")
+        self.state = ContainerState.OOM_KILLED if oom else ContainerState.STOPPED
+        self.stopped_at = now
+        casualties = []
+        for request in self.inflight:
+            request.fail(now, FailureReason.REMOVAL)
+            self.total_failed += 1
+            casualties.append(request)
+            self.finished.append(request)
+        self.inflight = []
+        self.cpu_usage = 0.0
+        self.net_usage = 0.0
+        self.disk_usage = 0.0
+        self.mem_usage = 0.0
+        return casualties
+
+    def drain_finished(self) -> list[Request]:
+        """Hand over and clear the finished-request buffer."""
+        finished, self.finished = self.finished, []
+        return finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Container({self.container_id}, state={self.state.value}, "
+            f"cpu={self.cpu_request:.2f}, mem={self.mem_limit:.0f}, net={self.net_rate:.0f})"
+        )

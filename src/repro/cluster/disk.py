@@ -1,0 +1,89 @@
+"""Per-node disk device model (the paper's declared-but-unimplemented axis).
+
+Section VI: "Additional computing resource types, such as disk I/O, are
+also supported, however, they are not currently implemented and will be
+part of future works."  This module implements that axis for our platform:
+
+* each node owns one :class:`DiskDevice` sized like the paper's testbed
+  hardware (3 Gbit/s SAS-1 links in front of spinning disks — we model the
+  *medium*: ~150 MB/s sequential throughput);
+* containers' disk phases share the device fairly, with a seek-thrash
+  penalty when many streams interleave (spindles hate concurrency — the
+  disk analogue of the NIC's tx-queue contention);
+* there are no disk *reservations* (neither Docker nor the paper's platform
+  reserves disk bandwidth), so unlike CPU/memory this axis is purely
+  usage-and-contention — which is exactly why scaling it needs its own
+  algorithm (see :class:`repro.core.disk.DiskHpa`).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.fairshare import weighted_fair_share
+from repro.errors import ClusterError
+
+
+class DiskDevice:
+    """One machine's disk: shared bandwidth with seek-thrash contention.
+
+    Parameters
+    ----------
+    capacity:
+        Sequential throughput in MB/s (default: a 2008-era SAS spindle).
+    seek_penalty:
+        Fractional aggregate-throughput loss per *additional* concurrent
+        stream (interleaved access turns sequential reads into seeks).
+    seek_penalty_cap:
+        Lower bound on aggregate efficiency, however many streams fight.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 150.0,
+        seek_penalty: float = 0.12,
+        seek_penalty_cap: float = 0.35,
+    ):
+        if capacity <= 0:
+            raise ClusterError(f"disk capacity must be positive, got {capacity}")
+        if not 0 <= seek_penalty < 1:
+            raise ClusterError("seek_penalty must be in [0, 1)")
+        if not 0 < seek_penalty_cap <= 1:
+            raise ClusterError("seek_penalty_cap must be in (0, 1]")
+        self.capacity = float(capacity)
+        self.seek_penalty = float(seek_penalty)
+        self.seek_penalty_cap = float(seek_penalty_cap)
+        #: MB/s actually served per container last transfer (diagnostics).
+        self.last_throughput: dict[str, float] = {}
+
+    def efficiency(self, streams: int) -> float:
+        """Aggregate throughput multiplier for ``streams`` concurrent users."""
+        if streams <= 1:
+            return 1.0
+        return max(self.seek_penalty_cap, 1.0 - self.seek_penalty * (streams - 1))
+
+    def transfer(self, offered: dict[str, float]) -> dict[str, float]:
+        """Serve per-container offered loads (MB/s); returns grants (MB/s).
+
+        Equal-weight max-min fair sharing of the (contention-degraded)
+        device throughput.  Total grants never exceed effective capacity;
+        the allocation is work-conserving.
+        """
+        active = {cid: load for cid, load in offered.items() if load > 0}
+        for cid, load in offered.items():
+            if load < 0:
+                raise ClusterError(f"offered disk load for {cid!r} must be >= 0")
+        if not active:
+            self.last_throughput = {cid: 0.0 for cid in offered}
+            return dict(self.last_throughput)
+
+        effective = self.capacity * self.efficiency(len(active))
+        ids = sorted(active)
+        grants = weighted_fair_share(
+            effective,
+            [active[cid] for cid in ids],
+            [1.0] * len(ids),
+        )
+        result = {cid: 0.0 for cid in offered}
+        for cid, grant in zip(ids, grants):
+            result[cid] = grant
+        self.last_throughput = dict(result)
+        return result

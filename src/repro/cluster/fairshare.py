@@ -1,0 +1,108 @@
+"""Weighted max-min fair sharing — the Docker CPU-shares model.
+
+Docker CPU shares are *relative weights under contention* and fully
+work-conserving: a container may use more than its proportional slice while
+others are idle, and never less than its slice while it has demand
+(Section III-A of the paper builds its vertical-scaling experiments on
+exactly this behaviour).
+
+The classic algorithm is progressive filling: repeatedly grant every
+unsatisfied claimant capacity in proportion to its weight; claimants whose
+demand is met drop out and their leftover is redistributed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def weighted_fair_share(
+    capacity: float,
+    demands: list[float],
+    weights: list[float],
+    *,
+    max_rounds: int = 64,
+) -> list[float]:
+    """Allocate ``capacity`` among claimants by weighted max-min fairness.
+
+    Parameters
+    ----------
+    capacity:
+        Total divisible capacity (e.g. node CPU cores).
+    demands:
+        Per-claimant maximum useful allocation; allocations never exceed a
+        claimant's demand.
+    weights:
+        Per-claimant positive relative weights (e.g. Docker CPU shares).
+        Claimants with zero demand may carry any weight.
+
+    Returns
+    -------
+    list[float]
+        Allocations, same order as inputs.  Invariants (property-tested):
+        ``0 <= alloc[i] <= demands[i]``; ``sum(alloc) <= capacity``; and the
+        allocation is work-conserving — if total demand >= capacity then
+        ``sum(alloc) == capacity`` (up to float tolerance).
+    """
+    if len(demands) != len(weights):
+        raise SimulationError("demands and weights must have equal length")
+    if capacity < 0:
+        raise SimulationError(f"capacity must be non-negative, got {capacity}")
+    for i, (d, w) in enumerate(zip(demands, weights)):
+        if d < 0:
+            raise SimulationError(f"demand[{i}] must be non-negative, got {d}")
+        if w < 0:
+            raise SimulationError(f"weight[{i}] must be non-negative, got {w}")
+
+    n = len(demands)
+    allocations = [0.0] * n
+    if n == 0 or capacity == 0:
+        return allocations
+
+    remaining = capacity
+    active = [i for i in range(n) if demands[i] > 0]
+    # Claimants with demand but zero weight receive capacity only after all
+    # weighted claimants are satisfied (Docker gives minimum shares of 2, so
+    # this is a corner case, but the algebra should still be total).
+    zero_weight = [i for i in active if weights[i] == 0]
+    active = [i for i in active if weights[i] > 0]
+
+    for _ in range(max_rounds):
+        if not active or remaining <= 1e-12:
+            break
+        total_weight = sum(weights[i] for i in active)
+        satisfied: list[int] = []
+        granted = 0.0
+        for i in active:
+            # Divide the weight ratio first: multiplying a subnormal weight
+            # by the capacity before dividing loses precision and can
+            # overshoot the proportional slice.
+            slice_ = remaining * (weights[i] / total_weight)
+            need = demands[i] - allocations[i]
+            if slice_ >= need - 1e-12:
+                grant = min(need, remaining - granted)
+                allocations[i] += grant
+                granted += grant
+                satisfied.append(i)
+        if not satisfied:
+            # Nobody saturates: hand out the proportional slices and finish.
+            for i in active:
+                allocations[i] += remaining * (weights[i] / total_weight)
+            remaining = 0.0
+            break
+        remaining -= granted
+        active = [i for i in active if i not in satisfied]
+
+    # Leftover capacity goes to zero-weight claimants, split evenly subject
+    # to their demands (progressive filling with unit weights).
+    if zero_weight and remaining > 1e-12:
+        allocations_zw = weighted_fair_share(
+            remaining,
+            [demands[i] for i in zero_weight],
+            [1.0] * len(zero_weight),
+            max_rounds=max_rounds,
+        )
+        for i, alloc in zip(zero_weight, allocations_zw):
+            allocations[i] = alloc
+
+    return allocations

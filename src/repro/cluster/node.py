@@ -1,0 +1,210 @@
+"""Simulated cluster machine.
+
+Each node mirrors one box of the paper's testbed (4 cores, 8 GiB, one NIC).
+Per simulation step a node:
+
+1. progresses container boots,
+2. runs the Docker CPU scheduler — weighted max-min fair share over CPU
+   shares, with the Section III-A co-location contention penalty,
+3. drives the NIC — HTB shaping plus tx-queue contention,
+4. settles requests (completions, timeouts), and
+5. OOM-kills containers whose working set exceeds the kill threshold.
+
+The node is deliberately policy-free: it executes allocations, it never
+decides them (that is the MONITOR's job, Section V-B/C).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.container import Container
+from repro.cluster.disk import DiskDevice
+from repro.cluster.fairshare import weighted_fair_share
+from repro.cluster.resources import ResourceVector
+from repro.config import OverheadModel
+from repro.errors import CapacityError, ClusterError
+from repro.netsim.interface import NetworkInterface
+from repro.workloads.requests import Request
+
+
+class Node:
+    """One machine: capacity, hosted containers, local schedulers."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: ResourceVector,
+        overheads: OverheadModel | None = None,
+        disk_capacity: float = 150.0,
+    ):
+        if not capacity.is_nonnegative() or capacity.cpu <= 0 or capacity.memory <= 0:
+            raise ClusterError(f"node {name!r}: capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.overheads = overheads or OverheadModel()
+        self.nic = NetworkInterface(capacity.network, self.overheads)
+        self.disk = DiskDevice(disk_capacity)
+        self.containers: dict[str, Container] = {}
+        self._finished: list[Request] = []
+        #: Containers OOM-killed during the last step (for daemon cleanup).
+        self.last_oom_kills: list[Container] = []
+
+    # ------------------------------------------------------------------
+    # Hosting
+    # ------------------------------------------------------------------
+    def active_containers(self) -> list[Container]:
+        """Containers occupying resources (PENDING or RUNNING), id-ordered."""
+        return [c for _, c in sorted(self.containers.items()) if c.is_active]
+
+    def serving_containers(self) -> list[Container]:
+        """RUNNING containers, id-ordered."""
+        return [c for _, c in sorted(self.containers.items()) if c.is_serving]
+
+    def allocated(self) -> ResourceVector:
+        """Sum of active containers' requested resources."""
+        return ResourceVector.sum(
+            ResourceVector(c.cpu_request, c.mem_limit, c.net_rate) for c in self.active_containers()
+        )
+
+    def available(self) -> ResourceVector:
+        """Unreserved capacity (never negative: clamped at zero)."""
+        return (self.capacity - self.allocated()).clamp_floor(0.0)
+
+    def usage(self) -> ResourceVector:
+        """Measured usage across active containers (last step)."""
+        return ResourceVector.sum(
+            ResourceVector(c.cpu_usage, c.mem_usage, c.net_usage) for c in self.active_containers()
+        )
+
+    def hosts_service(self, service: str) -> bool:
+        """True if any active container on this node belongs to ``service``."""
+        return any(c.service == service for c in self.active_containers())
+
+    def can_fit(self, request: ResourceVector) -> bool:
+        """True if the requested allocation fits in current availability."""
+        return request.fits_within(self.available())
+
+    def add_container(self, container: Container, *, enforce_capacity: bool = True) -> None:
+        """Host a container, wiring up its NIC shaping class."""
+        if container.container_id in self.containers:
+            raise ClusterError(f"container {container.container_id} already on node {self.name}")
+        request = ResourceVector(container.cpu_request, container.mem_limit, container.net_rate)
+        if enforce_capacity and not self.can_fit(request):
+            raise CapacityError(
+                f"node {self.name}: {request} does not fit in {self.available()}"
+            )
+        self.containers[container.container_id] = container
+        # HTB guarantee at the container's allocated rate with borrowing up
+        # to link capacity: Docker cannot hard-cap network without tc, and
+        # the paper's platform leaves container NICs work-conserving (only
+        # the Section III microbenchmarks shape hard; they configure their
+        # qdiscs explicitly).
+        self.nic.attach(container.container_id, rate=container.net_rate)
+
+    def remove_container(self, container_id: str, now: float, *, oom: bool = False) -> Container:
+        """Stop and unhost a container; in-flight requests become removal failures."""
+        container = self.containers.get(container_id)
+        if container is None:
+            raise ClusterError(f"container {container_id} not on node {self.name}")
+        if container.is_active:
+            container.terminate(now, oom=oom)
+        self._finished.extend(container.drain_finished())
+        if self.nic.is_attached(container_id):
+            self.nic.detach(container_id)
+        del self.containers[container_id]
+        return container
+
+    def detach_container(self, container_id: str) -> Container:
+        """Unhost a container *without* terminating it (live migration).
+
+        The container keeps its in-flight requests; the caller re-attaches
+        it to another node via :meth:`add_container`.
+        """
+        container = self.containers.get(container_id)
+        if container is None:
+            raise ClusterError(f"container {container_id} not on node {self.name}")
+        if self.nic.is_attached(container_id):
+            self.nic.detach(container_id)
+        del self.containers[container_id]
+        return container
+
+    def reshape_network(self, container_id: str, rate: float) -> None:
+        """Apply a vertical network-rate change down to the NIC."""
+        container = self.containers.get(container_id)
+        if container is None:
+            raise ClusterError(f"container {container_id} not on node {self.name}")
+        container.net_rate = float(rate)
+        self.nic.reshape(container_id, rate=rate)
+
+    # ------------------------------------------------------------------
+    # Per-step machinery
+    # ------------------------------------------------------------------
+    def step(self, now: float, dt: float) -> None:
+        """Advance every hosted container by one step ending at ``now``."""
+        self.last_oom_kills = []
+        for container in self.active_containers():
+            container.tick_boot(dt)
+
+        self._schedule_cpu(dt)
+        self._schedule_disk(dt)
+        self._schedule_network(dt)
+
+        for container in self.serving_containers():
+            container.settle_requests(now)
+            if container.over_oom_threshold:
+                # The kernel kills the worst offender; requests die as
+                # removal failures.  The daemon reaps the carcass.
+                container.terminate(now, oom=True)
+                self.last_oom_kills.append(container)
+            self._finished.extend(container.drain_finished())
+
+    def _schedule_cpu(self, dt: float) -> None:
+        """Weighted fair-share CPU with the co-location contention penalty."""
+        containers = self.serving_containers()
+        if not containers:
+            return
+        demands = [c.cpu_demand(self.capacity.cpu) for c in containers]
+        weights = [float(c.cpu_shares) for c in containers]
+        grants = weighted_fair_share(self.capacity.cpu, demands, weights)
+
+        background = self.overheads.container_background_cpu
+        busy = sum(1 for d in demands if d > background + 1e-12)
+        contention = 1.0
+        if busy >= 2:
+            contention = min(
+                1.0 + self.overheads.colocation_contention * (busy - 1),
+                self.overheads.colocation_cap,
+            )
+        for container, granted in zip(containers, grants):
+            container.advance_compute(granted, dt, contention)
+
+    def _schedule_disk(self, dt: float) -> None:
+        """Fair-share the disk device over containers with pending I/O."""
+        containers = self.serving_containers()
+        offered = {c.container_id: c.disk_demand(dt) for c in containers}
+        if not any(load > 0 for load in offered.values()):
+            for c in containers:
+                c.disk_usage = 0.0
+            return
+        grants = self.disk.transfer(offered)
+        for container in containers:
+            container.advance_disk(grants.get(container.container_id, 0.0), dt)
+
+    def _schedule_network(self, dt: float) -> None:
+        """HTB shaping + tx-queue contention over all serving containers."""
+        containers = self.serving_containers()
+        offered = {c.container_id: c.net_demand(dt) for c in containers}
+        if not any(load > 0 for load in offered.values()):
+            for c in containers:
+                c.net_usage = 0.0
+            return
+        throughput = self.nic.transmit(offered)
+        for container in containers:
+            container.advance_network(throughput.get(container.container_id, 0.0), dt)
+
+    def drain_finished(self) -> list[Request]:
+        """Hand over and clear requests that finished on this node."""
+        finished, self._finished = self._finished, []
+        return finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.name}, containers={len(self.containers)}, avail={self.available()})"

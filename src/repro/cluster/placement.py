@@ -1,0 +1,94 @@
+"""Replica placement strategies.
+
+The MONITOR decides *that* a replica must be added; placement decides
+*where*.  The paper's constraint (Section IV-B1): a new replica goes to a
+node "not hosting the same microservice, and advertising sufficient
+available resources".  Strategies differ only in how they rank the feasible
+nodes:
+
+* :class:`SpreadPlacement` — most free CPU first (Kubernetes'
+  least-allocated default; keeps load even),
+* :class:`BinPackPlacement` — least free CPU that still fits (packs
+  machines densely, the data-centre power-saving goal from Section I),
+* :class:`RandomPlacement` — uniform over feasible nodes (baseline).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+
+
+class PlacementStrategy(abc.ABC):
+    """Chooses a node for a new replica, or ``None`` if nothing fits."""
+
+    def feasible(
+        self,
+        nodes: list[Node],
+        request: ResourceVector,
+        *,
+        exclude_service: str | None = None,
+    ) -> list[Node]:
+        """Nodes that fit ``request``; optionally exclude hosts of a service."""
+        out = []
+        for node in nodes:
+            if exclude_service is not None and node.hosts_service(exclude_service):
+                continue
+            if node.can_fit(request):
+                out.append(node)
+        return out
+
+    def choose(
+        self,
+        nodes: list[Node],
+        request: ResourceVector,
+        *,
+        exclude_service: str | None = None,
+    ) -> Node | None:
+        """Pick the placement target, or ``None`` when no node qualifies."""
+        candidates = self.feasible(nodes, request, exclude_service=exclude_service)
+        if not candidates:
+            return None
+        return self.rank(candidates, request)
+
+    @abc.abstractmethod
+    def rank(self, candidates: list[Node], request: ResourceVector) -> Node:
+        """Select one node from a non-empty feasible set."""
+
+
+class SpreadPlacement(PlacementStrategy):
+    """Prefer the node with the most available CPU (ties: fewest containers,
+    then name, for determinism)."""
+
+    def rank(self, candidates: list[Node], request: ResourceVector) -> Node:
+        return max(
+            candidates,
+            key=lambda n: (n.available().cpu, -len(n.containers), _reverse_name_key(n.name)),
+        )
+
+
+class BinPackPlacement(PlacementStrategy):
+    """Prefer the fullest node that still fits (best-fit decreasing)."""
+
+    def rank(self, candidates: list[Node], request: ResourceVector) -> Node:
+        return min(candidates, key=lambda n: (n.available().cpu, n.name))
+
+
+class RandomPlacement(PlacementStrategy):
+    """Uniform choice over feasible nodes (seeded for reproducibility)."""
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self._rng = rng or np.random.default_rng(0)
+
+    def rank(self, candidates: list[Node], request: ResourceVector) -> Node:
+        ordered = sorted(candidates, key=lambda n: n.name)
+        return ordered[int(self._rng.integers(0, len(ordered)))]
+
+
+def _reverse_name_key(name: str) -> tuple[int, ...]:
+    """Key that makes ``max()`` prefer lexicographically *smaller* names."""
+    return tuple(-ord(ch) for ch in name)

@@ -1,0 +1,74 @@
+"""Stress containers used by the Section III microbenchmarks.
+
+The paper isolates scaling effects by co-locating the measured microservice
+with *progrium stress* (a CPU hog) or a custom container that "attempts to
+hog all available CPU and network resources" (Section III-C).  These
+subclasses reproduce that role: they never serve requests, they simply
+present unbounded demand to the node's schedulers.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.container import Container
+from repro.config import OverheadModel
+
+
+class CpuStressContainer(Container):
+    """progrium/stress: consumes every CPU cycle its shares entitle it to."""
+
+    def __init__(
+        self,
+        name: str,
+        cpu_request: float,
+        *,
+        mem_limit: float = 256.0,
+        overheads: OverheadModel | None = None,
+    ):
+        super().__init__(
+            service=name,
+            replica_index=0,
+            cpu_request=cpu_request,
+            mem_limit=mem_limit,
+            net_rate=0.0,
+            overheads=overheads,
+        )
+
+    def cpu_demand(self, node_capacity: float) -> float:
+        """Always saturate: stress spins on every core it can get."""
+        return node_capacity if self.is_serving else 0.0
+
+    def advance_compute(self, granted_cores: float, dt: float, contention_factor: float) -> None:
+        """Burn the grant; there are no requests to progress."""
+        self.cpu_usage = granted_cores
+
+
+class NetStressContainer(Container):
+    """Network hog: offers ``offered_mbps`` of egress every step."""
+
+    def __init__(
+        self,
+        name: str,
+        net_rate: float,
+        offered_mbps: float,
+        *,
+        cpu_request: float = 0.1,
+        mem_limit: float = 256.0,
+        overheads: OverheadModel | None = None,
+    ):
+        super().__init__(
+            service=name,
+            replica_index=0,
+            cpu_request=cpu_request,
+            mem_limit=mem_limit,
+            net_rate=net_rate,
+            overheads=overheads,
+        )
+        self.offered_mbps = float(offered_mbps)
+
+    def net_demand(self, dt: float) -> float:
+        """Constant offered load regardless of grants (an iperf -u flood)."""
+        return self.offered_mbps if self.is_serving else 0.0
+
+    def advance_network(self, granted_mbps: float, dt: float) -> None:
+        """Track throughput; the flood itself never completes."""
+        self.net_usage = granted_mbps

@@ -1,0 +1,54 @@
+"""The paper's contribution: autoscaling algorithms and their contracts.
+
+* :mod:`repro.core.view` — immutable cluster snapshots policies consume.
+* :mod:`repro.core.actions` — the scaling-action algebra policies emit.
+* :mod:`repro.core.policy` — the policy interface and planning helpers.
+* :mod:`repro.core.kubernetes` — Kubernetes HPA (Section IV-A1).
+* :mod:`repro.core.network` — the network scaling algorithm (Section IV-A2).
+* :mod:`repro.core.hyscale` — HyScale_CPU (Section IV-B1).
+* :mod:`repro.core.hyscale_mem` — HyScale_CPU+Mem (Section IV-B2).
+"""
+
+from repro.core.actions import (
+    AddReplica,
+    MigrateReplica,
+    RemoveReplica,
+    ScalingAction,
+    VerticalScale,
+)
+from repro.core.disk import DiskHpa
+from repro.core.elasticdocker import ElasticDockerPolicy
+from repro.core.hyscale import HyScaleCpu
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.core.intervals import RescaleIntervalGuard
+from repro.core.kubernetes import KubernetesHpa
+from repro.core.kubernetes_multi import KubernetesMemoryHpa, KubernetesMultiMetricHpa
+from repro.core.network import NetworkHpa
+from repro.core.predictive import HoltSmoother, PredictiveHyScale
+from repro.core.policy import AutoscalingPolicy, NodeLedger
+from repro.core.view import ClusterView, NodeView, ReplicaView, ServiceView
+
+__all__ = [
+    "ScalingAction",
+    "VerticalScale",
+    "AddReplica",
+    "RemoveReplica",
+    "AutoscalingPolicy",
+    "NodeLedger",
+    "RescaleIntervalGuard",
+    "KubernetesHpa",
+    "KubernetesMemoryHpa",
+    "KubernetesMultiMetricHpa",
+    "NetworkHpa",
+    "DiskHpa",
+    "ElasticDockerPolicy",
+    "MigrateReplica",
+    "HyScaleCpu",
+    "HyScaleCpuMem",
+    "PredictiveHyScale",
+    "HoltSmoother",
+    "ClusterView",
+    "NodeView",
+    "ReplicaView",
+    "ServiceView",
+]

@@ -1,0 +1,101 @@
+"""Scaling-action algebra.
+
+Policies are pure: they read a :class:`~repro.core.view.ClusterView` and
+emit a list of actions; the MONITOR executes them.  Three verbs cover every
+algorithm in the paper:
+
+* :class:`VerticalScale` — resize a container in place (``docker update`` /
+  tc reshape); the hybrid algorithms' fine-grained tool.
+* :class:`AddReplica` — start a new container somewhere; the HPA's and the
+  hybrids' spill-over tool.
+* :class:`RemoveReplica` — scale a container in (its in-flight requests
+  become removal failures, which is why Figures 6-8 track them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PolicyError
+
+
+class ScalingAction:
+    """Marker base class for all actions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VerticalScale(ScalingAction):
+    """Resize one container in place.  ``None`` axes are left untouched."""
+
+    container_id: str
+    cpu_request: float | None = None
+    mem_limit: float | None = None
+    net_rate: float | None = None
+    #: Why the policy did this ("reclaim", "acquire", ...) — for logs/tests.
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_request is None and self.mem_limit is None and self.net_rate is None:
+            raise PolicyError("VerticalScale must change at least one axis")
+        if self.cpu_request is not None and self.cpu_request < 0:
+            raise PolicyError("cpu_request must be >= 0")
+        if self.mem_limit is not None and self.mem_limit <= 0:
+            raise PolicyError("mem_limit must be > 0")
+        if self.net_rate is not None and self.net_rate < 0:
+            raise PolicyError("net_rate must be >= 0")
+
+
+@dataclass(frozen=True)
+class AddReplica(ScalingAction):
+    """Start one new replica of a service.
+
+    ``node`` may pin the placement (HyScale chooses its own target node from
+    the ledger); ``None`` lets the MONITOR's placement strategy decide.
+    ``exclude_hosting`` enforces the paper's HyScale constraint that new
+    replicas land on nodes "not hosting the same microservice".
+    """
+
+    service: str
+    cpu_request: float
+    mem_limit: float
+    net_rate: float
+    node: str | None = None
+    exclude_hosting: bool = False
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_request <= 0 or self.mem_limit <= 0 or self.net_rate < 0:
+            raise PolicyError("replica allocations must satisfy cpu>0, memory>0, network>=0")
+
+
+@dataclass(frozen=True)
+class RemoveReplica(ScalingAction):
+    """Scale one replica in."""
+
+    container_id: str
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.container_id:
+            raise PolicyError("container_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class MigrateReplica(ScalingAction):
+    """Live-migrate one container to another machine (extension).
+
+    Used by vertical-first scalers (ElasticDocker-style) when the current
+    host cannot satisfy a grow request: the container keeps its in-flight
+    requests but freezes for the checkpoint/restore window
+    (``OverheadModel.migration_freeze``).
+    """
+
+    container_id: str
+    target_node: str
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.container_id or not self.target_node:
+            raise PolicyError("container_id and target_node must be non-empty")

@@ -1,0 +1,27 @@
+"""Exploratory disk I/O scaling algorithm (extension).
+
+The paper: "Additional computing resource types, such as disk I/O, are also
+supported, however, they are not currently implemented and will be part of
+future works" (Section VI).  This module is that future work, built the
+same way the paper built its network algorithm (Section IV-A2): take the
+Kubernetes controller and swap the metric — here, measured disk throughput
+against each replica's soft quota.
+
+The physics it exploits mirrors Figure 3's: a machine's spindle serves
+interleaved streams poorly (seek thrash — see
+:class:`repro.cluster.disk.DiskDevice`), so replicating a disk-hungry
+service across machines multiplies both raw spindle bandwidth and
+sequential efficiency.  CPU-driven scalers never see the pressure: a
+request waiting on disk burns no CPU.
+"""
+
+from __future__ import annotations
+
+from repro.core.kubernetes import KubernetesHpa
+
+
+class DiskHpa(KubernetesHpa):
+    """Kubernetes' formula over disk I/O throughput (our extension)."""
+
+    name = "disk"
+    metric = "disk"

@@ -1,0 +1,52 @@
+"""Anti-thrash rescaling intervals.
+
+"To prevent thrashing between quickly scaling up and scaling down
+horizontally, the Kubernetes algorithm uses minimum scale up and scale down
+time intervals" (Section IV-A1); the experiments use 3 s up / 50 s down.
+HyScale keeps the same guard for *horizontal* operations while exempting
+vertical ones, "as vertical scaling must perform fine-grained adjustments
+quickly and frequently" (Section IV-B1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+
+
+class RescaleIntervalGuard:
+    """Per-service timers gating horizontal scale up / scale down."""
+
+    def __init__(self, up_interval: float = 3.0, down_interval: float = 50.0):
+        if up_interval < 0 or down_interval < 0:
+            raise PolicyError("rescale intervals must be non-negative")
+        self.up_interval = float(up_interval)
+        self.down_interval = float(down_interval)
+        self._last_up: dict[str, float] = {}
+        self._last_down: dict[str, float] = {}
+
+    def can_scale_up(self, service: str, now: float) -> bool:
+        """True if a scale-up for ``service`` is allowed at ``now``."""
+        last = self._last_up.get(service)
+        return last is None or now - last >= self.up_interval
+
+    def can_scale_down(self, service: str, now: float) -> bool:
+        """True if a scale-down for ``service`` is allowed at ``now``."""
+        last = self._last_down.get(service)
+        return last is None or now - last >= self.down_interval
+
+    def record_scale_up(self, service: str, now: float) -> None:
+        """Start the scale-up cooldown for ``service``."""
+        self._last_up[service] = now
+
+    def record_scale_down(self, service: str, now: float) -> None:
+        """Start the scale-down cooldown for ``service``."""
+        self._last_down[service] = now
+
+    def reset(self, service: str | None = None) -> None:
+        """Clear timers for one service (or all)."""
+        if service is None:
+            self._last_up.clear()
+            self._last_down.clear()
+        else:
+            self._last_up.pop(service, None)
+            self._last_down.pop(service, None)

@@ -1,0 +1,129 @@
+"""Predictive hybrid scaling (extension; the paper's "machine learning
+aspect" future work).
+
+Section VII: "we aim to ... extend our hybrid autoscaling algorithms to
+incorporate a cost-based aspect, a machine learning aspect and various
+others."  Every algorithm in the paper is *reactive*: it provisions for the
+usage it just measured, so a burst is always served late by one
+reaction lag (monitor period + boot delay).  This extension keeps HyScale's
+equations but feeds them a *forecast*:
+
+* per container, usage history is folded into a Holt double-exponential
+  smoother (level + trend) — no training data or external deps, just the
+  streaming updates:
+
+  .. math::
+
+      level_t = \\alpha \\cdot y_t + (1-\\alpha)(level_{t-1} + trend_{t-1})
+
+      trend_t = \\beta (level_t - level_{t-1}) + (1-\\beta) trend_{t-1}
+
+* ``decide()`` rewrites each replica's ``cpu_usage`` (and memory, for the
+  +Mem variant) to the forecast ``horizon`` seconds ahead — one monitor
+  period plus the boot delay, i.e. exactly the reaction lag being hidden —
+  then delegates to the parent HyScale logic unchanged.
+
+On rising edges the forecast overshoots the present, so capacity lands
+*before* the spike; on falling edges it releases slightly early.  The bench
+(`benchmarks/test_ext_predictive.py`) measures what that buys against
+reactive HyScale on the paper's high-burst pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.actions import ScalingAction
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.core.view import ClusterView, ReplicaView, ServiceView
+from repro.errors import PolicyError
+
+
+class HoltSmoother:
+    """Streaming Holt (level + trend) smoother for one signal."""
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.3):
+        if not 0 < alpha <= 1 or not 0 <= beta <= 1:
+            raise PolicyError("need 0 < alpha <= 1 and 0 <= beta <= 1")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.level: float | None = None
+        self.trend = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold one observation in."""
+        if self.level is None:
+            self.level = float(value)
+            return
+        previous_level = self.level
+        self.level = self.alpha * value + (1 - self.alpha) * (self.level + self.trend)
+        self.trend = self.beta * (self.level - previous_level) + (1 - self.beta) * self.trend
+
+    def forecast(self, steps: float) -> float:
+        """Prediction ``steps`` update-intervals ahead (never negative)."""
+        if self.level is None:
+            raise PolicyError("smoother has no observations yet")
+        return max(0.0, self.level + self.trend * steps)
+
+
+class PredictiveHyScale(HyScaleCpuMem):
+    """HyScale_CPU+Mem driven by Holt forecasts instead of raw usage."""
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        *,
+        horizon_ticks: float = 2.5,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if horizon_ticks < 0:
+            raise PolicyError("horizon_ticks must be >= 0")
+        #: How many monitor periods ahead to provision for — sized to the
+        #: reaction lag (one period + part of a boot delay).
+        self.horizon_ticks = float(horizon_ticks)
+        self._alpha = alpha
+        self._beta = beta
+        self._cpu: dict[str, HoltSmoother] = {}
+        self._mem: dict[str, HoltSmoother] = {}
+
+    # ------------------------------------------------------------------
+    def decide(self, view: ClusterView) -> list[ScalingAction]:
+        """Update smoothers with this tick's usage, then decide on forecasts."""
+        self._garbage_collect(view)
+        forecast_view = replace(
+            view, services=tuple(self._forecast_service(s) for s in view.services)
+        )
+        return super().decide(forecast_view)
+
+    # ------------------------------------------------------------------
+    def _forecast_service(self, service: ServiceView) -> ServiceView:
+        replicas = tuple(self._forecast_replica(r) for r in service.replicas)
+        return replace(service, replicas=replicas)
+
+    def _forecast_replica(self, replica: ReplicaView) -> ReplicaView:
+        if replica.booting:
+            return replica
+        cpu = self._cpu.setdefault(
+            replica.container_id, HoltSmoother(self._alpha, self._beta)
+        )
+        mem = self._mem.setdefault(
+            replica.container_id, HoltSmoother(self._alpha, self._beta)
+        )
+        cpu.update(replica.cpu_usage)
+        mem.update(replica.mem_usage)
+        return replace(
+            replica,
+            cpu_usage=cpu.forecast(self.horizon_ticks),
+            mem_usage=mem.forecast(self.horizon_ticks),
+        )
+
+    def _garbage_collect(self, view: ClusterView) -> None:
+        alive = {r.container_id for s in view.services for r in s.replicas}
+        for table in (self._cpu, self._mem):
+            for container_id in list(table):
+                if container_id not in alive:
+                    del table[container_id]

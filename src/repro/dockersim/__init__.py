@@ -1,0 +1,8 @@
+"""Simulated Docker: per-node daemons, a cluster-wide client facade, and
+``docker stats`` sampling windows."""
+
+from repro.dockersim.api import DockerClient
+from repro.dockersim.daemon import DockerDaemon
+from repro.dockersim.stats import StatsSample, StatsWindow
+
+__all__ = ["DockerClient", "DockerDaemon", "StatsSample", "StatsWindow"]

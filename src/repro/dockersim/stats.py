@@ -1,0 +1,105 @@
+"""``docker stats`` samples and averaging windows.
+
+The paper's NODE MANAGERs gather "relevant resource usage information (i.e.,
+CPU and memory usage) through the Docker API via 'docker stats'"
+(Section V-B), and the MONITOR consumes *averages over the query period* —
+Kubernetes' formulas are written over mean utilization.  So the daemon
+produces instantaneous :class:`StatsSample` rows and the node manager keeps
+them in a :class:`StatsWindow` that can answer "mean usage over the last
+``horizon`` seconds".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import DockerSimError
+
+
+@dataclass(frozen=True)
+class StatsSample:
+    """One instantaneous reading for one container."""
+
+    timestamp: float
+    cpu_usage: float  # cores actually consumed
+    cpu_request: float  # cores allocated (the utilization denominator)
+    mem_usage: float  # MiB resident
+    mem_limit: float  # MiB allocated
+    net_usage: float  # Mbit/s egress
+    net_rate: float  # Mbit/s guaranteed
+    disk_usage: float = 0.0  # MB/s of disk I/O
+    disk_quota: float = 0.0  # MB/s reference quota (not enforced)
+
+    @property
+    def cpu_utilization(self) -> float:
+        """``usage / requested`` — the paper's ``utilization_r`` (may exceed 1)."""
+        return self.cpu_usage / self.cpu_request if self.cpu_request > 0 else 0.0
+
+    @property
+    def mem_utilization(self) -> float:
+        """Memory analogue of :attr:`cpu_utilization`."""
+        return self.mem_usage / self.mem_limit if self.mem_limit > 0 else 0.0
+
+    @property
+    def net_utilization(self) -> float:
+        """Network analogue of :attr:`cpu_utilization`."""
+        return self.net_usage / self.net_rate if self.net_rate > 0 else 0.0
+
+    @property
+    def disk_utilization(self) -> float:
+        """Disk analogue of :attr:`cpu_utilization` (vs. the soft quota)."""
+        return self.disk_usage / self.disk_quota if self.disk_quota > 0 else 0.0
+
+
+class StatsWindow:
+    """Bounded history of samples with trailing-mean queries."""
+
+    def __init__(self, horizon: float = 30.0):
+        if horizon <= 0:
+            raise DockerSimError(f"horizon must be positive, got {horizon}")
+        self.horizon = float(horizon)
+        self._samples: deque[StatsSample] = deque()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, sample: StatsSample) -> None:
+        """Append a sample and evict anything older than the horizon."""
+        if self._samples and sample.timestamp < self._samples[-1].timestamp:
+            raise DockerSimError("samples must be recorded in time order")
+        self._samples.append(sample)
+        cutoff = sample.timestamp - self.horizon
+        while self._samples and self._samples[0].timestamp < cutoff:
+            self._samples.popleft()
+
+    def latest(self) -> StatsSample | None:
+        """Most recent sample, or ``None`` when empty."""
+        return self._samples[-1] if self._samples else None
+
+    def _recent(self, since: float) -> list[StatsSample]:
+        return [s for s in self._samples if s.timestamp >= since]
+
+    def mean_over(self, window: float) -> StatsSample | None:
+        """Mean of each field over the trailing ``window`` seconds.
+
+        Allocation fields (requests/limits) take the *latest* value — they
+        are configuration, not signal — while usages are averaged, matching
+        how the Kubernetes controller computes utilization.
+        """
+        latest = self.latest()
+        if latest is None:
+            return None
+        recent = self._recent(latest.timestamp - window)
+        n = len(recent)
+        return StatsSample(
+            timestamp=latest.timestamp,
+            cpu_usage=sum(s.cpu_usage for s in recent) / n,
+            cpu_request=latest.cpu_request,
+            mem_usage=sum(s.mem_usage for s in recent) / n,
+            mem_limit=latest.mem_limit,
+            net_usage=sum(s.net_usage for s in recent) / n,
+            net_rate=latest.net_rate,
+            disk_usage=sum(s.disk_usage for s in recent) / n,
+            disk_quota=latest.disk_quota,
+        )

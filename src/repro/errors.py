@@ -1,0 +1,64 @@
+"""Exception hierarchy for the HyScale reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subclass corresponds to one subsystem, mirroring the
+package layout described in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ClockError(SimulationError):
+    """Illegal clock operation (e.g. scheduling an event in the past)."""
+
+
+class ClusterError(ReproError):
+    """Cluster-level invariant violation (unknown node, duplicate id, ...)."""
+
+
+class PlacementError(ClusterError):
+    """No node satisfies a placement request."""
+
+
+class CapacityError(ClusterError):
+    """An allocation would exceed a node's physical capacity."""
+
+
+class DockerSimError(ReproError):
+    """Simulated Docker daemon rejected an operation."""
+
+
+class ContainerNotFound(DockerSimError):
+    """Operation referenced a container id the daemon does not know."""
+
+
+class ContainerStateError(DockerSimError):
+    """Operation invalid for the container's current lifecycle state."""
+
+
+class NetworkSimError(ReproError):
+    """Invalid traffic-control (tc) or interface configuration."""
+
+
+class PolicyError(ReproError):
+    """An autoscaling policy produced or received invalid data."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload, pattern, or trace specification."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run failed."""

@@ -1,0 +1,36 @@
+"""Experiment harness: canonical configs for every paper figure, the runner
+that wires platform + workload + policy into one simulation, and the
+Section III microbenchmarks."""
+
+from repro.experiments.configs import (
+    ExperimentSpec,
+    bitbrains,
+    cpu_bound,
+    disk_bound,
+    make_policy,
+    memory_bound,
+    mixed,
+    network_bound,
+)
+from repro.experiments.runner import Simulation, run_experiment
+from repro.experiments.suite import (
+    ReproductionResult,
+    render_reproduction,
+    reproduce_evaluation,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "Simulation",
+    "run_experiment",
+    "make_policy",
+    "cpu_bound",
+    "memory_bound",
+    "mixed",
+    "network_bound",
+    "disk_bound",
+    "bitbrains",
+    "ReproductionResult",
+    "reproduce_evaluation",
+    "render_reproduction",
+]

@@ -1,0 +1,320 @@
+"""Canonical experiment configurations for every figure in Section VI.
+
+Each factory returns an :class:`ExperimentSpec` describing one cell of the
+paper's evaluation matrix: the microservice fleet, the per-service load
+pattern (low-burst or high-burst), and the cluster/monitor settings.  The
+four algorithms are built by :func:`make_policy`, so one spec can be run
+under each algorithm for a like-for-like comparison — the paper's method.
+
+Scale: the paper runs 15 microservices on 19 worker nodes for an hour.
+Full scale reproduces that (set ``REPRO_FULL=1``); the default is a
+proportionally shrunk configuration (6 services, 10 nodes, 240 s) so the
+complete benchmark suite executes in minutes.  Shrinking preserves the
+*ratios* that drive the dynamics (offered load vs. capacity per service),
+which is what the orderings depend on.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.cluster.microservice import MicroserviceSpec
+from repro.config import ClusterConfig, SimulationConfig
+from repro.core.disk import DiskHpa
+from repro.core.elasticdocker import ElasticDockerPolicy
+from repro.core.hyscale import HyScaleCpu
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.core.kubernetes import KubernetesHpa
+from repro.core.kubernetes_multi import KubernetesMemoryHpa, KubernetesMultiMetricHpa
+from repro.core.network import NetworkHpa
+from repro.core.predictive import PredictiveHyScale
+from repro.core.policy import AutoscalingPolicy
+from repro.errors import ExperimentError
+from repro.experiments.runner import run_experiment
+from repro.metrics.summary import RunSummary
+from repro.workloads.bitbrains import bitbrains_service_loads, generate_bitbrains_trace
+from repro.workloads.generator import ServiceLoad
+from repro.workloads.patterns import HighBurstLoad, LoadPattern, LowBurstLoad
+from repro.workloads.profiles import (
+    CPU_BOUND,
+    DISK_BOUND,
+    MEMORY_BOUND,
+    MIXED,
+    NETWORK_BOUND,
+    MicroserviceProfile,
+)
+
+#: Algorithm names as the paper's figures label them.
+ALGORITHMS = ("kubernetes", "hybrid", "hybridmem", "network")
+
+#: Algorithms added by this reproduction beyond the paper's four.
+EXTENSION_ALGORITHMS = ("disk", "elasticdocker", "predictive", "kubernetes-multi", "kubernetes-mem")
+
+#: Client-load burst regimes from Section VI.
+BURSTS = ("low", "high")
+
+
+def full_scale() -> bool:
+    """True when ``REPRO_FULL=1``: paper-scale fleets and durations."""
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs (shrunk by default, paper-scale under
+    ``REPRO_FULL=1``).
+
+    ``rate_scale`` keeps the offered-load-to-cluster-capacity ratio
+    identical across scales: the default config runs 6 services on 10 nodes
+    (0.6 services/node), the paper 15 on 19 (0.79 services/node), so
+    paper-scale per-service rates are trimmed by the ratio of those
+    densities — the orderings depend on relative pressure, not head count.
+    """
+
+    n_services: int
+    worker_nodes: int
+    duration: float
+    bitbrains_vms: int
+    rate_scale: float = 1.0
+
+    @classmethod
+    def current(cls) -> "Scale":
+        if full_scale():
+            return cls(
+                n_services=15,
+                worker_nodes=19,
+                duration=3600.0,
+                bitbrains_vms=500,
+                rate_scale=(19 / 15) / (10 / 6),
+            )
+        return cls(n_services=6, worker_nodes=10, duration=240.0, bitbrains_vms=100)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable cell of the evaluation matrix."""
+
+    label: str
+    config: SimulationConfig
+    specs: tuple[MicroserviceSpec, ...]
+    loads: tuple[ServiceLoad, ...]
+    duration: float
+
+    def run(self, policy: AutoscalingPolicy | str) -> RunSummary:
+        """Run this experiment under one algorithm."""
+        if isinstance(policy, str):
+            policy = make_policy(policy, self.config)
+        return run_experiment(
+            config=self.config,
+            specs=list(self.specs),
+            loads=list(self.loads),
+            policy=policy,
+            duration=self.duration,
+            workload_label=self.label,
+        )
+
+    def run_all(self, algorithms: tuple[str, ...] = ALGORITHMS) -> dict[str, RunSummary]:
+        """Run the same workload under every algorithm (the paper's method)."""
+        return {name: self.run(name) for name in algorithms}
+
+
+# ----------------------------------------------------------------------
+# Policy factory
+# ----------------------------------------------------------------------
+def make_policy(name: str, config: SimulationConfig | None = None) -> AutoscalingPolicy:
+    """Build one of the paper's four algorithms with the run's intervals."""
+    cfg = config or SimulationConfig()
+    kwargs = dict(
+        scale_up_interval=cfg.scale_up_interval,
+        scale_down_interval=cfg.scale_down_interval,
+    )
+    if name == "kubernetes":
+        return KubernetesHpa(**kwargs)
+    if name == "network":
+        return NetworkHpa(**kwargs)
+    if name == "hybrid":
+        return HyScaleCpu(**kwargs)
+    if name == "hybridmem":
+        return HyScaleCpuMem(**kwargs)
+    if name == "disk":
+        return DiskHpa(**kwargs)
+    if name == "kubernetes-multi":
+        return KubernetesMultiMetricHpa(**kwargs)
+    if name == "kubernetes-mem":
+        return KubernetesMemoryHpa(**kwargs)
+    if name == "predictive":
+        return PredictiveHyScale(**kwargs)
+    if name == "elasticdocker":
+        # Threshold-driven and purely vertical: the rescale-interval knobs
+        # do not apply (ElasticDocker has no horizontal operations).
+        return ElasticDockerPolicy()
+    raise ExperimentError(
+        f"unknown algorithm {name!r}; known: {ALGORITHMS + EXTENSION_ALGORITHMS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload construction helpers
+# ----------------------------------------------------------------------
+def _base_config(scale: Scale, seed: int) -> SimulationConfig:
+    return SimulationConfig(
+        cluster=ClusterConfig(worker_nodes=scale.worker_nodes),
+        seed=seed,
+    )
+
+
+def _pattern(burst: str, base: float, peak: float, index: int, n: int, period: float = 150.0) -> LoadPattern:
+    """Per-service pattern with staggered phases so services peak at
+    different times (15 independent tenants do not spike in lockstep)."""
+    if burst not in BURSTS:
+        raise ExperimentError(f"burst must be one of {BURSTS}, got {burst!r}")
+    phase = period * index / max(1, n)
+    if burst == "low":
+        return LowBurstLoad(base=base, amplitude=0.3, period=period, phase=phase)
+    return HighBurstLoad(base=base * 0.5, peak=peak, period=period, duty=0.3, phase=phase, ramp=6.0)
+
+
+def _fleet(
+    label: str,
+    profile: MicroserviceProfile,
+    burst: str,
+    *,
+    base_rate: float,
+    peak_rate: float,
+    seed: int,
+    mem_limit: float = 512.0,
+    net_rate: float = 50.0,
+    timeout: float | None = None,
+    scale_rates: bool = True,
+) -> ExperimentSpec:
+    """Build one evaluation fleet.
+
+    ``scale_rates`` applies :attr:`Scale.rate_scale` so cluster-relative
+    CPU pressure is identical across scales.  Memory-driven workloads set
+    it False: their differentiating mechanism (per-replica working set vs.
+    the fixed memory limit) depends on *absolute* per-service rates, which
+    must therefore be preserved at paper scale.
+    """
+    scale = Scale.current()
+    config = _base_config(scale, seed)
+    if timeout is not None:
+        profile = replace(profile, timeout=timeout)
+    rate_factor = scale.rate_scale if scale_rates else 1.0
+    specs = []
+    loads = []
+    for i in range(scale.n_services):
+        name = f"{profile.name}-{i:02d}"
+        specs.append(
+            MicroserviceSpec(
+                name=name,
+                cpu_request=0.5,
+                mem_limit=mem_limit,
+                net_rate=net_rate,
+                min_replicas=1,
+                max_replicas=16,
+                target_utilization=0.5,
+                profile=profile.name,
+            )
+        )
+        loads.append(
+            ServiceLoad(
+                service=name,
+                profile=profile,
+                pattern=_pattern(
+                    burst,
+                    base_rate * rate_factor,
+                    peak_rate * rate_factor,
+                    i,
+                    scale.n_services,
+                ),
+            )
+        )
+    return ExperimentSpec(
+        label=f"{label}/{burst}-burst",
+        config=config,
+        specs=tuple(specs),
+        loads=tuple(loads),
+        duration=scale.duration,
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's experiment matrix (Figures 6-8, 10)
+# ----------------------------------------------------------------------
+def cpu_bound(burst: str = "low", seed: int = 0) -> ExperimentSpec:
+    """Figure 6: CPU-bound microservices under low/high burst."""
+    return _fleet("cpu", CPU_BOUND, burst, base_rate=11.0, peak_rate=18.0, seed=seed)
+
+
+def memory_bound(burst: str = "low", seed: int = 0) -> ExperimentSpec:
+    """Section VI: memory-bound loads — the workload on which "the
+    Kubernetes and HYSCALE_CPU algorithms are unable to handle ... and
+    crash" (their results are omitted from the paper's figures; our
+    ablation bench shows why)."""
+    return _fleet("memory", MEMORY_BOUND, burst, base_rate=4.0, peak_rate=12.0, seed=seed, scale_rates=False)
+
+
+def mixed(burst: str = "low", seed: int = 0) -> ExperimentSpec:
+    """Figure 7: mixed CPU+memory microservices under low/high burst."""
+    return _fleet("mixed", MIXED, burst, base_rate=9.0, peak_rate=18.0, seed=seed, scale_rates=False)
+
+
+def network_bound(burst: str = "low", seed: int = 0) -> ExperimentSpec:
+    """Figure 8: network-bound microservices under low/high burst.
+
+    Replica bandwidth allocations (80 Mbit/s) comfortably cover the stable
+    load; the high-burst spikes need more, which only scaling can provide.
+    """
+    return _fleet(
+        "network", NETWORK_BOUND, burst, base_rate=5.0, peak_rate=22.0, seed=seed, net_rate=100.0
+    )
+
+
+def disk_bound(burst: str = "low", seed: int = 0) -> ExperimentSpec:
+    """Extension: disk-bound microservices (the resource type the paper
+    declares supported but leaves unimplemented).
+
+    Per-replica spindles saturate around 150 MB/s and thrash under
+    interleaved streams, so the dedicated disk scaler should win the same
+    way the network scaler wins Figure 8.
+    """
+    return _fleet("disk", DISK_BOUND, burst, base_rate=12.0, peak_rate=36.0, seed=seed)
+
+
+def bitbrains(seed: int = 0) -> ExperimentSpec:
+    """Figure 10: replay of the (synthetic) Bitbrains Rnd trace."""
+    scale = Scale.current()
+    config = _base_config(scale, seed)
+    trace = generate_bitbrains_trace(
+        n_vms=scale.bitbrains_vms,
+        duration=scale.duration,
+        interval=max(10.0, scale.duration / 120.0),
+        seed=seed,
+    )
+    # Trace rates follow the cluster density (rate_scale): the Bitbrains
+    # replay aggregates many VMs per service, so its memory pressure tracks
+    # *relative* load — validated against Figure 10 at both scales.
+    loads = bitbrains_service_loads(
+        trace, n_services=scale.n_services, base_rate=10.0 * scale.rate_scale, profile=MIXED
+    )
+    specs = tuple(
+        MicroserviceSpec(
+            name=load.service,
+            cpu_request=0.5,
+            mem_limit=512.0,
+            net_rate=50.0,
+            min_replicas=1,
+            max_replicas=16,
+            target_utilization=0.5,
+            profile="mixed",
+        )
+        for load in loads
+    )
+    return ExperimentSpec(
+        label="bitbrains/rnd",
+        config=config,
+        specs=specs,
+        loads=tuple(loads),
+        duration=scale.duration,
+    )

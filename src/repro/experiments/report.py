@@ -1,0 +1,102 @@
+"""Result formatting: the same rows/series the paper's figures report.
+
+Figures 6-8 and 10 are bar charts of (algorithm -> avg response time) and
+(algorithm -> % failed, split by failure class); Figures 2-3 are curves of
+(replica count -> response time); Figure 9 is the trace itself.  These
+helpers render each as aligned text tables so a benchmark run prints
+something directly comparable to the paper page.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.section3 import MemoryScenario, ScalingPoint
+from repro.metrics.summary import RunSummary
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal aligned-column table (no external deps)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def comparison_table(summaries: dict[str, RunSummary], title: str = "") -> str:
+    """Figures 6-8/10 style: one row per algorithm, both panels' y-axes."""
+    headers = [
+        "algorithm",
+        "avg resp (s)",
+        "p95 (s)",
+        "failed %",
+        "removal %",
+        "connection %",
+        "availability",
+        "scale ups",
+        "scale downs",
+        "vertical ops",
+    ]
+    rows = []
+    for name in sorted(summaries):
+        s = summaries[name]
+        rows.append(
+            [
+                name,
+                f"{s.avg_response_time:.3f}",
+                f"{s.p95_response_time:.3f}",
+                f"{s.percent_failed:.2f}",
+                f"{s.percent_removal_failures:.2f}",
+                f"{s.percent_connection_failures:.2f}",
+                f"{s.availability:.5f}",
+                str(s.horizontal_scale_ups),
+                str(s.horizontal_scale_downs),
+                str(s.vertical_scale_ops),
+            ]
+        )
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def scaling_curve_table(points: list[ScalingPoint], title: str = "") -> str:
+    """Figures 2-3 style: replica count vs. response/execution time."""
+    headers = ["replicas", "avg time (s)", "completed", "failed"]
+    rows = [
+        [str(p.replicas), f"{p.avg_response_time:.2f}", str(p.completed), str(p.failed)]
+        for p in points
+    ]
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def memory_table(scenarios: list[MemoryScenario], title: str = "") -> str:
+    """Section III-B style: configuration vs. response time and swapping."""
+    headers = ["scenario", "replicas", "limit/replica (MiB)", "avg time (s)", "swapped"]
+    rows = [
+        [
+            m.label,
+            str(m.replicas),
+            f"{m.mem_limit_per_replica:.0f}",
+            f"{m.avg_response_time:.2f}" if m.avg_response_time != float("inf") else "inf",
+            "yes" if m.swapped else "no",
+        ]
+        for m in scenarios
+    ]
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def trace_series_table(times: list[float], cpu: list[float], mem: list[float], *, stride: int = 1, title: str = "") -> str:
+    """Figure 9 style: the aggregate trace as (time, cpu%, mem%) rows."""
+    headers = ["t (s)", "cpu %", "mem %"]
+    rows = [
+        [f"{times[i]:.0f}", f"{cpu[i]:.2f}", f"{100.0 * mem[i]:.2f}"]
+        for i in range(0, len(times), max(1, stride))
+    ]
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table

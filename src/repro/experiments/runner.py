@@ -1,0 +1,242 @@
+"""Wires one complete experiment: cluster + platform + workload + policy.
+
+Phase order within each simulation step (see DESIGN.md §4):
+
+1. ``generator``  — draw this step's arrivals, submit to the LB,
+2. ``lb``         — retry the routing backlog, expire un-routable requests,
+3. ``cluster``    — boot timers, CPU fair-share, NIC, settlement, OOM,
+4. ``nm/*``       — sample ``docker stats`` into the NMs' windows,
+5. ``monitor``    — reap corpses; on the query period: view -> policy -> act,
+6. ``metrics``    — drain finished requests and sample the timeline.
+
+Registration order in the engine *is* this order, so the data flow is
+auditable and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.microservice import MicroserviceSpec
+from repro.cluster.placement import PlacementStrategy, SpreadPlacement
+from repro.config import SimulationConfig
+from repro.core.policy import AutoscalingPolicy
+from repro.dockersim.api import DockerClient
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector, TimelinePoint
+from repro.metrics.summary import RunSummary
+from repro.platform.faults import FaultInjector, NodeManagerFleet
+from repro.platform.lb_tier import LoadBalancerTier
+from repro.platform.load_balancer import RoutingPolicy
+from repro.platform.monitor import Monitor
+from repro.platform.node_manager import NodeManager
+from repro.platform.registry import ServiceRegistry
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads.generator import ClientLoadGenerator, ServiceLoad
+
+
+class _MetricsActor:
+    """Final phase: collect finished requests and sample the timeline."""
+
+    def __init__(self, cluster: Cluster, collector: MetricsCollector, sample_every: float):
+        self._cluster = cluster
+        self._collector = collector
+        self._sample_every = sample_every
+        self._next_sample = 0.0
+
+    def on_step(self, clock: SimClock) -> None:
+        self._collector.record_requests(self._cluster.drain_finished())
+        if clock.now + 1e-9 >= self._next_sample:
+            self._next_sample += self._sample_every
+            self._sample(clock.now)
+
+    def _sample(self, now: float) -> None:
+        usage = self._cluster.total_usage()
+        allocated = self._cluster.total_allocated()
+        replicas = sum(s.replica_count for s in self._cluster.services.values())
+        inflight = sum(
+            len(c.inflight)
+            for node in self._cluster.nodes.values()
+            for c in node.active_containers()
+        )
+        active_nodes = sum(
+            1 for node in self._cluster.nodes.values() if node.active_containers()
+        )
+        window_avg, window_completed, window_failed = self._collector.drain_window_stats()
+        self._collector.sample_timeline(
+            TimelinePoint(
+                time=now,
+                total_replicas=replicas,
+                cpu_usage=usage.cpu,
+                cpu_allocated=allocated.cpu,
+                mem_usage=usage.memory,
+                mem_allocated=allocated.memory,
+                net_usage=usage.network,
+                inflight=inflight,
+                active_nodes=active_nodes,
+                total_nodes=len(self._cluster.nodes),
+                window_avg_response=window_avg,
+                window_completed=window_completed,
+                window_failed=window_failed,
+            )
+        )
+
+
+@dataclass
+class Simulation:
+    """One fully wired experiment, ready to run."""
+
+    engine: Engine
+    cluster: Cluster
+    client: DockerClient
+    #: The distributed proxy tier (``ClusterConfig.load_balancers`` proxies).
+    load_balancer: LoadBalancerTier
+    generator: ClientLoadGenerator
+    monitor: Monitor
+    collector: MetricsCollector
+    policy: AutoscalingPolicy
+    workload_label: str
+    #: Schedule machine crashes/additions here before (or while) running —
+    #: the paper's "dynamic addition and removal of machines" future work.
+    faults: FaultInjector
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        config: SimulationConfig,
+        specs: list[MicroserviceSpec],
+        loads: list[ServiceLoad],
+        policy: AutoscalingPolicy,
+        workload_label: str = "custom",
+        routing: RoutingPolicy = RoutingPolicy.WEIGHTED_CPU,
+        placement: PlacementStrategy | None = None,
+        timeline_every: float = 5.0,
+    ) -> "Simulation":
+        """Assemble cluster, platform, and workload for one experiment."""
+        config.validate()
+        if not specs:
+            raise ExperimentError("at least one microservice spec is required")
+        spec_names = {s.name for s in specs}
+        load_names = {l.service for l in loads}
+        if not load_names <= spec_names:
+            raise ExperimentError(f"loads reference unknown services: {load_names - spec_names}")
+
+        engine = Engine(dt=config.dt)
+        rng = RngStreams(config.seed)
+        cluster = Cluster.from_config(config.cluster, config.overheads)
+        client = DockerClient(cluster)
+        collector = MetricsCollector()
+        registry = ServiceRegistry(cluster)
+        lb = LoadBalancerTier(
+            registry,
+            config.overheads,
+            failure_sink=collector.record_request,
+            policy=routing,
+            n_balancers=config.cluster.load_balancers,
+        )
+        generator = ClientLoadGenerator(loads, rng, sink=lb.submit)
+
+        node_managers = {
+            name: NodeManager(daemon, window_horizon=max(30.0, config.monitor_period))
+            for name, daemon in client.daemons.items()
+        }
+        monitor = Monitor(
+            cluster,
+            client,
+            node_managers,
+            policy,
+            config,
+            collector,
+            placement=placement or SpreadPlacement(),
+        )
+
+        # Initial deployment: min_replicas per service, spread over the
+        # cluster, already warm (the paper's experiments begin with every
+        # microservice running).
+        place = placement or SpreadPlacement()
+        for spec in sorted(specs, key=lambda s: s.name):
+            cluster.register_service(spec)
+            for _ in range(spec.min_replicas):
+                node = place.choose(
+                    cluster.sorted_nodes(),
+                    spec.initial_allocation(),
+                    exclude_service=spec.name,
+                ) or place.choose(cluster.sorted_nodes(), spec.initial_allocation())
+                if node is None:
+                    raise ExperimentError(
+                        f"cluster too small for initial deployment of {spec.name}"
+                    )
+                client.run_replica(
+                    spec.name,
+                    node.name,
+                    cpu_request=spec.cpu_request,
+                    mem_limit=spec.mem_limit,
+                    net_rate=spec.net_rate,
+                    now=0.0,
+                    boot_delay=0.0,
+                )
+
+        faults = FaultInjector(cluster, client, node_managers)
+
+        engine.add_actor("faults", faults)
+        engine.add_actor("generator", generator)
+        engine.add_actor("lb", lb)
+        engine.add_actor("cluster", cluster)
+        engine.add_actor("node-managers", NodeManagerFleet(node_managers))
+        engine.add_actor("monitor", monitor)
+        engine.add_actor("metrics", _MetricsActor(cluster, collector, timeline_every))
+
+        return cls(
+            engine=engine,
+            cluster=cluster,
+            client=client,
+            load_balancer=lb,
+            generator=generator,
+            monitor=monitor,
+            collector=collector,
+            policy=policy,
+            workload_label=workload_label,
+            faults=faults,
+        )
+
+    def run(self, duration: float) -> RunSummary:
+        """Run for ``duration`` simulated seconds and summarize."""
+        self.engine.run_for(duration)
+        return self.summary()
+
+    def summary(self) -> RunSummary:
+        """Summary of everything recorded so far."""
+        return RunSummary.from_collector(
+            self.collector,
+            algorithm=self.policy.name,
+            workload=self.workload_label,
+            duration=self.engine.clock.now,
+        )
+
+
+def run_experiment(
+    *,
+    config: SimulationConfig,
+    specs: list[MicroserviceSpec],
+    loads: list[ServiceLoad],
+    policy: AutoscalingPolicy,
+    duration: float,
+    workload_label: str = "custom",
+    routing: RoutingPolicy = RoutingPolicy.WEIGHTED_CPU,
+    placement: PlacementStrategy | None = None,
+) -> RunSummary:
+    """Convenience one-shot: build a :class:`Simulation` and run it."""
+    simulation = Simulation.build(
+        config=config,
+        specs=specs,
+        loads=loads,
+        policy=policy,
+        workload_label=workload_label,
+        routing=routing,
+        placement=placement,
+    )
+    return simulation.run(duration)

@@ -1,0 +1,31 @@
+"""Metrics: request accounting, SLA tracking, and run summaries."""
+
+from repro.metrics.collector import MetricsCollector, TimelinePoint
+from repro.metrics.costs import CostReport, PricingModel, evaluate_costs
+from repro.metrics.events import (
+    EventKind,
+    ScalingEvent,
+    ScalingEventLog,
+    decision_summary,
+    render_event_log,
+)
+from repro.metrics.sla import Sla, SlaReport, evaluate_sla
+from repro.metrics.summary import RunSummary, ServiceSummary
+
+__all__ = [
+    "MetricsCollector",
+    "TimelinePoint",
+    "Sla",
+    "SlaReport",
+    "evaluate_sla",
+    "PricingModel",
+    "CostReport",
+    "evaluate_costs",
+    "EventKind",
+    "ScalingEvent",
+    "ScalingEventLog",
+    "decision_summary",
+    "render_event_log",
+    "RunSummary",
+    "ServiceSummary",
+]

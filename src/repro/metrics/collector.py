@@ -1,0 +1,179 @@
+"""Request-level and cluster-level metric collection.
+
+The paper's evaluation reports *user-perceived* metrics: average response
+times and the percentage of failed requests, split into removal failures and
+connection failures (Figures 6-8, 10).  The collector accumulates exactly
+those, per service and overall, plus a step-sampled timeline of cluster
+state (replica counts, usage) for the trace figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.metrics.events import ScalingEventLog
+from repro.workloads.requests import FailureReason, Request, RequestState
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One sampled point of cluster state."""
+
+    time: float
+    total_replicas: int
+    cpu_usage: float  # cores, cluster-wide
+    cpu_allocated: float  # cores, cluster-wide
+    mem_usage: float  # MiB
+    mem_allocated: float  # MiB
+    net_usage: float  # Mbit/s
+    inflight: int
+    #: Machines hosting at least one active container — the ones that must
+    #: stay powered (Section I: idle machines can be reclaimed "to conserve
+    #: power").  0 for timelines recorded before cost accounting existed.
+    active_nodes: int = 0
+    #: Total machines in the cluster at this sample.
+    total_nodes: int = 0
+    #: Mean response time of requests completed since the previous sample
+    #: (0.0 when none completed) — the latency-over-time row.
+    window_avg_response: float = 0.0
+    #: Requests completed / failed since the previous sample.
+    window_completed: int = 0
+    window_failed: int = 0
+
+
+@dataclass
+class _ServiceAccumulator:
+    """Running tallies for one service."""
+
+    completed: int = 0
+    removal_failures: int = 0
+    connection_failures: int = 0
+    response_times: list[float] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.completed + self.removal_failures + self.connection_failures
+
+
+class MetricsCollector:
+    """Sink for finished requests and scaling events."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, _ServiceAccumulator] = {}
+        self.timeline: list[TimelinePoint] = []
+        #: Audit trail of every applied scaling action (who/when/why).
+        self.events = ScalingEventLog()
+        # Scaling-action tallies reported by the monitor.
+        self.vertical_scale_ops = 0
+        self.horizontal_scale_ups = 0
+        self.horizontal_scale_downs = 0
+        self.oom_kills = 0
+        # Since-last-sample tallies for the timeline's latency row.
+        self._window_rt_sum = 0.0
+        self._window_completed = 0
+        self._window_failed = 0
+
+    # ------------------------------------------------------------------
+    # Request accounting
+    # ------------------------------------------------------------------
+    def record_request(self, request: Request) -> None:
+        """Account one *finished* request."""
+        if not request.is_finished:
+            raise ExperimentError("only finished requests can be recorded")
+        acc = self._services.setdefault(request.service, _ServiceAccumulator())
+        if request.state is RequestState.SUCCEEDED:
+            acc.completed += 1
+            acc.response_times.append(request.response_time or 0.0)
+            self._window_rt_sum += request.response_time or 0.0
+            self._window_completed += 1
+        elif request.failure_reason is FailureReason.REMOVAL:
+            acc.removal_failures += 1
+            self._window_failed += 1
+        else:
+            acc.connection_failures += 1
+            self._window_failed += 1
+
+    def record_requests(self, requests: list[Request]) -> None:
+        """Account a batch of finished requests."""
+        for request in requests:
+            self.record_request(request)
+
+    # ------------------------------------------------------------------
+    # Scaling events
+    # ------------------------------------------------------------------
+    def record_vertical(self, count: int = 1) -> None:
+        """Count vertical (docker update / tc change) operations."""
+        self.vertical_scale_ops += count
+
+    def record_scale_up(self, count: int = 1) -> None:
+        """Count replicas added horizontally."""
+        self.horizontal_scale_ups += count
+
+    def record_scale_down(self, count: int = 1) -> None:
+        """Count replicas removed horizontally."""
+        self.horizontal_scale_downs += count
+
+    def record_oom(self, count: int = 1) -> None:
+        """Count kernel OOM kills."""
+        self.oom_kills += count
+
+    # ------------------------------------------------------------------
+    # Timeline
+    # ------------------------------------------------------------------
+    def drain_window_stats(self) -> tuple[float, int, int]:
+        """(mean response, completed, failed) since the last drain."""
+        completed = self._window_completed
+        failed = self._window_failed
+        avg = self._window_rt_sum / completed if completed else 0.0
+        self._window_rt_sum = 0.0
+        self._window_completed = 0
+        self._window_failed = 0
+        return avg, completed, failed
+
+    def sample_timeline(self, point: TimelinePoint) -> None:
+        """Append one sampled cluster-state point."""
+        if self.timeline and point.time < self.timeline[-1].time:
+            raise ExperimentError("timeline samples must be time-ordered")
+        self.timeline.append(point)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def service_names(self) -> list[str]:
+        """Services seen so far, sorted."""
+        return sorted(self._services)
+
+    def service_stats(self, service: str) -> _ServiceAccumulator:
+        """Raw accumulator for one service."""
+        try:
+            return self._services[service]
+        except KeyError:
+            raise ExperimentError(f"no metrics for service {service!r}") from None
+
+    def all_response_times(self) -> list[float]:
+        """Response times of every completed request, arbitrary order."""
+        out: list[float] = []
+        for acc in self._services.values():
+            out.extend(acc.response_times)
+        return out
+
+    @property
+    def total_requests(self) -> int:
+        """All finished requests seen (completed + failed)."""
+        return sum(acc.total for acc in self._services.values())
+
+    @property
+    def total_completed(self) -> int:
+        """All completed requests."""
+        return sum(acc.completed for acc in self._services.values())
+
+    @property
+    def total_removal_failures(self) -> int:
+        """All removal failures."""
+        return sum(acc.removal_failures for acc in self._services.values())
+
+    @property
+    def total_connection_failures(self) -> int:
+        """All connection failures."""
+        return sum(acc.connection_failures for acc in self._services.values())

@@ -1,0 +1,145 @@
+"""Data-centre cost accounting (extension; the paper's economic framing).
+
+Section I motivates the whole problem economically: SLA violations carry
+"a monetary penalty for each violation", data centres are "reaching their
+physical and financial limitations in terms of ... energy usage and
+operating costs", and the conclusion claims HyScale "will allow cloud data
+centres to save substantially on power consumption costs and SLA violation
+penalties".  The paper leaves a "cost-based aspect" to future work; this
+module implements enough of it to *quantify* the conclusion's claim.
+
+Cost model:
+
+* **Energy** — integrated over the run's timeline.  Each machine hosting at
+  least one container draws ``idle_watts`` plus a utilization-proportional
+  share of ``peak_watts - idle_watts``; empty machines are assumed parked
+  (Section I: unused resources "can be reclaimed to conserve power").
+* **SLA penalties** — violations (failures and over-target responses) times
+  the contracted per-violation penalty (:class:`repro.metrics.sla.Sla`).
+* **Machine time** — active-node-hours at an hourly rate, for operators who
+  bill by occupancy rather than energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector, TimelinePoint
+from repro.metrics.sla import Sla, evaluate_sla
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """What a machine-second and a broken promise cost."""
+
+    #: Draw of a powered-but-idle machine, watts (2008-era dual-Xeon box).
+    idle_watts: float = 180.0
+    #: Draw at full CPU utilization, watts.
+    peak_watts: float = 320.0
+    #: Electricity price, $ per kWh.
+    dollars_per_kwh: float = 0.12
+    #: Occupancy price per active machine-hour (amortized capex + housing).
+    dollars_per_node_hour: float = 0.08
+    #: Cores per machine (to turn aggregate core-usage into utilization).
+    node_cpu: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.peak_watts < self.idle_watts:
+            raise ExperimentError("need 0 <= idle_watts <= peak_watts")
+        if self.dollars_per_kwh < 0 or self.dollars_per_node_hour < 0:
+            raise ExperimentError("prices must be non-negative")
+        if self.node_cpu <= 0:
+            raise ExperimentError("node_cpu must be positive")
+
+    def power_draw(self, point: TimelinePoint) -> float:
+        """Instantaneous cluster draw in watts at one timeline sample."""
+        if point.active_nodes <= 0:
+            return 0.0
+        utilization = min(
+            1.0, point.cpu_usage / (point.active_nodes * self.node_cpu)
+        )
+        dynamic = (self.peak_watts - self.idle_watts) * utilization
+        return point.active_nodes * (self.idle_watts + dynamic)
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """One run's bill."""
+
+    duration: float  # seconds covered by the timeline
+    energy_kwh: float
+    node_hours: float
+    sla_violations: int
+
+    energy_cost: float
+    occupancy_cost: float
+    penalty_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """Energy + occupancy + SLA penalties, dollars."""
+        return self.energy_cost + self.occupancy_cost + self.penalty_cost
+
+    def savings_vs(self, baseline: "CostReport") -> float:
+        """Fractional total-cost savings relative to ``baseline`` (+ = cheaper)."""
+        if baseline.total_cost <= 0:
+            raise ExperimentError("baseline run has zero cost")
+        return 1.0 - self.total_cost / baseline.total_cost
+
+
+def evaluate_costs(
+    collector: MetricsCollector,
+    sla: Sla,
+    pricing: PricingModel | None = None,
+) -> CostReport:
+    """Price one finished run from its timeline and request log."""
+    pricing = pricing or PricingModel()
+    timeline = collector.timeline
+    if len(timeline) < 2:
+        raise ExperimentError("cost accounting needs a sampled timeline (>= 2 points)")
+
+    energy_joules = 0.0
+    node_seconds = 0.0
+    for before, after in zip(timeline, timeline[1:]):
+        dt = after.time - before.time
+        energy_joules += pricing.power_draw(before) * dt
+        node_seconds += before.active_nodes * dt
+
+    energy_kwh = energy_joules / 3.6e6
+    node_hours = node_seconds / 3600.0
+    report = evaluate_sla(collector, sla)
+
+    return CostReport(
+        duration=timeline[-1].time - timeline[0].time,
+        energy_kwh=energy_kwh,
+        node_hours=node_hours,
+        sla_violations=report.violations,
+        energy_cost=energy_kwh * pricing.dollars_per_kwh,
+        occupancy_cost=node_hours * pricing.dollars_per_node_hour,
+        penalty_cost=report.violations * sla.penalty_per_violation,
+    )
+
+
+def cost_comparison_rows(
+    reports: dict[str, CostReport], baseline: str = "kubernetes"
+) -> list[list[str]]:
+    """Rows for :func:`repro.experiments.report.format_table`."""
+    if baseline not in reports:
+        raise ExperimentError(f"baseline {baseline!r} missing from reports")
+    base = reports[baseline]
+    rows = []
+    for name in sorted(reports):
+        r = reports[name]
+        savings = "-" if name == baseline else f"{100 * r.savings_vs(base):+.1f} %"
+        rows.append(
+            [
+                name,
+                f"{r.energy_kwh:.3f}",
+                f"{r.node_hours:.2f}",
+                str(r.sla_violations),
+                f"${r.total_cost:.3f}",
+                savings,
+            ]
+        )
+    return rows

@@ -1,0 +1,104 @@
+"""Scaling-decision event log: what the autoscaler did, when, and why.
+
+Figures tell you *how well* an algorithm did; operators also need to see
+*what it did* — which services scaled, in which direction, for which reason
+(reclaim, acquire, spill, thrash-guard...).  The MONITOR records every
+applied action here, and :func:`decision_summary` /
+:func:`render_event_log` turn the log into the audit trail an operations
+team would read after an incident.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+
+class EventKind(enum.Enum):
+    """The scaling verbs the platform executes."""
+
+    VERTICAL = "vertical"
+    SCALE_UP = "scale-up"
+    SCALE_DOWN = "scale-down"
+    MIGRATE = "migrate"
+    OOM_KILL = "oom-kill"
+    ACTION_FAILED = "action-failed"
+
+
+@dataclass(frozen=True)
+class ScalingEvent:
+    """One applied (or failed) scaling action."""
+
+    time: float
+    kind: EventKind
+    service: str
+    container_id: str = ""
+    #: Policy-provided reason ("reclaim", "acquire", "spill", ...).
+    reason: str = ""
+    #: Human-readable detail ("cpu 0.50 -> 1.25", target node, error text).
+    detail: str = ""
+
+
+class ScalingEventLog:
+    """Append-only, time-ordered record of scaling activity."""
+
+    def __init__(self) -> None:
+        self._events: list[ScalingEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, event: ScalingEvent) -> None:
+        """Append one event (must not move backwards in time)."""
+        if self._events and event.time < self._events[-1].time - 1e-9:
+            raise ExperimentError("events must be recorded in time order")
+        self._events.append(event)
+
+    def events(self) -> tuple[ScalingEvent, ...]:
+        """All events, in order."""
+        return tuple(self._events)
+
+    def for_service(self, service: str) -> tuple[ScalingEvent, ...]:
+        """Events touching one service."""
+        return tuple(e for e in self._events if e.service == service)
+
+    def between(self, start: float, end: float) -> tuple[ScalingEvent, ...]:
+        """Events in the half-open window ``[start, end)``."""
+        if end < start:
+            raise ExperimentError("need start <= end")
+        return tuple(e for e in self._events if start <= e.time < end)
+
+
+def decision_summary(log: ScalingEventLog) -> dict[str, int]:
+    """Count events by ``kind/reason`` — the run's behavioural fingerprint.
+
+    Keys look like ``"vertical/reclaim"``, ``"scale-up/spill"``,
+    ``"scale-down/"`` (empty reason kept verbatim).
+    """
+    counter: Counter[str] = Counter()
+    for event in log.events():
+        counter[f"{event.kind.value}/{event.reason}"] += 1
+    return dict(counter)
+
+
+def render_event_log(
+    log: ScalingEventLog,
+    *,
+    limit: int | None = None,
+    service: str | None = None,
+) -> str:
+    """The audit trail as aligned text, newest last."""
+    events = log.for_service(service) if service is not None else log.events()
+    if limit is not None:
+        events = events[-limit:]
+    if not events:
+        return "(no scaling events)"
+    lines = []
+    for e in events:
+        reason = f" [{e.reason}]" if e.reason else ""
+        detail = f" {e.detail}" if e.detail else ""
+        lines.append(f"t={e.time:8.1f}s  {e.kind.value:<13s} {e.service:<18s}{reason}{detail}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Service-level agreements and violation accounting.
+
+The paper frames the whole problem economically: tenants "negotiate a price
+for a specified level of quality of service, usually defined in terms of
+availability and response times", with "the monetary penalty for each
+violation" written into the SLA (Section I).  :class:`Sla` captures that
+contract and :class:`SlaReport` turns a run's request log into adherence
+numbers and penalty totals — the quantities the conclusion claims HyScale
+improves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass(frozen=True)
+class Sla:
+    """One tenant's quality-of-service contract."""
+
+    #: A request violates the SLA if it fails or takes longer than this.
+    response_time_target: float = 5.0  # seconds
+    #: Required fraction of non-failed requests (paper observes >= 99.8 %).
+    availability_target: float = 0.998
+    #: Monetary penalty charged per violating request.
+    penalty_per_violation: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.response_time_target <= 0:
+            raise ExperimentError("response_time_target must be positive")
+        if not 0 < self.availability_target <= 1:
+            raise ExperimentError("availability_target must be in (0, 1]")
+        if self.penalty_per_violation < 0:
+            raise ExperimentError("penalty_per_violation must be >= 0")
+
+
+@dataclass(frozen=True)
+class SlaReport:
+    """Adherence of one run against one SLA."""
+
+    sla: Sla
+    total_requests: int
+    failed_requests: int
+    slow_requests: int
+
+    @property
+    def violations(self) -> int:
+        """Requests that failed or exceeded the response-time target."""
+        return self.failed_requests + self.slow_requests
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that did not fail (1.0 for an idle run)."""
+        if self.total_requests == 0:
+            return 1.0
+        return 1.0 - self.failed_requests / self.total_requests
+
+    @property
+    def adherence(self) -> float:
+        """Fraction of requests meeting the SLA in full."""
+        if self.total_requests == 0:
+            return 1.0
+        return 1.0 - self.violations / self.total_requests
+
+    @property
+    def availability_met(self) -> bool:
+        """Did the run meet the contracted availability?"""
+        return self.availability >= self.sla.availability_target
+
+    @property
+    def total_penalty(self) -> float:
+        """Monetary penalty owed for this run."""
+        return self.violations * self.sla.penalty_per_violation
+
+
+def evaluate_sla(collector: MetricsCollector, sla: Sla) -> SlaReport:
+    """Score a finished run's metrics against an SLA."""
+    slow = sum(1 for rt in collector.all_response_times() if rt > sla.response_time_target)
+    failed = collector.total_removal_failures + collector.total_connection_failures
+    return SlaReport(
+        sla=sla,
+        total_requests=collector.total_requests,
+        failed_requests=failed,
+        slow_requests=slow,
+    )

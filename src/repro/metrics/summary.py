@@ -1,0 +1,209 @@
+"""Run summaries: the numbers the paper's figures plot.
+
+:class:`RunSummary` freezes a finished run into exactly the quantities shown
+in Figures 6-8 and 10 — average response time, percentage of requests
+failed, and the removal/connection breakdown — plus distributional extras
+(percentiles) that make regressions visible in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector, TimelinePoint
+
+
+@dataclass(frozen=True)
+class ServiceSummary:
+    """Per-service request statistics."""
+
+    service: str
+    completed: int
+    removal_failures: int
+    connection_failures: int
+    avg_response_time: float
+    p95_response_time: float
+
+    @property
+    def total(self) -> int:
+        """All finished requests for this service."""
+        return self.completed + self.removal_failures + self.connection_failures
+
+    @property
+    def percent_failed(self) -> float:
+        """Failed requests as a percentage of all finished requests."""
+        if self.total == 0:
+            return 0.0
+        return 100.0 * (self.removal_failures + self.connection_failures) / self.total
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Whole-run statistics for one (algorithm, workload) experiment."""
+
+    algorithm: str
+    workload: str
+    duration: float
+
+    total_requests: int
+    completed: int
+    removal_failures: int
+    connection_failures: int
+
+    avg_response_time: float
+    p50_response_time: float
+    p95_response_time: float
+    p99_response_time: float
+
+    vertical_scale_ops: int
+    horizontal_scale_ups: int
+    horizontal_scale_downs: int
+    oom_kills: int
+
+    services: tuple[ServiceSummary, ...] = ()
+    timeline: tuple[TimelinePoint, ...] = field(default=(), repr=False)
+
+    # ------------------------------------------------------------------
+    # The figures' y-axes
+    # ------------------------------------------------------------------
+    @property
+    def failed(self) -> int:
+        """Total failed requests."""
+        return self.removal_failures + self.connection_failures
+
+    @property
+    def percent_failed(self) -> float:
+        """Figures 6a/7a/8a: percentage of requests failed."""
+        if self.total_requests == 0:
+            return 0.0
+        return 100.0 * self.failed / self.total_requests
+
+    @property
+    def percent_removal_failures(self) -> float:
+        """Removal-failure share of all requests, in percent."""
+        if self.total_requests == 0:
+            return 0.0
+        return 100.0 * self.removal_failures / self.total_requests
+
+    @property
+    def percent_connection_failures(self) -> float:
+        """Connection-failure share of all requests, in percent."""
+        if self.total_requests == 0:
+            return 0.0
+        return 100.0 * self.connection_failures / self.total_requests
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests served (the paper reports >= 99.8 % up-time)."""
+        if self.total_requests == 0:
+            return 1.0
+        return 1.0 - self.failed / self.total_requests
+
+    def speedup_over(self, baseline: "RunSummary") -> float:
+        """Response-time speedup of *this* run relative to ``baseline``
+        (>1 means this run is faster), the paper's headline metric."""
+        if self.avg_response_time <= 0:
+            raise ExperimentError("cannot compute speedup: zero response time")
+        return baseline.avg_response_time / self.avg_response_time
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_collector(
+        cls,
+        collector: MetricsCollector,
+        *,
+        algorithm: str,
+        workload: str,
+        duration: float,
+    ) -> "RunSummary":
+        """Freeze a collector into an immutable summary."""
+        times = collector.all_response_times()
+        arr = np.asarray(times) if times else np.asarray([0.0])
+        services = []
+        for name in collector.service_names():
+            acc = collector.service_stats(name)
+            svc_arr = np.asarray(acc.response_times) if acc.response_times else np.asarray([0.0])
+            services.append(
+                ServiceSummary(
+                    service=name,
+                    completed=acc.completed,
+                    removal_failures=acc.removal_failures,
+                    connection_failures=acc.connection_failures,
+                    avg_response_time=float(svc_arr.mean()),
+                    p95_response_time=float(np.percentile(svc_arr, 95)),
+                )
+            )
+        return cls(
+            algorithm=algorithm,
+            workload=workload,
+            duration=duration,
+            total_requests=collector.total_requests,
+            completed=collector.total_completed,
+            removal_failures=collector.total_removal_failures,
+            connection_failures=collector.total_connection_failures,
+            avg_response_time=float(arr.mean()),
+            p50_response_time=float(np.percentile(arr, 50)),
+            p95_response_time=float(np.percentile(arr, 95)),
+            p99_response_time=float(np.percentile(arr, 99)),
+            vertical_scale_ops=collector.vertical_scale_ops,
+            horizontal_scale_ups=collector.horizontal_scale_ups,
+            horizontal_scale_downs=collector.horizontal_scale_downs,
+            oom_kills=collector.oom_kills,
+            services=tuple(services),
+            timeline=tuple(collector.timeline),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (archival / cross-run tooling)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict with every field, including the timeline."""
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["services"] = [asdict(s) for s in self.services]
+        payload["timeline"] = [asdict(p) for p in self.timeline]
+        return payload
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to JSON text."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSummary":
+        """Rebuild a summary saved with :meth:`to_dict`."""
+        data = dict(payload)
+        data["services"] = tuple(ServiceSummary(**s) for s in data.get("services", ()))
+        data["timeline"] = tuple(TimelinePoint(**p) for p in data.get("timeline", ()))
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSummary":
+        """Rebuild a summary saved with :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """One table row, in the shape the benchmark harness prints."""
+        return {
+            "algorithm": self.algorithm,
+            "workload": self.workload,
+            "requests": self.total_requests,
+            "avg_response_s": round(self.avg_response_time, 3),
+            "p95_response_s": round(self.p95_response_time, 3),
+            "failed_pct": round(self.percent_failed, 3),
+            "removal_pct": round(self.percent_removal_failures, 3),
+            "connection_pct": round(self.percent_connection_failures, 3),
+            "availability": round(self.availability, 5),
+            "scale_ups": self.horizontal_scale_ups,
+            "scale_downs": self.horizontal_scale_downs,
+            "vertical_ops": self.vertical_scale_ops,
+        }

@@ -1,0 +1,15 @@
+"""Simulated traffic control: token buckets, HTB classes, iptables marking,
+and a shared NIC with the tx-queue contention model from Section III-C."""
+
+from repro.netsim.iptables import IptablesTable, MarkRule
+from repro.netsim.interface import NetworkInterface
+from repro.netsim.tc import HtbClass, HtbQdisc, TokenBucket
+
+__all__ = [
+    "TokenBucket",
+    "HtbClass",
+    "HtbQdisc",
+    "MarkRule",
+    "IptablesTable",
+    "NetworkInterface",
+]

@@ -1,0 +1,122 @@
+"""Shared NIC with HTB shaping and tx-queue contention.
+
+This is the mechanism behind the paper's Figure 3: with traffic shaped by
+``tc``, *vertical* network scaling changes nothing (the shaper is fair), but
+*horizontal* scaling across machines relieves contention on each machine's
+transmit queues, cutting execution time until the gain tapers off around
+8 replicas.
+
+We model that with a saturating per-class penalty: a class shaped to ``r``
+Mbit/s loses a fraction ``pmax * r / (r + r_half)`` of its throughput to
+queueing (one fat class queues heavily; many thin classes on separate NICs
+barely queue).  An additional penalty applies when the whole link is
+oversubscribed.  Constants live in
+:class:`~repro.config.OverheadModel` and are calibrated in
+``benchmarks/test_fig3_network_scaling.py``.
+"""
+
+from __future__ import annotations
+
+from repro.config import OverheadModel
+from repro.errors import NetworkSimError
+from repro.netsim.iptables import IptablesTable
+from repro.netsim.tc import HtbQdisc
+
+
+class NetworkInterface:
+    """One machine's egress NIC: iptables marking + HTB + tx queues."""
+
+    def __init__(self, capacity: float, overheads: OverheadModel | None = None):
+        if capacity <= 0:
+            raise NetworkSimError(f"NIC capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self.overheads = overheads or OverheadModel()
+        self.qdisc = HtbQdisc(capacity)
+        self.iptables = IptablesTable()
+        #: Mbit/s actually transmitted per class last step (diagnostics).
+        self.last_throughput: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment (mirrors `iptables -A` + `tc class add`)
+    # ------------------------------------------------------------------
+    def attach(self, container_id: str, rate: float, ceil: float | None = None) -> None:
+        """Create an HTB class for the container and mark its traffic."""
+        class_id = f"1:{container_id}"
+        self.qdisc.add_class(class_id, rate, ceil)
+        self.iptables.add_rule(container_id, class_id)
+
+    def detach(self, container_id: str) -> None:
+        """Tear down the container's class and mark rule."""
+        class_id = self.iptables.class_of(container_id)
+        self.iptables.delete_rule(container_id)
+        self.qdisc.del_class(class_id)
+
+    def reshape(self, container_id: str, rate: float, ceil: float | None = None) -> None:
+        """Change the container's guaranteed rate (vertical network scaling)."""
+        class_id = self.iptables.class_of(container_id)
+        self.qdisc.change_class(class_id, rate=rate, ceil=ceil)
+
+    def is_attached(self, container_id: str) -> bool:
+        """True if the container has a shaping class on this NIC."""
+        return self.iptables.has_rule(container_id)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def class_penalty(self, granted_rate: float, class_rate: float, oversubscription: float) -> float:
+        """Fraction of throughput lost to tx queueing for one class.
+
+        Two factors multiply the saturating ``pmax * g / (g + r_half)`` term:
+
+        * how *fat* the class is (``granted_rate``) — one class pushing
+          100 Mbit/s queues much harder than eight classes pushing 12.5
+          (Figure 3's mechanism), and
+        * how *saturated* it is (``granted/rate``) — a class flowing well
+          under its shaped rate barely queues at all.
+
+        ``oversubscription`` is ``max(0, total_offered/capacity - 1)`` and
+        adds link-level queueing on top.
+        """
+        o = self.overheads
+        saturating = o.txq_penalty_max * granted_rate / (granted_rate + o.txq_penalty_half_rate)
+        utilization = min(1.0, granted_rate / class_rate) if class_rate > 0 else 1.0
+        oversub = o.txq_oversub_penalty * oversubscription
+        # Cubic in utilization: queueing is negligible while a class flows
+        # well under its shaped rate and bites hard only near saturation.
+        return min(0.95, saturating * utilization**3 + oversub)
+
+    def transmit(self, offered: dict[str, float]) -> dict[str, float]:
+        """Push per-container offered loads (Mbit/s) through the NIC.
+
+        Returns effective per-container throughput (Mbit/s) after HTB
+        shaping and tx-queue contention.  Total effective throughput never
+        exceeds link capacity.
+        """
+        by_class: dict[str, float] = {}
+        class_to_container: dict[str, str] = {}
+        for container_id, load in offered.items():
+            if load < 0:
+                raise NetworkSimError(f"offered load for {container_id!r} must be >= 0")
+            class_id = self.iptables.class_of(container_id)
+            by_class[class_id] = load
+            class_to_container[class_id] = container_id
+
+        grants = self.qdisc.allocate(by_class)
+        # Oversubscription is computed on *admitted* traffic (each class's
+        # offered load capped at its ceiling): a deep application backlog
+        # does not multiply kernel queue pressure — only what the shaper
+        # actually admits contends for the tx ring.
+        admitted = sum(
+            min(load, self.qdisc.get_class(cid).ceil) for cid, load in by_class.items()
+        )
+        oversubscription = max(0.0, admitted / self.capacity - 1.0)
+
+        result: dict[str, float] = {}
+        self.last_throughput = {}
+        for class_id, granted in grants.items():
+            penalty = self.class_penalty(granted, self.qdisc.get_class(class_id).rate, oversubscription)
+            effective = granted * (1.0 - penalty)
+            container_id = class_to_container[class_id]
+            result[container_id] = effective
+            self.last_throughput[class_id] = effective
+        return result

@@ -1,0 +1,79 @@
+"""Minimal iptables mangle-table model.
+
+Containers cannot be attached to ``tc`` classes directly; the paper (like
+NBWGuard) marks each container's packets in the iptables mangle table and
+lets a tc filter map marks to HTB classes.  We reproduce that indirection:
+:class:`MarkRule` associates a container with a firewall mark, and
+:class:`IptablesTable` resolves container ids to the HTB class carrying that
+mark.  Keeping the hop explicit means the node's data path mirrors the real
+deployment (container -> mark -> class) and tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkSimError
+
+
+@dataclass(frozen=True)
+class MarkRule:
+    """``-A OUTPUT -m owner --owner <container> -j MARK --set-mark <mark>``"""
+
+    container_id: str
+    mark: int
+
+    def __post_init__(self) -> None:
+        if self.mark <= 0:
+            raise NetworkSimError("firewall marks must be positive integers")
+
+
+class IptablesTable:
+    """Mangle table mapping container traffic to firewall marks."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, MarkRule] = {}  # container_id -> rule
+        self._classes: dict[int, str] = {}  # mark -> tc class id
+        self._next_mark = 1
+
+    # ------------------------------------------------------------------
+    # Rule management
+    # ------------------------------------------------------------------
+    def add_rule(self, container_id: str, class_id: str) -> MarkRule:
+        """Mark ``container_id``'s packets and bind the mark to a tc class."""
+        if container_id in self._rules:
+            raise NetworkSimError(f"container {container_id!r} already has a mark rule")
+        rule = MarkRule(container_id, self._next_mark)
+        self._next_mark += 1
+        self._rules[container_id] = rule
+        self._classes[rule.mark] = class_id
+        return rule
+
+    def delete_rule(self, container_id: str) -> None:
+        """Remove the mark rule and its class binding."""
+        rule = self._rules.pop(container_id, None)
+        if rule is None:
+            raise NetworkSimError(f"no mark rule for container {container_id!r}")
+        del self._classes[rule.mark]
+
+    def has_rule(self, container_id: str) -> bool:
+        """True if the container's packets are being marked."""
+        return container_id in self._rules
+
+    # ------------------------------------------------------------------
+    # Resolution (the tc filter's job)
+    # ------------------------------------------------------------------
+    def mark_of(self, container_id: str) -> int:
+        """Firewall mark applied to the container's packets."""
+        try:
+            return self._rules[container_id].mark
+        except KeyError:
+            raise NetworkSimError(f"no mark rule for container {container_id!r}") from None
+
+    def class_of(self, container_id: str) -> str:
+        """HTB class the container's (marked) traffic drains into."""
+        return self._classes[self.mark_of(container_id)]
+
+    def rules(self) -> list[MarkRule]:
+        """All rules, ordered by mark (insertion order)."""
+        return sorted(self._rules.values(), key=lambda r: r.mark)

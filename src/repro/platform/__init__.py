@@ -1,0 +1,20 @@
+"""The autoscaler platform from Section V: MONITOR, NODE MANAGERs, and
+LOAD BALANCERs, wired over the simulated cluster."""
+
+from repro.platform.faults import FaultInjector, NodeManagerFleet
+from repro.platform.lb_tier import LoadBalancerTier
+from repro.platform.load_balancer import LoadBalancer, RoutingPolicy
+from repro.platform.monitor import Monitor
+from repro.platform.node_manager import NodeManager
+from repro.platform.registry import ServiceRegistry
+
+__all__ = [
+    "LoadBalancer",
+    "LoadBalancerTier",
+    "RoutingPolicy",
+    "Monitor",
+    "NodeManager",
+    "ServiceRegistry",
+    "FaultInjector",
+    "NodeManagerFleet",
+]

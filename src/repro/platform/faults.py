@@ -1,0 +1,140 @@
+"""Dynamic machine fleet: node additions, decommissions, and crashes.
+
+The paper's future work: "We also aim to support features such as the
+dynamic addition and removal of machines" (Section VII).  This module
+implements that support for the platform:
+
+* :class:`NodeManagerFleet` — drives all node managers as one engine actor,
+  so managers can be added and removed while the simulation runs;
+* :class:`FaultInjector` — executes scheduled fleet changes:
+
+  - ``schedule_crash`` — a machine dies: every container on it is lost
+    (in-flight requests become removal failures) and the autoscaling policy
+    must restore the affected services' replica floors elsewhere;
+  - ``schedule_add`` — a machine joins and becomes a placement target.
+
+Faults execute at the *start* of their step, before routing and compute, so
+the platform sees the new world for the entire step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.dockersim.api import DockerClient
+from repro.errors import ClusterError
+from repro.platform.node_manager import NodeManager
+from repro.sim.clock import SimClock
+
+
+class NodeManagerFleet:
+    """One engine actor driving a mutable set of node managers."""
+
+    def __init__(self, managers: dict[str, NodeManager]):
+        self.managers = managers
+
+    def on_step(self, clock: SimClock) -> None:
+        for name in sorted(self.managers):
+            self.managers[name].on_step(clock)
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One scheduled fleet change."""
+
+    at: float
+    kind: str  # "crash" | "add"
+    node: str
+    capacity: ResourceVector | None = None
+    disk_capacity: float = 150.0
+
+
+@dataclass
+class FaultLog:
+    """What the injector actually did (inspected by tests)."""
+
+    crashes: list[tuple[float, str]] = field(default_factory=list)
+    additions: list[tuple[float, str]] = field(default_factory=list)
+    lost_requests: int = 0
+
+
+class FaultInjector:
+    """Executes scheduled machine-fleet changes against a live platform."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        client: DockerClient,
+        node_managers: dict[str, NodeManager],
+    ):
+        self.cluster = cluster
+        self.client = client
+        self.node_managers = node_managers
+        self.log = FaultLog()
+        self._pending: list[FleetEvent] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_crash(self, at: float, node: str) -> None:
+        """Kill ``node`` at simulated time ``at``."""
+        if at < 0:
+            raise ClusterError("fault time must be non-negative")
+        self._pending.append(FleetEvent(at=at, kind="crash", node=node))
+
+    def schedule_add(
+        self,
+        at: float,
+        node: str,
+        capacity: ResourceVector | None = None,
+        disk_capacity: float = 150.0,
+    ) -> None:
+        """Bring a new machine named ``node`` online at time ``at``."""
+        if at < 0:
+            raise ClusterError("fault time must be non-negative")
+        self._pending.append(
+            FleetEvent(at=at, kind="add", node=node, capacity=capacity, disk_capacity=disk_capacity)
+        )
+
+    @property
+    def pending(self) -> int:
+        """Fleet changes not yet executed."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Engine integration
+    # ------------------------------------------------------------------
+    def on_step(self, clock: SimClock) -> None:
+        due = sorted(
+            (e for e in self._pending if e.at <= clock.now),
+            key=lambda e: (e.at, e.kind, e.node),
+        )
+        if not due:
+            return
+        self._pending = [e for e in self._pending if e.at > clock.now]
+        for event in due:
+            if event.kind == "crash":
+                self._crash(event.node, clock.now)
+            else:
+                self._add(event)
+
+    # ------------------------------------------------------------------
+    def _crash(self, name: str, now: float) -> None:
+        if name not in self.cluster.nodes:
+            raise ClusterError(f"cannot crash unknown node {name!r}")
+        casualties = self.cluster.remove_node(name, now)
+        self.client.untrack_node(name)
+        self.node_managers.pop(name, None)
+        self.log.crashes.append((now, name))
+        self.log.lost_requests += len(casualties)
+
+    def _add(self, event: FleetEvent) -> None:
+        capacity = event.capacity or ResourceVector(4.0, 8192.0, 1000.0)
+        node = Node(event.node, capacity, self.cluster.overheads, disk_capacity=event.disk_capacity)
+        self.cluster.add_node(node)
+        self.client.track_node(event.node)
+        self.node_managers[event.node] = NodeManager(self.client.daemons[event.node])
+        self.log.additions.append((event.at, event.node))

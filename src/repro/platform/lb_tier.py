@@ -1,0 +1,91 @@
+"""Distributed load-balancer tier.
+
+The paper dedicates five of its 24 machines to "distributed server-side
+LOAD BALANCERs (LBs) [that] act as proxies for clients" (Sections V and
+VI).  Distribution matters for realism: each proxy keeps *its own* routing
+state (round-robin counters, backlogs), so traffic spreads slightly less
+evenly than one omniscient balancer would manage — real fleets always pay a
+little balance skew for horizontal control planes.
+
+:class:`LoadBalancerTier` shards clients over ``n`` independent
+:class:`~repro.platform.load_balancer.LoadBalancer` instances by request id
+(clients stick to one proxy, as DNS round-robin would arrange) and presents
+the same ``submit`` / ``on_step`` / accounting surface, so the runner can
+swap it in wherever a single balancer was used.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import OverheadModel
+from repro.errors import ClusterError
+from repro.platform.load_balancer import LoadBalancer, RoutingPolicy
+from repro.platform.registry import ServiceRegistry
+from repro.sim.clock import SimClock
+from repro.workloads.requests import Request
+
+
+class LoadBalancerTier:
+    """``n`` independent proxies behind one ingress surface."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        overheads: OverheadModel,
+        failure_sink: Callable[[Request], None],
+        policy: RoutingPolicy = RoutingPolicy.WEIGHTED_CPU,
+        n_balancers: int = 5,
+    ):
+        if n_balancers < 1:
+            raise ClusterError("n_balancers must be >= 1")
+        self.balancers = [
+            LoadBalancer(registry, overheads, failure_sink, policy=policy)
+            for _ in range(n_balancers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Ingress surface (mirrors LoadBalancer's)
+    # ------------------------------------------------------------------
+    def shard_of(self, request: Request) -> int:
+        """Which proxy a client lands on (sticky by request id)."""
+        return request.request_id % len(self.balancers)
+
+    def submit(self, request: Request) -> None:
+        """Route via the client's proxy."""
+        self.balancers[self.shard_of(request)].submit(request)
+
+    def on_step(self, clock: SimClock) -> None:
+        """Drive every proxy's backlog handling."""
+        for balancer in self.balancers:
+            balancer.on_step(clock)
+
+    # ------------------------------------------------------------------
+    # Accounting (aggregated)
+    # ------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Requests waiting across all proxies."""
+        return sum(b.backlog() for b in self.balancers)
+
+    @property
+    def total_routed(self) -> int:
+        """Requests routed across all proxies."""
+        return sum(b.total_routed for b in self.balancers)
+
+    @property
+    def total_rejected(self) -> int:
+        """Requests expired un-routed across all proxies."""
+        return sum(b.total_rejected for b in self.balancers)
+
+    @property
+    def policy(self) -> RoutingPolicy:
+        """The routing policy all proxies share."""
+        return self.balancers[0].policy
+
+    def distribution_overhead(self, n_replicas: int) -> float:
+        """Same overhead model as a single balancer (delegated)."""
+        return self.balancers[0].distribution_overhead(n_replicas)
+
+    def consistency_overhead(self, n_replicas: int) -> float:
+        """Same consistency model as a single balancer (delegated)."""
+        return self.balancers[0].consistency_overhead(n_replicas)

@@ -1,0 +1,141 @@
+"""Server-side load balancer.
+
+"Distributed server-side LOAD BALANCERs (LBs) act as proxies for clients
+interacting with microservices" (Section V).  The paper ran five LB nodes;
+since the LB tier was never the bottleneck in their evaluation we model it
+as one logical balancer with pluggable routing policies.
+
+Responsibilities:
+
+* route each arriving request to a serving replica,
+* hold requests briefly while a service has no live replica (e.g. all
+  replicas booting after a scale-from-zero) and fail them as *connection
+  failures* when they time out un-routed,
+* stamp each routed request with the replica-distribution overhead factor
+  (Section III-A's logarithmic cost of fanning out over more replicas).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from typing import Callable
+
+from repro.cluster.container import Container
+from repro.config import OverheadModel
+from repro.errors import ClusterError
+from repro.platform.registry import ServiceRegistry
+from repro.sim.clock import SimClock
+from repro.workloads.requests import FailureReason, Request
+
+
+class RoutingPolicy(enum.Enum):
+    """How the LB spreads requests over replicas."""
+
+    ROUND_ROBIN = "round_robin"
+    LEAST_OUTSTANDING = "least_outstanding"
+    WEIGHTED_CPU = "weighted_cpu"  # favour replicas with larger CPU requests
+
+
+class LoadBalancer:
+    """Routes requests to replicas; failed routing becomes connection failures."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        overheads: OverheadModel,
+        failure_sink: Callable[[Request], None],
+        policy: RoutingPolicy = RoutingPolicy.ROUND_ROBIN,
+    ):
+        self.registry = registry
+        self.overheads = overheads
+        self.policy = policy
+        self._failure_sink = failure_sink
+        self._pending: deque[Request] = deque()
+        self._rr_counters: dict[str, int] = {}
+        self._now = 0.0
+        self.total_routed = 0
+        self.total_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Accept a client request; route now or park it in the backlog."""
+        if not self.registry.has_service(request.service):
+            raise ClusterError(f"request for unknown service {request.service!r}")
+        if not self._try_route(request):
+            self._pending.append(request)
+
+    def backlog(self) -> int:
+        """Requests waiting for a live replica."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Engine integration
+    # ------------------------------------------------------------------
+    def on_step(self, clock: SimClock) -> None:
+        """Retry the backlog; expire requests that out-waited their timeout."""
+        self._now = clock.now
+        still_waiting: deque[Request] = deque()
+        while self._pending:
+            request = self._pending.popleft()
+            if clock.now >= request.deadline():
+                request.fail(clock.now, FailureReason.CONNECTION)
+                self.total_rejected += 1
+                self._failure_sink(request)
+            elif not self._try_route(request):
+                still_waiting.append(request)
+        self._pending = still_waiting
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _try_route(self, request: Request) -> bool:
+        replicas = self.registry.endpoints(request.service)
+        if not replicas:
+            return False
+        replica = self._pick(request.service, replicas)
+        overhead = self.distribution_overhead(len(replicas))
+        spec = self.registry.spec(request.service)
+        if getattr(spec, "stateful", False):
+            overhead *= self.consistency_overhead(len(replicas))
+        replica.accept(request, self._now, overhead_factor=overhead)
+        self.total_routed += 1
+        return True
+
+    def _pick(self, service: str, replicas: list[Container]) -> Container:
+        if self.policy is RoutingPolicy.ROUND_ROBIN:
+            counter = self._rr_counters.get(service, 0)
+            self._rr_counters[service] = counter + 1
+            return replicas[counter % len(replicas)]
+        if self.policy is RoutingPolicy.LEAST_OUTSTANDING:
+            return min(replicas, key=lambda c: (len(c.inflight), c.container_id))
+        # WEIGHTED_CPU: deterministic weighted round-robin — pick the replica
+        # with the largest CPU request per outstanding request.
+        return max(
+            replicas,
+            key=lambda c: (c.cpu_request / (len(c.inflight) + 1), c.container_id),
+        )
+
+    def distribution_overhead(self, n_replicas: int) -> float:
+        """Service-time multiplier for a service fanned out to ``n`` replicas.
+
+        Section III-A: replica distribution across nodes costs a logarithmic
+        overhead — ``1 + coeff * ln(n)`` (1.0 for a single replica).
+        """
+        if n_replicas < 1:
+            raise ClusterError("n_replicas must be >= 1")
+        return 1.0 + self.overheads.distribution_log_coeff * math.log(n_replicas)
+
+    def consistency_overhead(self, n_replicas: int) -> float:
+        """Service-time multiplier for a *stateful* service at ``n`` replicas.
+
+        Section IV-B: preserving state across replicas "introduces the need
+        for a consistency model" — every write must reach every copy, so
+        each extra replica adds a fixed synchronization fraction.
+        """
+        if n_replicas < 1:
+            raise ClusterError("n_replicas must be >= 1")
+        return 1.0 + self.overheads.state_sync_overhead * (n_replicas - 1)

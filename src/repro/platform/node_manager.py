@@ -1,0 +1,83 @@
+"""Node manager (NM).
+
+"Each node runs a single NM, in charge of monitoring the combined
+microservice resource usage of all microservices stationed on that node"
+(Section V-B).  Our NM:
+
+* samples ``docker stats`` for every hosted container each step and keeps
+  per-container :class:`~repro.dockersim.stats.StatsWindow` histories,
+* answers the MONITOR's query for mean usage over the last query period,
+* executes vertical scaling commands by invoking ``docker update``.
+
+Deliberately *no* decision logic lives here: the paper found that NMs making
+their own locally-optimal vertical decisions fight the MONITOR and cause
+oscillation, so "the decision-making logic for resource allocation resides
+solely with the MONITOR and not the NMs".
+"""
+
+from __future__ import annotations
+
+from repro.dockersim.daemon import DockerDaemon
+from repro.dockersim.stats import StatsSample, StatsWindow
+from repro.errors import ContainerNotFound
+from repro.sim.clock import SimClock
+
+
+class NodeManager:
+    """Stats aggregation and vertical-op execution for one node."""
+
+    def __init__(self, daemon: DockerDaemon, window_horizon: float = 30.0):
+        self.daemon = daemon
+        self.node = daemon.node
+        self._windows: dict[str, StatsWindow] = {}
+        self._horizon = window_horizon
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def on_step(self, clock: SimClock) -> None:
+        """Sample every active container; drop windows of departed ones."""
+        active_ids = set()
+        for container in self.daemon.ps():
+            active_ids.add(container.container_id)
+            window = self._windows.setdefault(container.container_id, StatsWindow(self._horizon))
+            window.record(self.daemon.stats(container.container_id, clock.now))
+        for container_id in list(self._windows):
+            if container_id not in active_ids:
+                del self._windows[container_id]
+
+    # ------------------------------------------------------------------
+    # Queries (what the MONITOR pulls each period)
+    # ------------------------------------------------------------------
+    def mean_stats(self, container_id: str, window: float) -> StatsSample:
+        """Mean usage of one container over the trailing ``window`` seconds."""
+        stats_window = self._windows.get(container_id)
+        if stats_window is None:
+            raise ContainerNotFound(f"node manager has no stats for {container_id}")
+        sample = stats_window.mean_over(window)
+        if sample is None:
+            raise ContainerNotFound(f"no samples yet for {container_id}")
+        return sample
+
+    def tracked_containers(self) -> list[str]:
+        """Ids with at least one recorded sample, sorted."""
+        return sorted(self._windows)
+
+    # ------------------------------------------------------------------
+    # Commands (what the MONITOR pushes)
+    # ------------------------------------------------------------------
+    def apply_vertical(
+        self,
+        container_id: str,
+        *,
+        cpu_request: float | None = None,
+        mem_limit: float | None = None,
+        net_rate: float | None = None,
+    ) -> None:
+        """Execute a vertical resize via ``docker update`` / tc reshape."""
+        self.daemon.update(
+            container_id,
+            cpu_request=cpu_request,
+            mem_limit=mem_limit,
+            net_rate=net_rate,
+        )

@@ -1,0 +1,50 @@
+"""Service registry: microservice name -> live endpoints.
+
+The LOAD BALANCERs "act as proxies for clients interacting with
+microservices" (Section V); to proxy they need a live view of which replicas
+can take traffic.  The registry is that view — a thin, always-fresh read
+layer over the cluster's replica sets, kept separate from the cluster so the
+load balancer depends on *endpoints*, not on cluster internals.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.container import Container
+from repro.errors import ClusterError
+
+
+class ServiceRegistry:
+    """Live endpoint lookup for the load balancers."""
+
+    def __init__(self, cluster: Cluster):
+        self._cluster = cluster
+
+    def services(self) -> list[str]:
+        """All registered service names, sorted."""
+        return sorted(self._cluster.services)
+
+    def has_service(self, name: str) -> bool:
+        """True if ``name`` is a registered microservice."""
+        return name in self._cluster.services
+
+    def endpoints(self, service: str) -> list[Container]:
+        """Replicas of ``service`` able to take traffic right now.
+
+        PENDING (still booting) and stopped replicas are excluded — traffic
+        routed to a booting container would be connection-refused in the
+        real system.
+        """
+        if not self.has_service(service):
+            raise ClusterError(f"unknown service {service!r}")
+        return self._cluster.service(service).serving_replicas()
+
+    def replica_count(self, service: str) -> int:
+        """Number of serving replicas (the fan-out the LB spreads over)."""
+        return len(self.endpoints(service))
+
+    def spec(self, service: str):
+        """The service's deployment spec (the LB reads statefulness)."""
+        if not self.has_service(service):
+            raise ClusterError(f"unknown service {service!r}")
+        return self._cluster.service(service).spec

@@ -1,0 +1,19 @@
+"""Deterministic discrete-time simulation kernel.
+
+Exports the clock, named RNG streams, the timer/event queue, and the
+time-stepped engine that drives every other subsystem.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine, SimActor
+from repro.sim.events import EventQueue, ScheduledEvent
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "SimClock",
+    "Engine",
+    "SimActor",
+    "EventQueue",
+    "ScheduledEvent",
+    "RngStreams",
+]

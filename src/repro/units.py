@@ -1,0 +1,77 @@
+"""Unit conventions and conversion helpers.
+
+The whole library speaks three physical resource units, chosen to match how
+the paper reports them:
+
+* **CPU** — fractional cores.  Docker CPU *shares* are the scaled integer
+  representation used by the simulated daemon (1024 shares == 1.0 core,
+  the Docker default for one core's relative weight).
+* **Memory** — MiB (the paper uses MB/MiB interchangeably; we use MiB).
+* **Network** — Mbit/s for rates and Mbit for request payload sizes.
+
+Keeping conversions in one module prevents the classic
+megabyte-vs-mebibyte and bit-vs-byte drift between subsystems.
+"""
+
+from __future__ import annotations
+
+#: Docker's CPU-share scale: 1024 shares correspond to one full core.
+SHARES_PER_CORE = 1024
+
+#: Bits per byte, for payload conversions.
+BITS_PER_BYTE = 8
+
+#: MiB expressed in bytes.
+MIB = 1024 * 1024
+
+#: Mbit expressed in bits.
+MBIT = 1000 * 1000
+
+
+def cores_to_shares(cores: float) -> int:
+    """Convert fractional cores to Docker CPU shares (rounded to nearest)."""
+    if cores < 0:
+        raise ValueError(f"cores must be non-negative, got {cores}")
+    return max(2, round(cores * SHARES_PER_CORE)) if cores > 0 else 0
+
+
+def shares_to_cores(shares: int) -> float:
+    """Convert Docker CPU shares back to fractional cores."""
+    if shares < 0:
+        raise ValueError(f"shares must be non-negative, got {shares}")
+    return shares / SHARES_PER_CORE
+
+
+def mib_to_bytes(mib: float) -> float:
+    """Convert MiB to bytes."""
+    return mib * MIB
+
+
+def bytes_to_mib(n_bytes: float) -> float:
+    """Convert bytes to MiB."""
+    return n_bytes / MIB
+
+
+def mbit_to_bits(mbit: float) -> float:
+    """Convert Mbit to bits."""
+    return mbit * MBIT
+
+
+def mbytes_to_mbits(mbytes: float) -> float:
+    """Convert megabytes of payload to megabits on the wire."""
+    return mbytes * BITS_PER_BYTE
+
+
+def mbits_to_mbytes(mbits: float) -> float:
+    """Convert megabits on the wire to megabytes of payload."""
+    return mbits / BITS_PER_BYTE
+
+
+def percent(fraction: float) -> float:
+    """Render a 0..1 fraction as a percentage value."""
+    return fraction * 100.0
+
+
+def fraction(pct: float) -> float:
+    """Render a percentage value as a 0..1 fraction."""
+    return pct / 100.0

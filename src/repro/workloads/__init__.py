@@ -1,0 +1,48 @@
+"""Workload substrate: requests, load patterns, microservice profiles,
+open-loop generation, and the synthetic Bitbrains trace."""
+
+from repro.workloads.bitbrains import BitbrainsTrace, generate_bitbrains_trace
+from repro.workloads.generator import ClientLoadGenerator, ServiceLoad
+from repro.workloads.patterns import (
+    CompositeLoad,
+    ConstantLoad,
+    DiurnalLoad,
+    FlashCrowdLoad,
+    HighBurstLoad,
+    LoadPattern,
+    LowBurstLoad,
+    TraceLoad,
+)
+from repro.workloads.profiles import (
+    CPU_BOUND,
+    DISK_BOUND,
+    MEMORY_BOUND,
+    MIXED,
+    NETWORK_BOUND,
+    MicroserviceProfile,
+)
+from repro.workloads.requests import FailureReason, Request, RequestState
+
+__all__ = [
+    "Request",
+    "RequestState",
+    "FailureReason",
+    "LoadPattern",
+    "ConstantLoad",
+    "LowBurstLoad",
+    "HighBurstLoad",
+    "TraceLoad",
+    "DiurnalLoad",
+    "FlashCrowdLoad",
+    "CompositeLoad",
+    "MicroserviceProfile",
+    "CPU_BOUND",
+    "MEMORY_BOUND",
+    "NETWORK_BOUND",
+    "MIXED",
+    "DISK_BOUND",
+    "ClientLoadGenerator",
+    "ServiceLoad",
+    "BitbrainsTrace",
+    "generate_bitbrains_trace",
+]

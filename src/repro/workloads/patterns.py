@@ -1,0 +1,240 @@
+"""Client load patterns.
+
+Section VI: "the stable load consists of a low amplitude bursty traffic,
+labelled low-burst, and the unstable load forms a spiking pattern, labelled
+high-burst.  This wave-like bursty pattern simulates repeated peaks and
+troughs in client activity."
+
+A pattern is a deterministic rate function ``rate(t) -> requests/second``;
+stochasticity enters only through the generator's Poisson thinning, never
+through the pattern itself, so two algorithms compared under the same seed
+see identical offered load.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from bisect import bisect_right
+
+from repro.errors import WorkloadError
+
+
+class LoadPattern(abc.ABC):
+    """Deterministic arrival-rate curve."""
+
+    @abc.abstractmethod
+    def rate(self, t: float) -> float:
+        """Offered load at time ``t``, in requests/second (never negative)."""
+
+    def mean_rate(self, duration: float, samples: int = 1000) -> float:
+        """Numerical mean of the curve over ``[0, duration]``."""
+        if duration <= 0:
+            raise WorkloadError("duration must be positive")
+        step = duration / samples
+        return sum(self.rate(i * step) for i in range(samples)) / samples
+
+
+class ConstantLoad(LoadPattern):
+    """Flat offered load."""
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise WorkloadError(f"rate must be non-negative, got {rate}")
+        self._rate = float(rate)
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+
+class LowBurstLoad(LoadPattern):
+    """Stable load: gentle sinusoidal swell around a base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi*(t+phase)/period))`` with a
+    small default amplitude — the paper's "low amplitude bursty traffic".
+    """
+
+    def __init__(self, base: float, amplitude: float = 0.3, period: float = 120.0, phase: float = 0.0):
+        if base < 0:
+            raise WorkloadError(f"base rate must be non-negative, got {base}")
+        if not 0 <= amplitude <= 1:
+            raise WorkloadError(f"amplitude must be in [0, 1], got {amplitude}")
+        if period <= 0:
+            raise WorkloadError(f"period must be positive, got {period}")
+        self.base = float(base)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def rate(self, t: float) -> float:
+        swell = self.amplitude * math.sin(2 * math.pi * (t + self.phase) / self.period)
+        return max(0.0, self.base * (1.0 + swell))
+
+
+class HighBurstLoad(LoadPattern):
+    """Unstable load: a low trough punctuated by tall square spikes.
+
+    Each period consists of a trough at ``base`` and a spike of height
+    ``peak`` occupying ``duty`` of the period — the paper's "spiking
+    pattern ... repeated peaks and troughs".  Spike edges are smoothed over
+    ``ramp`` seconds so rates stay finite-difference friendly.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        peak: float,
+        period: float = 120.0,
+        duty: float = 0.25,
+        phase: float = 0.0,
+        ramp: float = 2.0,
+    ):
+        if base < 0 or peak < base:
+            raise WorkloadError("need 0 <= base <= peak")
+        if period <= 0 or not 0 < duty < 1:
+            raise WorkloadError("need period > 0 and 0 < duty < 1")
+        if ramp < 0 or ramp * 2 > duty * period:
+            raise WorkloadError("ramp must be >= 0 and fit inside the spike")
+        self.base = float(base)
+        self.peak = float(peak)
+        self.period = float(period)
+        self.duty = float(duty)
+        self.phase = float(phase)
+        self.ramp = float(ramp)
+
+    def rate(self, t: float) -> float:
+        pos = (t + self.phase) % self.period
+        spike_len = self.duty * self.period
+        if pos >= spike_len:
+            return self.base
+        if self.ramp > 0 and pos < self.ramp:  # rising edge
+            frac = pos / self.ramp
+        elif self.ramp > 0 and pos > spike_len - self.ramp:  # falling edge
+            frac = (spike_len - pos) / self.ramp
+        else:
+            frac = 1.0
+        return self.base + (self.peak - self.base) * frac
+
+
+class DiurnalLoad(LoadPattern):
+    """A day-shaped curve: overnight trough, business-hours plateau.
+
+    ``rate(t)`` follows a raised cosine between ``trough`` and ``peak`` over
+    ``day_length`` seconds, peaking at ``peak_at`` (fraction of the day).
+    Section I's framing — "over-encumbered during peak usage hours and
+    underutilized during off-peak hours" — as a reusable pattern.
+    """
+
+    def __init__(
+        self,
+        trough: float,
+        peak: float,
+        day_length: float = 86_400.0,
+        peak_at: float = 0.58,  # mid-afternoon
+        phase: float = 0.0,
+    ):
+        if trough < 0 or peak < trough:
+            raise WorkloadError("need 0 <= trough <= peak")
+        if day_length <= 0 or not 0 <= peak_at < 1:
+            raise WorkloadError("need day_length > 0 and 0 <= peak_at < 1")
+        self.trough = float(trough)
+        self.peak = float(peak)
+        self.day_length = float(day_length)
+        self.peak_at = float(peak_at)
+        self.phase = float(phase)
+
+    def rate(self, t: float) -> float:
+        position = ((t + self.phase) / self.day_length - self.peak_at) % 1.0
+        # Raised cosine: 1.0 at the peak hour, 0.0 twelve "hours" away.
+        shape = 0.5 * (1.0 + math.cos(2 * math.pi * position))
+        return self.trough + (self.peak - self.trough) * shape
+
+
+class FlashCrowdLoad(LoadPattern):
+    """One viral event: exponential ramp to a peak, then exponential decay.
+
+    Unlike :class:`HighBurstLoad`'s repeating spikes, a flash crowd happens
+    once and never announces itself — the hardest case for reactive and
+    predictive scalers alike.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        peak: float,
+        onset: float,
+        rise_tau: float = 20.0,
+        decay_tau: float = 120.0,
+    ):
+        if base < 0 or peak < base:
+            raise WorkloadError("need 0 <= base <= peak")
+        if onset < 0 or rise_tau <= 0 or decay_tau <= 0:
+            raise WorkloadError("need onset >= 0 and positive time constants")
+        self.base = float(base)
+        self.peak = float(peak)
+        self.onset = float(onset)
+        self.rise_tau = float(rise_tau)
+        self.decay_tau = float(decay_tau)
+        # The ramp reaches ~99.3% of peak after 5 time constants; decay
+        # starts there so the curve is continuous.
+        self._crest = self.onset + 5.0 * self.rise_tau
+
+    def rate(self, t: float) -> float:
+        if t < self.onset:
+            return self.base
+        surge = self.peak - self.base
+        if t <= self._crest:
+            return self.base + surge * (1.0 - math.exp(-(t - self.onset) / self.rise_tau))
+        crest_value = surge * (1.0 - math.exp(-5.0))
+        return self.base + crest_value * math.exp(-(t - self._crest) / self.decay_tau)
+
+
+class CompositeLoad(LoadPattern):
+    """Sum of patterns — e.g. a diurnal baseline plus flash crowds."""
+
+    def __init__(self, parts: list[LoadPattern]):
+        if not parts:
+            raise WorkloadError("composite needs at least one part")
+        self.parts = list(parts)
+
+    def rate(self, t: float) -> float:
+        return sum(part.rate(t) for part in self.parts)
+
+
+class TraceLoad(LoadPattern):
+    """Piecewise-constant rate curve replayed from a trace.
+
+    Used to drive services from the Bitbrains dataset: each trace point
+    holds until the next.  Times must be strictly increasing and start
+    at 0; querying past the last point returns the last rate (the paper
+    loops hour-long experiments over the scaled trace).
+    """
+
+    def __init__(self, times: list[float], rates: list[float], *, loop: bool = True):
+        if len(times) != len(rates) or not times:
+            raise WorkloadError("times and rates must be equal-length and non-empty")
+        if times[0] != 0:
+            raise WorkloadError("trace must start at t=0")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise WorkloadError("trace times must be strictly increasing")
+        if any(r < 0 for r in rates):
+            raise WorkloadError("trace rates must be non-negative")
+        self.times = [float(t) for t in times]
+        self.rates = [float(r) for r in rates]
+        self.loop = loop
+
+    @property
+    def duration(self) -> float:
+        """Span of the trace, assuming uniform spacing of the final point."""
+        if len(self.times) == 1:
+            return self.times[0] + 1.0
+        return self.times[-1] + (self.times[-1] - self.times[-2])
+
+    def rate(self, t: float) -> float:
+        if t < 0:
+            raise WorkloadError(f"time must be non-negative, got {t}")
+        if self.loop:
+            t = t % self.duration
+        idx = bisect_right(self.times, t) - 1
+        idx = max(0, min(idx, len(self.rates) - 1))
+        return self.rates[idx]

@@ -1,0 +1,136 @@
+"""Tests for scaling actions, the planning ledger, and interval guards."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.core.actions import AddReplica, RemoveReplica, VerticalScale
+from repro.core.intervals import RescaleIntervalGuard
+from repro.core.policy import NodeLedger
+from repro.errors import PolicyError
+
+from tests.conftest import make_node_view, make_replica, make_service, make_view
+
+
+class TestActions:
+    def test_vertical_needs_one_axis(self):
+        with pytest.raises(PolicyError):
+            VerticalScale("c1")
+
+    def test_vertical_validation(self):
+        with pytest.raises(PolicyError):
+            VerticalScale("c1", cpu_request=-1.0)
+        with pytest.raises(PolicyError):
+            VerticalScale("c1", mem_limit=0.0)
+        VerticalScale("c1", cpu_request=1.0, mem_limit=512.0)  # ok
+
+    def test_add_replica_validation(self):
+        with pytest.raises(PolicyError):
+            AddReplica("svc", cpu_request=0.0, mem_limit=512.0, net_rate=0.0)
+        AddReplica("svc", cpu_request=0.5, mem_limit=512.0, net_rate=0.0)  # ok
+
+    def test_remove_replica_validation(self):
+        with pytest.raises(PolicyError):
+            RemoveReplica("")
+
+
+class TestNodeLedger:
+    def ledger(self):
+        view = make_view(
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(1.0, 1024.0, 100.0), services=("a",)),
+                make_node_view("n1"),
+            ),
+            services=(make_service("a"),),
+        )
+        return NodeLedger(view)
+
+    def test_initial_availability(self):
+        ledger = self.ledger()
+        assert ledger.available("n0") == ResourceVector(3.0, 7168.0, 900.0)
+        assert ledger.available("n1").cpu == 4.0
+
+    def test_take_and_release(self):
+        ledger = self.ledger()
+        ledger.take("n1", ResourceVector(cpu=2.0))
+        assert ledger.available("n1").cpu == 2.0
+        ledger.release("n1", ResourceVector(cpu=1.0))
+        assert ledger.available("n1").cpu == 3.0
+
+    def test_overdraft_rejected(self):
+        ledger = self.ledger()
+        with pytest.raises(PolicyError):
+            ledger.take("n1", ResourceVector(cpu=5.0))
+
+    def test_negative_amounts_rejected(self):
+        ledger = self.ledger()
+        with pytest.raises(PolicyError):
+            ledger.take("n1", ResourceVector(cpu=-1.0))
+        with pytest.raises(PolicyError):
+            ledger.release("n1", ResourceVector(cpu=-1.0))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(PolicyError):
+            self.ledger().available("ghost")
+
+    def test_candidates_exclude_hosting(self):
+        ledger = self.ledger()
+        minimum = ResourceVector(0.25, 512.0, 50.0)
+        assert ledger.candidates_for("a", minimum) == ["n1"]
+        assert ledger.candidates_for("a", minimum, exclude_hosting=False) == ["n1", "n0"]
+
+    def test_candidates_ordered_by_free_cpu(self):
+        ledger = self.ledger()
+        # n1 has more free CPU than n0.
+        assert ledger.candidates_for("b", ResourceVector(0.25, 1.0, 0.0)) == ["n1", "n0"]
+
+    def test_plan_placement_marks_hosting(self):
+        ledger = self.ledger()
+        ledger.plan_placement("n1", "a", ResourceVector(0.5, 512.0, 50.0))
+        assert ledger.hosts("n1", "a")
+        assert ledger.candidates_for("a", ResourceVector(0.1, 1.0, 0.0)) == []
+
+
+class TestIntervalGuard:
+    def test_first_operation_always_allowed(self):
+        guard = RescaleIntervalGuard(3.0, 50.0)
+        assert guard.can_scale_up("svc", 0.0)
+        assert guard.can_scale_down("svc", 0.0)
+
+    def test_up_interval_enforced(self):
+        guard = RescaleIntervalGuard(3.0, 50.0)
+        guard.record_scale_up("svc", 10.0)
+        assert not guard.can_scale_up("svc", 12.0)
+        assert guard.can_scale_up("svc", 13.0)
+
+    def test_down_interval_enforced(self):
+        guard = RescaleIntervalGuard(3.0, 50.0)
+        guard.record_scale_down("svc", 10.0)
+        assert not guard.can_scale_down("svc", 59.0)
+        assert guard.can_scale_down("svc", 60.0)
+
+    def test_up_and_down_independent(self):
+        guard = RescaleIntervalGuard(3.0, 50.0)
+        guard.record_scale_up("svc", 10.0)
+        assert guard.can_scale_down("svc", 10.0)
+
+    def test_per_service_isolation(self):
+        guard = RescaleIntervalGuard(3.0, 50.0)
+        guard.record_scale_up("a", 10.0)
+        assert guard.can_scale_up("b", 10.0)
+
+    def test_reset(self):
+        guard = RescaleIntervalGuard(3.0, 50.0)
+        guard.record_scale_down("svc", 10.0)
+        guard.reset("svc")
+        assert guard.can_scale_down("svc", 11.0)
+
+    def test_reset_all(self):
+        guard = RescaleIntervalGuard(3.0, 50.0)
+        guard.record_scale_down("a", 10.0)
+        guard.record_scale_down("b", 10.0)
+        guard.reset()
+        assert guard.can_scale_down("a", 11.0) and guard.can_scale_down("b", 11.0)
+
+    def test_negative_intervals_rejected(self):
+        with pytest.raises(PolicyError):
+            RescaleIntervalGuard(-1.0, 50.0)

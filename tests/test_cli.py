@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kubernetes" in out and "bitbrains" in out
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gpu"])
+
+    def test_run_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "cpu", "--algorithms", "magic"])
+
+    def test_workload_registry_covers_paper(self):
+        # The paper's five workloads plus the disk extension.
+        assert set(WORKLOADS) == {"cpu", "memory", "mixed", "network", "disk", "bitbrains"}
+
+
+class TestCommands:
+    def test_trace_command(self, capsys):
+        assert main(["trace", "--vms", "5", "--duration", "120", "--interval", "30", "--stride", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "cpu %" in out
+
+    def test_section3_network_only(self, capsys):
+        assert main(["section3", "--which", "network"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Figure 2" not in out
+
+    def test_section3_memory_only(self, capsys):
+        assert main(["section3", "--which", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "Section III-B" in out
+
+    def test_run_with_costs(self, capsys):
+        assert main(
+            ["run", "cpu", "--burst", "low", "--algorithms", "kubernetes", "hybrid", "--costs"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run cost" in out
+        assert "kWh" in out
+        assert "speedup of hybrid over kubernetes" in out
+
+    def test_run_with_timeline(self, capsys):
+        assert main(
+            ["run", "cpu", "--burst", "low", "--algorithms", "hybrid", "--timeline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cpu used" in out
+        assert "allocation efficiency" in out
+
+    def test_run_with_events(self, capsys):
+        assert main(
+            ["run", "cpu", "--burst", "low", "--algorithms", "hybrid", "--events", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scaling events: hybrid" in out
+        assert "decision mix:" in out
+
+    def test_reproduce_single_figure(self, capsys):
+        assert main(["reproduce", "--figures", "fig6b"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6b" in out
+        assert "Figure 2" in out  # section III curves always included
+        assert "vs kubernetes" in out
+
+    def test_reproduce_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "--figures", "fig99"])
+
+    def test_run_with_json_dump(self, capsys, tmp_path):
+        out_file = tmp_path / "runs.json"
+        assert main(
+            ["run", "cpu", "--burst", "low", "--algorithms", "hybrid", "--json", str(out_file)]
+        ) == 0
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert "hybrid" in payload
+        assert payload["hybrid"]["algorithm"] == "hybrid"
+
+    def test_inspect_round_trip(self, capsys, tmp_path):
+        dump = tmp_path / "runs.json"
+        main(["run", "cpu", "--burst", "low", "--algorithms", "hybrid", "--json", str(dump)])
+        capsys.readouterr()  # discard the run output
+        assert main(["inspect", str(dump), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out
+        assert "avg resp" in out
+        assert "allocation efficiency" in out

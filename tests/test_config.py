@@ -1,0 +1,97 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.config import ClusterConfig, OverheadModel, PAPER_CONFIG, SimulationConfig
+from repro.errors import ConfigError
+
+
+class TestOverheadModel:
+    def test_defaults_valid(self):
+        OverheadModel().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("colocation_contention", -0.1),
+            ("colocation_contention", 1.0),
+            ("colocation_cap", 0.9),
+            ("distribution_log_coeff", -1.0),
+            ("container_base_memory", -5.0),
+            ("container_background_cpu", -0.1),
+            ("container_boot_delay", -1.0),
+            ("swap_slowdown", 0.0),
+            ("swap_slowdown", 1.5),
+            ("oom_factor", 0.5),
+            ("txq_penalty_max", 1.0),
+            ("txq_penalty_half_rate", 0.0),
+            ("txq_oversub_penalty", -0.1),
+            ("net_cpu_per_mbit", -0.001),
+        ],
+    )
+    def test_rejects_out_of_range(self, field, value):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigError):
+            replace(OverheadModel(), **{field: value}).validate()
+
+
+class TestClusterConfig:
+    def test_paper_shape(self):
+        config = ClusterConfig()
+        config.validate()
+        # 24 machines total: 19 workers + 5 load balancers.
+        assert config.worker_nodes + config.load_balancers == 24
+        assert config.node_cpu == 4.0
+        assert config.node_memory == 8192.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"worker_nodes": 0},
+            {"load_balancers": 0},
+            {"node_cpu": 0.0},
+            {"node_memory": -1.0},
+            {"node_network": 0.0},
+        ],
+    )
+    def test_rejects_impossible(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusterConfig(**kwargs).validate()
+
+
+class TestSimulationConfig:
+    def test_paper_config_valid(self):
+        PAPER_CONFIG.validate()
+
+    def test_paper_intervals(self):
+        # Section IV-A1: 5 s query, 3 s up, 50 s down.
+        assert PAPER_CONFIG.monitor_period == 5.0
+        assert PAPER_CONFIG.scale_up_interval == 3.0
+        assert PAPER_CONFIG.scale_down_interval == 50.0
+
+    def test_with_overrides_replaces(self):
+        config = PAPER_CONFIG.with_overrides(seed=99, dt=0.25)
+        assert config.seed == 99
+        assert config.dt == 0.25
+        assert PAPER_CONFIG.seed == 0  # original untouched
+
+    def test_monitor_period_must_cover_a_step(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(dt=10.0, monitor_period=5.0).validate()
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(dt=0.0).validate()
+
+    def test_rejects_negative_intervals(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(scale_up_interval=-1.0).validate()
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(request_timeout=0.0).validate()
+
+    def test_nested_validation_propagates(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(cluster=ClusterConfig(worker_nodes=0)).validate()

@@ -1,0 +1,136 @@
+"""Tests for the cost/power accounting extension."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector, TimelinePoint
+from repro.metrics.costs import CostReport, PricingModel, cost_comparison_rows, evaluate_costs
+from repro.metrics.sla import Sla
+from repro.workloads.requests import FailureReason, Request
+
+
+def point(t: float, active: int = 2, cpu: float = 4.0) -> TimelinePoint:
+    return TimelinePoint(
+        time=t, total_replicas=2, cpu_usage=cpu, cpu_allocated=4.0,
+        mem_usage=0.0, mem_allocated=0.0, net_usage=0.0, inflight=0,
+        active_nodes=active, total_nodes=4,
+    )
+
+
+def collector_with_timeline(points, requests=()) -> MetricsCollector:
+    collector = MetricsCollector()
+    for p in points:
+        collector.sample_timeline(p)
+    for r in requests:
+        collector.record_request(r)
+    return collector
+
+
+class TestPricingModel:
+    def test_idle_cluster_draw(self):
+        pricing = PricingModel(idle_watts=100.0, peak_watts=200.0, node_cpu=4.0)
+        draw = pricing.power_draw(point(0.0, active=3, cpu=0.0))
+        assert draw == pytest.approx(300.0)
+
+    def test_fully_loaded_draw(self):
+        pricing = PricingModel(idle_watts=100.0, peak_watts=200.0, node_cpu=4.0)
+        draw = pricing.power_draw(point(0.0, active=2, cpu=8.0))
+        assert draw == pytest.approx(2 * 200.0)
+
+    def test_parked_machines_draw_nothing(self):
+        pricing = PricingModel()
+        assert pricing.power_draw(point(0.0, active=0, cpu=0.0)) == 0.0
+
+    def test_utilization_capped(self):
+        pricing = PricingModel(idle_watts=100.0, peak_watts=200.0, node_cpu=4.0)
+        # Work-conserving usage can exceed nominal capacity; draw cannot.
+        assert pricing.power_draw(point(0.0, active=1, cpu=100.0)) == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            PricingModel(idle_watts=300.0, peak_watts=200.0)
+        with pytest.raises(ExperimentError):
+            PricingModel(dollars_per_kwh=-1.0)
+        with pytest.raises(ExperimentError):
+            PricingModel(node_cpu=0.0)
+
+
+class TestEvaluateCosts:
+    def test_energy_integration(self):
+        # 2 nodes at full load for 3600 s at 200 W each = 0.4 kWh.
+        pricing = PricingModel(idle_watts=100.0, peak_watts=200.0, node_cpu=4.0,
+                               dollars_per_kwh=0.10, dollars_per_node_hour=0.0)
+        collector = collector_with_timeline([point(0.0, 2, 8.0), point(3600.0, 2, 8.0)])
+        report = evaluate_costs(collector, Sla(), pricing)
+        assert report.energy_kwh == pytest.approx(0.4)
+        assert report.energy_cost == pytest.approx(0.04)
+        assert report.node_hours == pytest.approx(2.0)
+
+    def test_penalties_from_requests(self):
+        slow = Request(service="s", arrival_time=0.0, cpu_work=0.1)
+        slow.complete(10.0)
+        failed = Request(service="s", arrival_time=0.0, cpu_work=0.1)
+        failed.fail(1.0, FailureReason.CONNECTION)
+        collector = collector_with_timeline([point(0.0), point(60.0)], [slow, failed])
+        sla = Sla(response_time_target=5.0, penalty_per_violation=0.5)
+        report = evaluate_costs(collector, sla)
+        assert report.sla_violations == 2
+        assert report.penalty_cost == pytest.approx(1.0)
+
+    def test_requires_timeline(self):
+        with pytest.raises(ExperimentError):
+            evaluate_costs(MetricsCollector(), Sla())
+
+    def test_total_cost_sums_components(self):
+        collector = collector_with_timeline([point(0.0), point(3600.0)])
+        report = evaluate_costs(collector, Sla())
+        assert report.total_cost == pytest.approx(
+            report.energy_cost + report.occupancy_cost + report.penalty_cost
+        )
+
+
+class TestComparison:
+    def make_report(self, total: float) -> CostReport:
+        return CostReport(
+            duration=60.0, energy_kwh=0.1, node_hours=1.0, sla_violations=0,
+            energy_cost=total, occupancy_cost=0.0, penalty_cost=0.0,
+        )
+
+    def test_savings_vs(self):
+        cheap = self.make_report(1.0)
+        pricey = self.make_report(2.0)
+        assert cheap.savings_vs(pricey) == pytest.approx(0.5)
+
+    def test_rows_include_baseline_dash(self):
+        rows = cost_comparison_rows(
+            {"kubernetes": self.make_report(2.0), "hybridmem": self.make_report(1.0)}
+        )
+        by_name = {row[0]: row for row in rows}
+        assert by_name["kubernetes"][-1] == "-"
+        assert "+50.0" in by_name["hybridmem"][-1]
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ExperimentError):
+            cost_comparison_rows({"hybridmem": self.make_report(1.0)})
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ExperimentError):
+            self.make_report(1.0).savings_vs(self.make_report(0.0))
+
+
+class TestEndToEndCosts:
+    def test_run_produces_priceable_timeline(self):
+        from repro.experiments.configs import cpu_bound, make_policy
+        from repro.experiments.runner import Simulation
+        from dataclasses import replace
+
+        spec = cpu_bound("low")
+        small = replace(spec, duration=30.0, specs=spec.specs[:2], loads=spec.loads[:2])
+        sim = Simulation.build(
+            config=small.config, specs=list(small.specs), loads=list(small.loads),
+            policy=make_policy("hybrid", small.config),
+        )
+        sim.run(small.duration)
+        report = evaluate_costs(sim.collector, Sla())
+        assert report.energy_kwh > 0
+        assert report.node_hours > 0

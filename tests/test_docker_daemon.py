@@ -1,0 +1,129 @@
+"""Tests for the per-node Docker daemon."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.dockersim.daemon import DockerDaemon
+from repro.errors import CapacityError, ContainerNotFound, ContainerStateError
+from repro.workloads.requests import Request
+
+
+@pytest.fixture
+def daemon(node):
+    return DockerDaemon(node)
+
+
+def run_default(daemon, service="svc", cpu=0.5, mem=512.0, net=50.0, boot=0.0):
+    return daemon.run(
+        service, 0, cpu_request=cpu, mem_limit=mem, net_rate=net, now=0.0, boot_delay=boot
+    )
+
+
+class TestRun:
+    def test_run_hosts_container(self, daemon):
+        container = run_default(daemon)
+        assert container.container_id in daemon.node.containers
+        assert container in daemon.ps()
+
+    def test_boot_delay_respected(self, daemon):
+        container = run_default(daemon, boot=3.0)
+        assert not container.is_serving
+
+    def test_capacity_enforced(self, daemon):
+        run_default(daemon, cpu=3.0)
+        with pytest.raises(CapacityError):
+            run_default(daemon, service="other", cpu=2.0)
+
+    def test_max_concurrency_passed(self, daemon):
+        container = daemon.run(
+            "svc", 0, cpu_request=0.5, mem_limit=512.0, net_rate=0.0, now=0.0, max_concurrency=4
+        )
+        assert container.max_concurrency == 4
+
+
+class TestUpdate:
+    def test_vertical_cpu(self, daemon):
+        container = run_default(daemon)
+        daemon.update(container.container_id, cpu_request=2.0)
+        assert container.cpu_request == 2.0
+        assert container.cpu_shares == 2048
+
+    def test_vertical_memory(self, daemon):
+        container = run_default(daemon)
+        daemon.update(container.container_id, mem_limit=1024.0)
+        assert container.mem_limit == 1024.0
+
+    def test_vertical_network_reshapes_nic(self, daemon):
+        container = run_default(daemon, net=50.0)
+        daemon.update(container.container_id, net_rate=200.0)
+        class_id = daemon.node.nic.iptables.class_of(container.container_id)
+        assert daemon.node.nic.qdisc.get_class(class_id).rate == 200.0
+
+    def test_update_cannot_oversubscribe(self, daemon):
+        a = run_default(daemon, cpu=2.0)
+        run_default(daemon, service="b", cpu=1.5)
+        with pytest.raises(CapacityError):
+            daemon.update(a.container_id, cpu_request=3.0)
+
+    def test_update_down_always_allowed(self, daemon):
+        container = run_default(daemon, cpu=2.0)
+        daemon.update(container.container_id, cpu_request=0.1)
+        assert container.cpu_request == 0.1
+
+    def test_update_unknown_rejected(self, daemon):
+        with pytest.raises(ContainerNotFound):
+            daemon.update("ghost", cpu_request=1.0)
+
+    def test_update_stopped_rejected(self, daemon):
+        container = run_default(daemon)
+        container.terminate(1.0)
+        with pytest.raises(ContainerStateError):
+            daemon.update(container.container_id, cpu_request=1.0)
+
+    def test_invalid_values_rejected(self, daemon):
+        container = run_default(daemon)
+        with pytest.raises(ContainerStateError):
+            daemon.update(container.container_id, mem_limit=0.0)
+
+
+class TestRemoveAndStats:
+    def test_remove_unhosts(self, daemon):
+        container = run_default(daemon)
+        daemon.remove(container.container_id, 1.0)
+        assert container.container_id not in daemon.node.containers
+
+    def test_remove_unknown_rejected(self, daemon):
+        with pytest.raises(ContainerNotFound):
+            daemon.remove("ghost", 0.0)
+
+    def test_stats_reflect_allocations(self, daemon):
+        container = run_default(daemon, cpu=1.5, mem=256.0, net=25.0)
+        stats = daemon.stats(container.container_id, 3.0)
+        assert stats.timestamp == 3.0
+        assert stats.cpu_request == 1.5
+        assert stats.mem_limit == 256.0
+        assert stats.net_rate == 25.0
+
+    def test_stats_track_usage(self, daemon):
+        container = run_default(daemon)
+        container.accept(Request(service="svc", arrival_time=0.0, cpu_work=100.0), 0.0)
+        daemon.node.step(1.0, 1.0)
+        assert daemon.stats(container.container_id, 1.0).cpu_usage > 0.0
+
+
+class TestReaping:
+    def test_reap_oom_kills(self, daemon, overheads):
+        victim = run_default(daemon, mem=110.0)
+        for _ in range(6):
+            victim.accept(
+                Request(service="svc", arrival_time=0.0, cpu_work=1000.0, mem_footprint=200.0), 0.0
+            )
+        daemon.node.step(1.0, 1.0)
+        corpses = daemon.reap_oom_kills(1.0)
+        assert corpses == [victim]
+        assert victim.container_id not in daemon.node.containers
+
+    def test_reap_ignores_healthy(self, daemon):
+        run_default(daemon)
+        assert daemon.reap_oom_kills(1.0) == []

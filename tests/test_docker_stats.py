@@ -1,0 +1,76 @@
+"""Tests for docker-stats samples and windows."""
+
+import pytest
+
+from repro.dockersim.stats import StatsSample, StatsWindow
+from repro.errors import DockerSimError
+
+
+def sample(t: float, cpu: float = 0.5, req: float = 1.0, mem: float = 256.0, limit: float = 512.0) -> StatsSample:
+    return StatsSample(
+        timestamp=t,
+        cpu_usage=cpu,
+        cpu_request=req,
+        mem_usage=mem,
+        mem_limit=limit,
+        net_usage=10.0,
+        net_rate=50.0,
+    )
+
+
+class TestSample:
+    def test_utilizations(self):
+        s = sample(0.0, cpu=0.5, req=1.0)
+        assert s.cpu_utilization == 0.5
+        assert s.mem_utilization == 0.5
+        assert s.net_utilization == pytest.approx(0.2)
+
+    def test_utilization_can_exceed_one(self):
+        # Work-conserving shares: usage above request is normal.
+        assert sample(0.0, cpu=3.0, req=1.0).cpu_utilization == 3.0
+
+    def test_zero_request_gives_zero_utilization(self):
+        assert sample(0.0, req=0.0).cpu_utilization == 0.0
+
+
+class TestWindow:
+    def test_mean_over(self):
+        window = StatsWindow(horizon=30.0)
+        for t in range(5):
+            window.record(sample(float(t), cpu=float(t)))
+        mean = window.mean_over(10.0)
+        assert mean.cpu_usage == pytest.approx(2.0)  # mean of 0..4
+
+    def test_mean_uses_latest_allocations(self):
+        window = StatsWindow(horizon=30.0)
+        window.record(sample(0.0, req=1.0))
+        window.record(sample(1.0, req=2.0))
+        assert window.mean_over(10.0).cpu_request == 2.0
+
+    def test_mean_respects_window(self):
+        window = StatsWindow(horizon=100.0)
+        window.record(sample(0.0, cpu=100.0))
+        window.record(sample(50.0, cpu=1.0))
+        window.record(sample(51.0, cpu=1.0))
+        assert window.mean_over(5.0).cpu_usage == pytest.approx(1.0)
+
+    def test_eviction_beyond_horizon(self):
+        window = StatsWindow(horizon=10.0)
+        window.record(sample(0.0))
+        window.record(sample(20.0))
+        assert len(window) == 1
+
+    def test_empty_window(self):
+        window = StatsWindow()
+        assert window.latest() is None
+        assert window.mean_over(5.0) is None
+
+    def test_out_of_order_rejected(self):
+        window = StatsWindow()
+        window.record(sample(5.0))
+        with pytest.raises(DockerSimError):
+            window.record(sample(1.0))
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(DockerSimError):
+            StatsWindow(horizon=0.0)

@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), f"{name} escapes ReproError"
+
+    def test_subsystem_relationships(self):
+        assert issubclass(errors.ClockError, errors.SimulationError)
+        assert issubclass(errors.PlacementError, errors.ClusterError)
+        assert issubclass(errors.CapacityError, errors.ClusterError)
+        assert issubclass(errors.ContainerNotFound, errors.DockerSimError)
+        assert issubclass(errors.ContainerStateError, errors.DockerSimError)
+
+    def test_single_except_catches_library_failures(self):
+        """The advertised usage: one except clause for any library error."""
+        from repro.cluster.resources import ResourceVector
+        from repro.cluster.node import Node
+
+        with pytest.raises(errors.ReproError):
+            Node("bad", ResourceVector(0.0, 0.0, 0.0))
+
+    def test_errors_carry_messages(self):
+        try:
+            raise errors.CapacityError("node full")
+        except errors.ReproError as exc:
+            assert "node full" in str(exc)

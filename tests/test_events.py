@@ -1,0 +1,126 @@
+"""Tests for the scaling-decision event log."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.events import (
+    EventKind,
+    ScalingEvent,
+    ScalingEventLog,
+    decision_summary,
+    render_event_log,
+)
+
+
+def event(t=1.0, kind=EventKind.VERTICAL, service="svc", reason="reclaim", detail=""):
+    return ScalingEvent(time=t, kind=kind, service=service, reason=reason, detail=detail)
+
+
+class TestLog:
+    def test_append_and_read(self):
+        log = ScalingEventLog()
+        log.record(event(1.0))
+        log.record(event(2.0))
+        assert len(log) == 2
+        assert [e.time for e in log.events()] == [1.0, 2.0]
+
+    def test_time_order_enforced(self):
+        log = ScalingEventLog()
+        log.record(event(5.0))
+        with pytest.raises(ExperimentError):
+            log.record(event(1.0))
+
+    def test_same_time_allowed(self):
+        log = ScalingEventLog()
+        log.record(event(5.0))
+        log.record(event(5.0))
+        assert len(log) == 2
+
+    def test_for_service(self):
+        log = ScalingEventLog()
+        log.record(event(1.0, service="a"))
+        log.record(event(2.0, service="b"))
+        assert [e.service for e in log.for_service("a")] == ["a"]
+
+    def test_between(self):
+        log = ScalingEventLog()
+        for t in (1.0, 2.0, 3.0):
+            log.record(event(t))
+        assert [e.time for e in log.between(1.5, 3.0)] == [2.0]
+        with pytest.raises(ExperimentError):
+            log.between(3.0, 1.0)
+
+
+class TestSummary:
+    def test_counts_by_kind_and_reason(self):
+        log = ScalingEventLog()
+        log.record(event(1.0, kind=EventKind.VERTICAL, reason="reclaim"))
+        log.record(event(2.0, kind=EventKind.VERTICAL, reason="acquire"))
+        log.record(event(3.0, kind=EventKind.VERTICAL, reason="acquire"))
+        log.record(event(4.0, kind=EventKind.SCALE_UP, reason="spill"))
+        summary = decision_summary(log)
+        assert summary == {
+            "vertical/reclaim": 1,
+            "vertical/acquire": 2,
+            "scale-up/spill": 1,
+        }
+
+
+class TestRender:
+    def test_renders_rows(self):
+        log = ScalingEventLog()
+        log.record(event(12.5, detail="cpu 0.50->1.25"))
+        text = render_event_log(log)
+        assert "t=    12.5s" in text
+        assert "[reclaim]" in text
+        assert "cpu 0.50->1.25" in text
+
+    def test_limit_takes_newest(self):
+        log = ScalingEventLog()
+        for t in range(10):
+            log.record(event(float(t), detail=f"n{t}"))
+        text = render_event_log(log, limit=2)
+        assert "n9" in text and "n8" in text and "n0" not in text
+
+    def test_empty(self):
+        assert "no scaling events" in render_event_log(ScalingEventLog())
+
+
+class TestMonitorIntegration:
+    def test_run_produces_audit_trail(self):
+        from repro.experiments.configs import cpu_bound, make_policy
+        from repro.experiments.runner import Simulation
+        from dataclasses import replace
+
+        spec = cpu_bound("low")
+        small = replace(spec, duration=40.0, specs=spec.specs[:2], loads=spec.loads[:2])
+        sim = Simulation.build(
+            config=small.config, specs=list(small.specs), loads=list(small.loads),
+            policy=make_policy("hybrid", small.config),
+        )
+        summary = sim.run(small.duration)
+        log = sim.collector.events
+        assert len(log) > 0
+        kinds = {e.kind for e in log.events()}
+        assert EventKind.VERTICAL in kinds
+        # Tallies agree with the audit trail.
+        verticals = sum(1 for e in log.events() if e.kind is EventKind.VERTICAL)
+        assert verticals == summary.vertical_scale_ops
+        ups = sum(1 for e in log.events() if e.kind is EventKind.SCALE_UP)
+        assert ups == summary.horizontal_scale_ups
+
+    def test_hyscale_reasons_visible(self):
+        from repro.experiments.configs import cpu_bound, make_policy
+        from repro.experiments.runner import Simulation
+        from dataclasses import replace
+        from repro.metrics.events import decision_summary
+
+        spec = cpu_bound("high")
+        small = replace(spec, duration=60.0, specs=spec.specs[:3], loads=spec.loads[:3])
+        sim = Simulation.build(
+            config=small.config, specs=list(small.specs), loads=list(small.loads),
+            policy=make_policy("hybrid", small.config),
+        )
+        sim.run(small.duration)
+        summary = decision_summary(sim.collector.events)
+        assert any(key.startswith("vertical/acquire") for key in summary)

@@ -1,0 +1,54 @@
+"""Keep the examples honest: every script compiles; the fast ones run.
+
+Examples rot silently when APIs move.  Each script must at least compile
+against the current tree; the quick ones are executed end-to-end (stdout
+captured) so their output paths stay exercised.
+"""
+
+import pathlib
+import py_compile
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Scripts cheap enough to execute in the unit-test suite.
+FAST_EXAMPLES = ("quickstart.py",)
+
+
+def test_examples_exist():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {
+        "quickstart.py",
+        "flash_sale.py",
+        "bitbrains_replay.py",
+        "video_cdn_burst.py",
+        "custom_policy.py",
+        "chaos_day.py",
+        "stateful_ledger.py",
+        "capacity_planning.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "requests handled" in out
+
+
+def test_every_example_has_module_docstring_with_run_line():
+    """Each example documents how to run it."""
+    for path in ALL_EXAMPLES:
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), f"{path.name} missing docstring"
+        assert f"python examples/{path.name}" in source, (
+            f"{path.name} docstring missing its run command"
+        )

@@ -1,0 +1,144 @@
+"""Tests for the canonical experiment configurations."""
+
+import pytest
+
+from repro.core.hyscale import HyScaleCpu
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.core.kubernetes import KubernetesHpa
+from repro.core.network import NetworkHpa
+from repro.errors import ExperimentError
+from repro.experiments.configs import (
+    ALGORITHMS,
+    Scale,
+    bitbrains,
+    cpu_bound,
+    make_policy,
+    memory_bound,
+    mixed,
+    network_bound,
+)
+
+
+class TestPolicyFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("kubernetes", KubernetesHpa),
+            ("network", NetworkHpa),
+            ("hybrid", HyScaleCpu),
+            ("hybridmem", HyScaleCpuMem),
+        ],
+    )
+    def test_builds_each_algorithm(self, name, cls):
+        policy = make_policy(name)
+        assert isinstance(policy, cls)
+        assert policy.name == name
+
+    def test_intervals_from_config(self):
+        from repro.config import SimulationConfig
+
+        config = SimulationConfig(scale_up_interval=7.0, scale_down_interval=70.0)
+        policy = make_policy("kubernetes", config)
+        assert policy.guard.up_interval == 7.0
+        assert policy.guard.down_interval == 70.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_policy("magic")
+
+    def test_algorithms_constant_matches_factory(self):
+        for name in ALGORITHMS:
+            make_policy(name)
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("factory", [cpu_bound, memory_bound, mixed, network_bound])
+    def test_fleet_shape(self, factory):
+        scale = Scale.current()
+        spec = factory("low")
+        assert len(spec.specs) == scale.n_services
+        assert len(spec.loads) == scale.n_services
+        assert spec.duration == scale.duration
+        assert {s.name for s in spec.specs} == {l.service for l in spec.loads}
+
+    def test_bursts_differ(self):
+        low = cpu_bound("low")
+        high = cpu_bound("high")
+        lo = low.loads[0].pattern
+        hi = high.loads[0].pattern
+        # High burst reaches a higher peak than the low-burst swell.
+        lo_max = max(lo.rate(t) for t in range(0, 150))
+        hi_max = max(hi.rate(t) for t in range(0, 150))
+        assert hi_max > lo_max
+
+    def test_unknown_burst_rejected(self):
+        with pytest.raises(ExperimentError):
+            cpu_bound("medium")
+
+    def test_paper_settings_in_specs(self):
+        spec = cpu_bound("low")
+        first = spec.specs[0]
+        assert first.target_utilization == 0.5
+        assert first.max_replicas == 16
+        assert spec.config.monitor_period == 5.0
+
+    def test_phases_staggered(self):
+        spec = cpu_bound("high")
+        rates_at_t0 = {load.pattern.rate(0.0) for load in spec.loads}
+        assert len(rates_at_t0) > 1  # tenants do not spike in lockstep
+
+    def test_bitbrains_spec(self):
+        spec = bitbrains()
+        scale = Scale.current()
+        assert len(spec.specs) == scale.n_services
+        assert spec.label == "bitbrains/rnd"
+        # Trace-driven loads vary over time.
+        load = spec.loads[0]
+        rates = [load.pattern.rate(t) for t in range(0, int(spec.duration), 30)]
+        assert max(rates) > min(rates)
+
+    def test_seed_changes_workload(self):
+        a = bitbrains(seed=1)
+        b = bitbrains(seed=2)
+        ra = [a.loads[0].pattern.rate(t) for t in range(0, 200, 20)]
+        rb = [b.loads[0].pattern.rate(t) for t in range(0, 200, 20)]
+        assert ra != rb
+
+
+class TestRunPlumbing:
+    def test_run_accepts_string_or_policy(self):
+        spec = cpu_bound("low")
+        # Shrink drastically for a smoke run.
+        from dataclasses import replace
+
+        small = replace(spec, duration=20.0, specs=spec.specs[:2], loads=spec.loads[:2])
+        by_name = small.run("hybrid")
+        by_instance = small.run(HyScaleCpu())
+        assert by_name.algorithm == by_instance.algorithm == "hybrid"
+        assert by_name.total_requests == by_instance.total_requests
+
+
+class TestSuite:
+    def test_reproduce_subset(self):
+        from repro.experiments.suite import FIGURES, reproduce_evaluation
+
+        messages = []
+        result = reproduce_evaluation(figures=("fig6a",), progress=messages.append)
+        assert set(result.figures) == {"fig6a"}
+        assert set(result.figures["fig6a"]) == set(FIGURES["fig6a"][1])
+        assert result.speedup("fig6a", "hybrid") > 1.0
+        assert len(result.fig2) == 5 and len(result.fig3) == 5
+        assert messages  # progress callback fired
+
+    def test_reproduce_unknown_figure_rejected(self):
+        from repro.experiments.suite import reproduce_evaluation
+
+        with pytest.raises(KeyError):
+            reproduce_evaluation(figures=("fig99",))
+
+    def test_render_includes_claims(self):
+        from repro.experiments.suite import render_reproduction, reproduce_evaluation
+
+        result = reproduce_evaluation(figures=("fig6a",))
+        text = render_reproduction(result)
+        assert "1.49x" in text  # the paper's claim is printed alongside

@@ -1,0 +1,110 @@
+"""Tests (incl. property-based) for weighted max-min fair sharing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.fairshare import weighted_fair_share
+from repro.errors import SimulationError
+
+
+class TestBasics:
+    def test_empty(self):
+        assert weighted_fair_share(4.0, [], []) == []
+
+    def test_zero_capacity(self):
+        assert weighted_fair_share(0.0, [1.0, 2.0], [1.0, 1.0]) == [0.0, 0.0]
+
+    def test_single_claimant_capped_by_demand(self):
+        assert weighted_fair_share(4.0, [1.5], [1024.0]) == [1.5]
+
+    def test_single_claimant_capped_by_capacity(self):
+        assert weighted_fair_share(4.0, [10.0], [1024.0]) == [4.0]
+
+    def test_equal_weights_split_evenly(self):
+        allocations = weighted_fair_share(4.0, [10.0, 10.0], [1.0, 1.0])
+        assert allocations == [2.0, 2.0]
+
+    def test_docker_shares_example(self):
+        # Paper Section III-A: shares 1024 vs 2048 => 1/3 and 2/3.
+        allocations = weighted_fair_share(3.0, [10.0, 10.0], [1024.0, 2048.0])
+        assert allocations[0] == pytest.approx(1.0)
+        assert allocations[1] == pytest.approx(2.0)
+
+    def test_work_conserving_redistribution(self):
+        # The small claimant is satisfied; its leftover goes to the big one.
+        allocations = weighted_fair_share(4.0, [0.5, 10.0], [1.0, 1.0])
+        assert allocations == [0.5, 3.5]
+
+    def test_zero_weight_served_last(self):
+        allocations = weighted_fair_share(4.0, [3.0, 3.0], [1.0, 0.0])
+        assert allocations[0] == pytest.approx(3.0)
+        assert allocations[1] == pytest.approx(1.0)
+
+    def test_zero_weight_only(self):
+        allocations = weighted_fair_share(4.0, [1.0, 2.0], [0.0, 0.0])
+        assert sum(allocations) == pytest.approx(3.0)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            weighted_fair_share(1.0, [1.0], [1.0, 2.0])
+
+    def test_negative_capacity(self):
+        with pytest.raises(SimulationError):
+            weighted_fair_share(-1.0, [1.0], [1.0])
+
+    def test_negative_demand(self):
+        with pytest.raises(SimulationError):
+            weighted_fair_share(1.0, [-1.0], [1.0])
+
+    def test_negative_weight(self):
+        with pytest.raises(SimulationError):
+            weighted_fair_share(1.0, [1.0], [-1.0])
+
+
+sizes = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def fairshare_inputs(draw):
+    n = draw(sizes)
+    demands = draw(
+        st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=n, max_size=n)
+    )
+    weights = draw(
+        st.lists(st.floats(0.0, 4096.0, allow_nan=False), min_size=n, max_size=n)
+    )
+    capacity = draw(st.floats(0.0, 64.0, allow_nan=False))
+    return capacity, demands, weights
+
+
+class TestProperties:
+    @given(fairshare_inputs())
+    def test_never_exceeds_demand_or_capacity(self, inputs):
+        capacity, demands, weights = inputs
+        allocations = weighted_fair_share(capacity, demands, weights)
+        assert len(allocations) == len(demands)
+        for alloc, demand in zip(allocations, demands):
+            assert -1e-9 <= alloc <= demand + 1e-6
+        assert sum(allocations) <= capacity + 1e-6
+
+    @given(fairshare_inputs())
+    def test_work_conserving(self, inputs):
+        capacity, demands, weights = inputs
+        allocations = weighted_fair_share(capacity, demands, weights)
+        if sum(demands) >= capacity:
+            assert sum(allocations) == pytest.approx(capacity, rel=1e-6, abs=1e-6)
+        else:
+            assert sum(allocations) == pytest.approx(sum(demands), rel=1e-6, abs=1e-6)
+
+    @given(fairshare_inputs())
+    def test_weight_monotone_under_saturation(self, inputs):
+        capacity, demands, weights = inputs
+        # Saturate every claimant so weights fully determine allocations.
+        demands = [capacity + 1.0] * len(demands)
+        allocations = weighted_fair_share(capacity, demands, weights)
+        for (ai, wi) in zip(allocations, weights):
+            for (aj, wj) in zip(allocations, weights):
+                if wi > wj:
+                    assert ai >= aj - 1e-6

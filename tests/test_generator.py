@@ -1,0 +1,90 @@
+"""Tests for the open-loop client load generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+from repro.workloads.generator import ClientLoadGenerator, ServiceLoad
+from repro.workloads.patterns import ConstantLoad
+from repro.workloads.profiles import CPU_BOUND
+
+
+def run_generator(loads, seed=0, steps=100, dt=0.5):
+    sink = []
+    generator = ClientLoadGenerator(loads, RngStreams(seed), sink.append)
+    clock = SimClock(dt=dt)
+    for _ in range(steps):
+        clock.advance()
+        generator.on_step(clock)
+    return generator, sink
+
+
+class TestGeneration:
+    def test_poisson_mean_matches_rate(self):
+        loads = [ServiceLoad("svc", CPU_BOUND, ConstantLoad(10.0))]
+        generator, sink = run_generator(loads, steps=400, dt=0.5)
+        # 400 steps x 0.5 s x 10 req/s = 2000 expected.
+        assert len(sink) == pytest.approx(2000, rel=0.1)
+        assert generator.total_generated == len(sink)
+
+    def test_zero_rate_generates_nothing(self):
+        loads = [ServiceLoad("svc", CPU_BOUND, ConstantLoad(0.0))]
+        _, sink = run_generator(loads)
+        assert sink == []
+
+    def test_requests_carry_service_and_profile(self):
+        loads = [ServiceLoad("svc", CPU_BOUND, ConstantLoad(20.0))]
+        _, sink = run_generator(loads, steps=10)
+        assert sink
+        assert all(r.service == "svc" for r in sink)
+        assert all(r.cpu_work > 0 for r in sink)
+
+    def test_per_service_counters(self):
+        loads = [
+            ServiceLoad("a", CPU_BOUND, ConstantLoad(5.0)),
+            ServiceLoad("b", CPU_BOUND, ConstantLoad(5.0)),
+        ]
+        generator, sink = run_generator(loads, steps=100)
+        assert generator.generated_by_service["a"] + generator.generated_by_service["b"] == len(sink)
+
+    def test_arrivals_stamped_at_step_start(self):
+        loads = [ServiceLoad("svc", CPU_BOUND, ConstantLoad(50.0))]
+        sink = []
+        generator = ClientLoadGenerator(loads, RngStreams(0), sink.append)
+        clock = SimClock(dt=1.0)
+        clock.advance()  # now = 1.0; interval (0, 1]
+        generator.on_step(clock)
+        assert all(r.arrival_time == 0.0 for r in sink)
+
+
+class TestDeterminism:
+    def test_same_seed_same_arrivals(self):
+        loads = [ServiceLoad("svc", CPU_BOUND, ConstantLoad(10.0))]
+        _, a = run_generator(loads, seed=5)
+        _, b = run_generator(loads, seed=5)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+        assert [r.cpu_work for r in a] == [r.cpu_work for r in b]
+
+    def test_adding_service_preserves_existing_stream(self):
+        solo = [ServiceLoad("a", CPU_BOUND, ConstantLoad(10.0))]
+        duo = solo + [ServiceLoad("b", CPU_BOUND, ConstantLoad(10.0))]
+        _, lone = run_generator(solo, seed=5)
+        _, mixed = run_generator(duo, seed=5)
+        a_lone = [(r.arrival_time, r.cpu_work) for r in lone]
+        a_mixed = [(r.arrival_time, r.cpu_work) for r in mixed if r.service == "a"]
+        assert a_lone == a_mixed
+
+
+class TestValidation:
+    def test_duplicate_service_rejected(self):
+        loads = [
+            ServiceLoad("a", CPU_BOUND, ConstantLoad(1.0)),
+            ServiceLoad("a", CPU_BOUND, ConstantLoad(2.0)),
+        ]
+        with pytest.raises(WorkloadError):
+            ClientLoadGenerator(loads, RngStreams(0), lambda r: None)
+
+    def test_empty_service_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            ServiceLoad("", CPU_BOUND, ConstantLoad(1.0))

@@ -1,0 +1,280 @@
+"""Tests for HYSCALE_CPU (Section IV-B1)."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.core.actions import AddReplica, RemoveReplica, VerticalScale
+from repro.core.hyscale import HyScaleCpu
+from repro.errors import PolicyError
+
+from tests.conftest import make_node_view, make_replica, make_service, make_view
+
+
+def policy(**kwargs) -> HyScaleCpu:
+    return HyScaleCpu(**kwargs)
+
+
+class TestEquations:
+    def test_missing_cpus_zero_at_target(self):
+        """usage == requested * target  =>  Missing = 0."""
+        service = make_service(
+            "svc", (make_replica("a", cpu_request=1.0, cpu_usage=0.5),), target=0.5
+        )
+        assert policy().missing_cpus(service) == pytest.approx(0.0)
+
+    def test_missing_cpus_positive_when_starved(self):
+        service = make_service(
+            "svc", (make_replica("a", cpu_request=1.0, cpu_usage=1.0),), target=0.5
+        )
+        # (1.0 - 1.0*0.5) / 0.5 = 1.0 missing CPU.
+        assert policy().missing_cpus(service) == pytest.approx(1.0)
+
+    def test_missing_cpus_negative_when_slack(self):
+        service = make_service(
+            "svc", (make_replica("a", cpu_request=2.0, cpu_usage=0.5),), target=0.5
+        )
+        # (0.5 - 2.0*0.5) / 0.5 = -1.0.
+        assert policy().missing_cpus(service) == pytest.approx(-1.0)
+
+    def test_reclaimable_formula(self):
+        """Reclaimable_r = requested_r - usage_r / (0.9 * Target)."""
+        replica = make_replica("a", cpu_request=2.0, cpu_usage=0.45)
+        assert policy().reclaimable_cpus(replica, target=0.5) == pytest.approx(2.0 - 1.0)
+
+    def test_required_formula(self):
+        """Required_r = usage_r / (0.9 * Target) - requested_r."""
+        replica = make_replica("a", cpu_request=0.5, cpu_usage=0.9)
+        assert policy().required_cpus(replica, target=0.5) == pytest.approx(2.0 - 0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PolicyError):
+            HyScaleCpu(min_cpu_removal=0.0)
+        with pytest.raises(PolicyError):
+            HyScaleCpu(min_cpu_removal=0.5, min_cpu_spawn=0.2)
+        with pytest.raises(PolicyError):
+            HyScaleCpu(headroom=0.0)
+
+
+class TestReclamation:
+    def test_vertical_scale_down(self):
+        view = make_view(
+            services=(
+                make_service("svc", (make_replica("a", cpu_request=2.0, cpu_usage=0.45),)),
+            )
+        )
+        actions = policy().decide(view)
+        verticals = [a for a in actions if isinstance(a, VerticalScale)]
+        assert len(verticals) == 1
+        assert verticals[0].cpu_request == pytest.approx(1.0)
+        assert verticals[0].reason == "reclaim"
+
+    def test_removal_below_threshold(self):
+        """A replica whose post-reclaim allocation would drop under 0.1 CPU
+        is removed entirely (when min replicas allow)."""
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (
+                        make_replica("a", cpu_request=0.5, cpu_usage=0.2),
+                        make_replica("b", cpu_request=0.5, cpu_usage=0.001),
+                    ),
+                    min_replicas=1,
+                ),
+            ),
+            now=100.0,
+        )
+        actions = policy().decide(view)
+        removals = [a for a in actions if isinstance(a, RemoveReplica)]
+        assert [r.container_id for r in removals] == ["b"]
+
+    def test_min_replicas_prevent_removal(self):
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", cpu_request=0.5, cpu_usage=0.001),),
+                    min_replicas=1,
+                ),
+            )
+        )
+        actions = policy().decide(view)
+        assert not any(isinstance(a, RemoveReplica) for a in actions)
+        verticals = [a for a in actions if isinstance(a, VerticalScale)]
+        # Clamped shrink to the 0.1 CPU floor instead.
+        assert verticals and verticals[0].cpu_request == pytest.approx(0.1)
+
+    def test_removal_respects_down_interval(self):
+        p = policy(scale_down_interval=50.0)
+        def idle_view(now):
+            return make_view(
+                services=(
+                    make_service(
+                        "svc",
+                        (
+                            make_replica("a", cpu_request=0.5, cpu_usage=0.6),
+                            make_replica("b", cpu_request=0.5, cpu_usage=0.001),
+                            make_replica("c", cpu_request=0.5, cpu_usage=0.001),
+                        ),
+                    ),
+                ),
+                now=now,
+            )
+        first = [a for a in p.decide(idle_view(100.0)) if isinstance(a, RemoveReplica)]
+        assert len(first) == 1  # one removal, then the guard engages
+        second = [a for a in p.decide(idle_view(102.0)) if isinstance(a, RemoveReplica)]
+        assert second == []
+
+
+class TestAcquisition:
+    def test_vertical_scale_up_within_node(self):
+        view = make_view(
+            services=(
+                make_service("svc", (make_replica("a", cpu_request=0.5, cpu_usage=0.9),)),
+            )
+        )
+        actions = policy().decide(view)
+        verticals = [a for a in actions if isinstance(a, VerticalScale)]
+        assert len(verticals) == 1
+        # Required = 0.9/0.45 - 0.5 = 1.5; node has room.
+        assert verticals[0].cpu_request == pytest.approx(2.0)
+        assert verticals[0].reason == "acquire"
+
+    def test_acquisition_capped_by_node_availability(self):
+        """Acquired_r = min(Required_r, Available_n)."""
+        view = make_view(
+            services=(
+                make_service("svc", (make_replica("a", cpu_request=3.5, cpu_usage=3.5),)),
+            ),
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(3.5, 512.0, 50.0), services=("svc",)),
+            ),
+        )
+        actions = policy().decide(view)
+        verticals = [a for a in actions if isinstance(a, VerticalScale)]
+        assert verticals[0].cpu_request == pytest.approx(4.0)  # 3.5 + the 0.5 left
+
+    def test_horizontal_spill_when_node_full(self):
+        """Vertical cannot cover the deficit -> replicate onto a node not
+        hosting the service."""
+        view = make_view(
+            services=(
+                make_service("svc", (make_replica("a", node="n0", cpu_request=4.0, cpu_usage=4.0),)),
+            ),
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(4.0, 512.0, 50.0), services=("svc",)),
+                make_node_view("n1"),
+            ),
+            now=100.0,
+        )
+        actions = policy().decide(view)
+        adds = [a for a in actions if isinstance(a, AddReplica)]
+        assert len(adds) == 1
+        assert adds[0].node == "n1"
+        assert adds[0].exclude_hosting
+        assert adds[0].cpu_request >= 0.25
+
+    def test_spawn_needs_baseline_memory(self):
+        """A node advertising CPU but not the baseline memory is skipped."""
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", node="n0", cpu_request=4.0, cpu_usage=4.0),),
+                    base_mem=512.0,
+                ),
+            ),
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(4.0, 512.0, 50.0), services=("svc",)),
+                make_node_view(
+                    "n1", allocated=ResourceVector(0.0, 8000.0, 0.0)
+                ),  # only 192 MiB free
+            ),
+            now=100.0,
+        )
+        actions = policy().decide(view)
+        assert not any(isinstance(a, AddReplica) for a in actions)
+
+    def test_spill_respects_up_interval(self):
+        p = policy(scale_up_interval=3.0)
+        def starved_view(now):
+            return make_view(
+                services=(
+                    make_service("svc", (make_replica("a", node="n0", cpu_request=4.0, cpu_usage=4.0),)),
+                ),
+                nodes=(
+                    make_node_view("n0", allocated=ResourceVector(4.0, 512.0, 50.0), services=("svc",)),
+                    make_node_view("n1"),
+                ),
+                now=now,
+            )
+        assert any(isinstance(a, AddReplica) for a in p.decide(starved_view(100.0)))
+        assert not any(isinstance(a, AddReplica) for a in p.decide(starved_view(101.0)))
+
+    def test_vertical_exempt_from_intervals(self):
+        """'Vertical scaling, however, is exempt from this rule.'"""
+        p = policy()
+        def hot_view(now):
+            return make_view(
+                services=(
+                    make_service("svc", (make_replica("a", cpu_request=0.5, cpu_usage=0.9),)),
+                ),
+                now=now,
+            )
+        assert any(isinstance(a, VerticalScale) for a in p.decide(hot_view(100.0)))
+        assert any(isinstance(a, VerticalScale) for a in p.decide(hot_view(100.5)))
+
+    def test_max_replicas_cap_spill(self):
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", node="n0", cpu_request=4.0, cpu_usage=4.0),),
+                    max_replicas=1,
+                ),
+            ),
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(4.0, 512.0, 50.0), services=("svc",)),
+                make_node_view("n1"),
+            ),
+        )
+        assert not any(isinstance(a, AddReplica) for a in policy().decide(view))
+
+
+class TestBounds:
+    def test_min_replicas_restored(self):
+        view = make_view(
+            services=(make_service("svc", (), min_replicas=2),),
+            nodes=(make_node_view("n0"), make_node_view("n1"), make_node_view("n2")),
+        )
+        adds = [a for a in policy().decide(view) if isinstance(a, AddReplica)]
+        assert len(adds) == 2
+        # Anti-affinity: the two replicas land on different nodes.
+        assert len({a.node for a in adds}) == 2
+
+    def test_max_replicas_enforced(self):
+        replicas = tuple(
+            make_replica(f"c{i}", node=f"n{i}", cpu_request=0.5, cpu_usage=0.25) for i in range(3)
+        )
+        view = make_view(services=(make_service("svc", replicas, max_replicas=2),))
+        removals = [a for a in policy().decide(view) if isinstance(a, RemoveReplica)]
+        assert len(removals) == 1
+
+
+class TestResourceConservation:
+    def test_ledger_prevents_double_spending(self):
+        """Two starved services on one node cannot both acquire the same
+        spare CPU."""
+        view = make_view(
+            services=(
+                make_service("a", (make_replica("a1", node="n0", cpu_request=1.0, cpu_usage=1.5),)),
+                make_service("b", (make_replica("b1", node="n0", cpu_request=1.0, cpu_usage=1.5),)),
+            ),
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(2.0, 1024.0, 100.0), services=("a", "b")),
+            ),
+        )
+        actions = policy().decide(view)
+        verticals = [a for a in actions if isinstance(a, VerticalScale)]
+        granted = sum(v.cpu_request - 1.0 for v in verticals)
+        assert granted <= 2.0 + 1e-9  # node only had 2 cores free

@@ -1,0 +1,188 @@
+"""Tests for HYSCALE_CPU+Mem (Section IV-B2)."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.core.actions import AddReplica, RemoveReplica, VerticalScale
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.errors import PolicyError
+
+from tests.conftest import make_node_view, make_replica, make_service, make_view
+
+
+def policy(**kwargs) -> HyScaleCpuMem:
+    return HyScaleCpuMem(**kwargs)
+
+
+class TestMemoryEquations:
+    def test_missing_mem(self):
+        service = make_service(
+            "svc", (make_replica("a", mem_limit=1024.0, mem_usage=768.0),), target=0.5
+        )
+        # (768 - 1024*0.5) / 0.5 = 512 MiB missing.
+        assert policy().missing_mem(service) == pytest.approx(512.0)
+
+    def test_reclaimable_mem(self):
+        replica = make_replica("a", mem_limit=1024.0, mem_usage=225.0)
+        # 1024 - 225/0.45 = 524.
+        assert policy().reclaimable_mem(replica, target=0.5) == pytest.approx(524.0)
+
+    def test_required_mem(self):
+        replica = make_replica("a", mem_limit=512.0, mem_usage=450.0)
+        # 450/0.45 - 512 = 488.
+        assert policy().required_mem(replica, target=0.5) == pytest.approx(488.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(PolicyError):
+            HyScaleCpuMem(min_mem_removal=0.0)
+        with pytest.raises(PolicyError):
+            HyScaleCpuMem(min_mem_removal=200.0, mem_floor=100.0)
+
+
+class TestMemoryAcquisition:
+    def test_vertical_memory_growth(self):
+        """A memory-starved service gets a bigger limit, not new replicas."""
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", cpu_request=0.5, cpu_usage=0.25,
+                                  mem_limit=512.0, mem_usage=450.0),),
+                ),
+            )
+        )
+        actions = policy().decide(view)
+        verticals = [a for a in actions if isinstance(a, VerticalScale)]
+        assert len(verticals) == 1
+        assert verticals[0].mem_limit == pytest.approx(512.0 + 488.0)
+        assert verticals[0].cpu_request is None  # CPU was on target
+
+    def test_both_axes_in_one_action(self):
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", cpu_request=0.5, cpu_usage=0.9,
+                                  mem_limit=512.0, mem_usage=450.0),),
+                ),
+            )
+        )
+        verticals = [a for a in policy().decide(view) if isinstance(a, VerticalScale)]
+        assert len(verticals) == 1
+        assert verticals[0].cpu_request is not None and verticals[0].mem_limit is not None
+
+    def test_memory_acquisition_capped_by_node(self):
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", mem_limit=512.0, mem_usage=500.0, cpu_request=0.5,
+                                  cpu_usage=0.25),),
+                ),
+            ),
+            nodes=(
+                make_node_view(
+                    "n0",
+                    allocated=ResourceVector(0.5, 8092.0, 50.0),  # only 100 MiB free
+                    services=("svc",),
+                ),
+            ),
+        )
+        verticals = [a for a in policy().decide(view) if isinstance(a, VerticalScale)]
+        assert verticals[0].mem_limit == pytest.approx(612.0)
+
+
+class TestMutualRemoval:
+    def idle_replicas_view(self, mem_usage_b: float, now=100.0):
+        return make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (
+                        make_replica("a", cpu_request=0.5, cpu_usage=0.2,
+                                     mem_limit=512.0, mem_usage=100.0),
+                        make_replica("b", cpu_request=0.5, cpu_usage=0.001,
+                                     mem_limit=512.0, mem_usage=mem_usage_b),
+                    ),
+                    min_replicas=1,
+                ),
+            ),
+            now=now,
+        )
+
+    def test_removed_when_both_axes_idle(self):
+        view = self.idle_replicas_view(mem_usage_b=1.0)
+        removals = [a for a in policy().decide(view) if isinstance(a, RemoveReplica)]
+        assert [r.container_id for r in removals] == ["b"]
+
+    def test_kept_when_memory_still_used(self):
+        """'The algorithm can no longer indiscriminately remove a container
+        that is consuming memory ... if it falls below a certain CPU
+        threshold' — the thresholds must be met mutually."""
+        view = self.idle_replicas_view(mem_usage_b=300.0)  # CPU idle, memory busy
+        actions = policy().decide(view)
+        assert not any(isinstance(a, RemoveReplica) for a in actions)
+
+    def test_kept_replica_clamped_at_floors(self):
+        view = self.idle_replicas_view(mem_usage_b=300.0)
+        verticals = {a.container_id: a for a in policy().decide(view) if isinstance(a, VerticalScale)}
+        b = verticals["b"]
+        assert b.cpu_request == pytest.approx(0.1)  # CPU floor
+        assert b.mem_limit is None or b.mem_limit >= 0.75 * 512.0
+
+
+class TestMemorySpill:
+    def test_spill_when_node_memory_exhausted(self):
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", node="n0", mem_limit=7000.0, mem_usage=6800.0,
+                                  cpu_request=0.5, cpu_usage=0.25),),
+                ),
+            ),
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(0.5, 8192.0, 50.0), services=("svc",)),
+                make_node_view("n1"),
+            ),
+            now=100.0,
+        )
+        adds = [a for a in policy().decide(view) if isinstance(a, AddReplica)]
+        assert len(adds) == 1
+        assert adds[0].node == "n1"
+        assert adds[0].mem_limit >= 512.0
+
+    def test_spawn_requires_both_thresholds(self):
+        """New containers 'cannot be added with no allocated memory or CPU':
+        a node with memory but no CPU is not a candidate."""
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", node="n0", mem_limit=7000.0, mem_usage=6800.0,
+                                  cpu_request=0.5, cpu_usage=0.25),),
+                ),
+            ),
+            nodes=(
+                make_node_view("n0", allocated=ResourceVector(0.5, 8192.0, 50.0), services=("svc",)),
+                make_node_view("n1", allocated=ResourceVector(3.9, 0.0, 0.0)),  # 0.1 CPU free
+            ),
+            now=100.0,
+        )
+        assert not any(isinstance(a, AddReplica) for a in policy().decide(view))
+
+
+class TestInheritedCpuBehaviour:
+    def test_cpu_equations_still_apply(self):
+        view = make_view(
+            services=(
+                make_service("svc", (make_replica("a", cpu_request=0.5, cpu_usage=0.9,
+                                                  mem_limit=512.0, mem_usage=100.0),)),
+            )
+        )
+        verticals = [a for a in policy().decide(view) if isinstance(a, VerticalScale)]
+        ups = [v for v in verticals if v.cpu_request is not None and v.cpu_request > 0.5]
+        assert ups and ups[0].cpu_request == pytest.approx(2.0)
+
+    def test_name(self):
+        assert policy().name == "hybridmem"

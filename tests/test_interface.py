@@ -1,0 +1,117 @@
+"""Tests for the NIC model: shaping + tx-queue contention."""
+
+import pytest
+
+from repro.config import OverheadModel
+from repro.errors import NetworkSimError
+from repro.netsim.interface import NetworkInterface
+
+
+@pytest.fixture
+def nic(overheads):
+    """A 1 Gbit/s NIC with contention switched off (pure shaping tests)."""
+    return NetworkInterface(1000.0, overheads)
+
+
+@pytest.fixture
+def paper_nic():
+    """A NIC with the calibrated contention model."""
+    return NetworkInterface(1000.0, OverheadModel())
+
+
+class TestAttachment:
+    def test_attach_transmit_detach(self, nic):
+        nic.attach("c1", rate=100.0)
+        out = nic.transmit({"c1": 50.0})
+        assert out["c1"] == pytest.approx(50.0)
+        nic.detach("c1")
+        assert not nic.is_attached("c1")
+
+    def test_reshape(self, nic):
+        nic.attach("c1", rate=100.0, ceil=100.0)
+        nic.reshape("c1", rate=10.0, ceil=10.0)
+        out = nic.transmit({"c1": 50.0})
+        assert out["c1"] == pytest.approx(10.0)
+
+    def test_transmit_unknown_container_rejected(self, nic):
+        with pytest.raises(NetworkSimError):
+            nic.transmit({"ghost": 1.0})
+
+    def test_negative_offered_rejected(self, nic):
+        nic.attach("c1", rate=10.0)
+        with pytest.raises(NetworkSimError):
+            nic.transmit({"c1": -1.0})
+
+    def test_capacity_validation(self):
+        with pytest.raises(NetworkSimError):
+            NetworkInterface(0.0)
+
+
+class TestSharing:
+    def test_guarantees_respected_under_contention(self, nic):
+        nic.attach("a", rate=800.0)
+        nic.attach("b", rate=200.0)
+        out = nic.transmit({"a": 2000.0, "b": 2000.0})
+        assert out["a"] == pytest.approx(800.0)
+        assert out["b"] == pytest.approx(200.0)
+
+    def test_borrowing_when_neighbour_idle(self, nic):
+        nic.attach("a", rate=100.0)
+        nic.attach("b", rate=100.0)
+        out = nic.transmit({"a": 2000.0, "b": 0.0})
+        assert out["a"] == pytest.approx(1000.0)
+
+    def test_total_never_exceeds_capacity(self, nic):
+        for i in range(5):
+            nic.attach(f"c{i}", rate=300.0)
+        out = nic.transmit({f"c{i}": 1000.0 for i in range(5)})
+        assert sum(out.values()) <= 1000.0 + 1e-6
+
+
+class TestContention:
+    def test_fat_saturated_class_penalized(self, paper_nic):
+        paper_nic.attach("fat", rate=100.0, ceil=100.0)
+        out = paper_nic.transmit({"fat": 1000.0})
+        # Saturated 100 Mbit/s class loses a substantial fraction.
+        assert out["fat"] < 100.0 * 0.75
+
+    def test_thin_classes_barely_penalized(self, paper_nic):
+        for i in range(8):
+            paper_nic.attach(f"thin{i}", rate=12.5, ceil=12.5)
+        out = paper_nic.transmit({f"thin{i}": 1000.0 for i in range(8)})
+        total = sum(out.values())
+        assert total > 100.0 * 0.80  # eight thin queues ~= full goodput
+
+    def test_unsaturated_class_barely_penalized(self, paper_nic):
+        paper_nic.attach("calm", rate=100.0, ceil=100.0)
+        out = paper_nic.transmit({"calm": 30.0})
+        assert out["calm"] > 29.0  # u^3 makes low-utilization penalty tiny
+
+    def test_figure3_monotone_gain(self):
+        """The Figure 3 mechanism: same total bandwidth, thinner classes on
+        more NICs => strictly more goodput."""
+        goodput = []
+        for replicas in (1, 2, 4, 8):
+            rate = 100.0 / replicas
+            per_nic = []
+            for _ in range(replicas):
+                nic = NetworkInterface(1000.0, OverheadModel())
+                nic.attach("svc", rate=rate, ceil=rate)
+                per_nic.append(nic.transmit({"svc": 1000.0})["svc"])
+            goodput.append(sum(per_nic))
+        assert goodput == sorted(goodput)
+        assert goodput[-1] > goodput[0]
+
+    def test_oversubscription_penalty(self):
+        overheads = OverheadModel(txq_penalty_max=0.0, txq_oversub_penalty=0.5)
+        nic = NetworkInterface(100.0, overheads)
+        nic.attach("a", rate=50.0)
+        nic.attach("b", rate=50.0)
+        calm = nic.transmit({"a": 40.0, "b": 0.0})["a"]
+        hot = sum(nic.transmit({"a": 100.0, "b": 100.0}).values())
+        assert hot < 100.0  # admitted 200 over a 100 link => queueing loss
+        assert calm == pytest.approx(40.0)
+
+    def test_penalty_capped(self, paper_nic):
+        paper_nic.attach("x", rate=1000.0)
+        assert paper_nic.class_penalty(10_000.0, 1000.0, 100.0) <= 0.95

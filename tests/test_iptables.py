@@ -1,0 +1,57 @@
+"""Tests for the iptables mangle-table model."""
+
+import pytest
+
+from repro.errors import NetworkSimError
+from repro.netsim.iptables import IptablesTable, MarkRule
+
+
+class TestRules:
+    def test_add_and_resolve(self):
+        table = IptablesTable()
+        table.add_rule("c1", "1:10")
+        assert table.has_rule("c1")
+        assert table.class_of("c1") == "1:10"
+
+    def test_marks_unique_and_positive(self):
+        table = IptablesTable()
+        a = table.add_rule("c1", "1:10")
+        b = table.add_rule("c2", "1:20")
+        assert a.mark != b.mark
+        assert a.mark > 0 and b.mark > 0
+
+    def test_duplicate_rule_rejected(self):
+        table = IptablesTable()
+        table.add_rule("c1", "1:10")
+        with pytest.raises(NetworkSimError):
+            table.add_rule("c1", "1:20")
+
+    def test_delete_rule(self):
+        table = IptablesTable()
+        table.add_rule("c1", "1:10")
+        table.delete_rule("c1")
+        assert not table.has_rule("c1")
+        with pytest.raises(NetworkSimError):
+            table.class_of("c1")
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(NetworkSimError):
+            IptablesTable().delete_rule("ghost")
+
+    def test_rules_ordered_by_mark(self):
+        table = IptablesTable()
+        table.add_rule("b", "1:1")
+        table.add_rule("a", "1:2")
+        marks = [r.mark for r in table.rules()]
+        assert marks == sorted(marks)
+
+    def test_mark_rule_validation(self):
+        with pytest.raises(NetworkSimError):
+            MarkRule("c", 0)
+
+    def test_mark_reuse_after_delete_not_required(self):
+        table = IptablesTable()
+        first = table.add_rule("c1", "1:1")
+        table.delete_rule("c1")
+        second = table.add_rule("c2", "1:2")
+        assert second.mark != first.mark  # marks are never recycled

@@ -1,0 +1,149 @@
+"""Tests for the Kubernetes HPA controller (Section IV-A1)."""
+
+import pytest
+
+from repro.core.actions import AddReplica, RemoveReplica
+from repro.core.kubernetes import KubernetesHpa
+from repro.errors import PolicyError
+
+from tests.conftest import make_replica, make_service, make_view
+
+
+def hpa(**kwargs) -> KubernetesHpa:
+    return KubernetesHpa(**kwargs)
+
+
+def one_service_view(replicas, now=100.0, **service_kwargs):
+    return make_view(services=(make_service("svc", replicas, **service_kwargs),), now=now)
+
+
+class TestFormula:
+    def test_paper_formula(self):
+        """NumReplicas = ceil(sum(usage_r / requested_r) / Target)."""
+        service = make_service(
+            "svc",
+            (
+                make_replica("a", cpu_request=0.5, cpu_usage=0.5),  # util 1.0
+                make_replica("b", cpu_request=0.5, cpu_usage=0.25),  # util 0.5
+            ),
+            target=0.5,
+        )
+        # sum(util) = 1.5; 1.5 / 0.5 = 3.
+        assert hpa().desired_replicas(service) == 3
+
+    def test_ceiling_rounds_up(self):
+        service = make_service(
+            "svc", (make_replica("a", cpu_request=1.0, cpu_usage=0.55),), target=0.5
+        )
+        # 0.55 / 0.5 = 1.1 -> ceil = 2.
+        assert hpa().desired_replicas(service) == 2
+
+    def test_clamped_to_bounds(self):
+        hot = make_service(
+            "svc", (make_replica("a", cpu_request=0.1, cpu_usage=4.0),), max_replicas=5, target=0.5
+        )
+        assert hpa().desired_replicas(hot) == 5
+        cold = make_service(
+            "svc",
+            (make_replica("a", cpu_usage=0.0), make_replica("b", cpu_usage=0.0)),
+            min_replicas=2,
+            target=0.5,
+        )
+        assert hpa().desired_replicas(cold) == 2
+
+    def test_tolerance_band(self):
+        """|avg(util)/target - 1| <= 0.1 suppresses rescaling."""
+        service = make_service(
+            "svc", (make_replica("a", cpu_request=1.0, cpu_usage=0.52),), target=0.5
+        )
+        assert hpa().within_tolerance(service)
+        service = make_service(
+            "svc", (make_replica("a", cpu_request=1.0, cpu_usage=0.58),), target=0.5
+        )
+        assert not hpa().within_tolerance(service)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(PolicyError):
+            KubernetesHpa(tolerance=-0.1)
+
+
+class TestDecisions:
+    def test_scale_up_emits_adds(self):
+        view = one_service_view(
+            (make_replica("a", cpu_request=0.5, cpu_usage=1.0),), now=100.0
+        )
+        actions = hpa().decide(view)
+        adds = [a for a in actions if isinstance(a, AddReplica)]
+        # util 2.0 / 0.5 = 4 desired, 1 current -> 3 adds.
+        assert len(adds) == 3
+        assert all(a.cpu_request == 0.5 for a in adds)  # copies base allocation
+        assert all(not a.exclude_hosting for a in adds)
+
+    def test_scale_down_removes_newest_first(self):
+        replicas = tuple(
+            make_replica(f"c{i}", cpu_request=0.5, cpu_usage=0.02) for i in range(4)
+        )
+        view = one_service_view(replicas)
+        actions = hpa().decide(view)
+        removals = [a for a in actions if isinstance(a, RemoveReplica)]
+        assert len(removals) == 3  # down to min_replicas = 1
+        assert removals[0].container_id == "c3"
+
+    def test_within_tolerance_no_actions(self):
+        view = one_service_view((make_replica("a", cpu_request=1.0, cpu_usage=0.5),))
+        assert hpa().decide(view) == []
+
+    def test_bootstraps_empty_service(self):
+        view = make_view(services=(make_service("svc", (), min_replicas=2),))
+        actions = hpa().decide(view)
+        assert len([a for a in actions if isinstance(a, AddReplica)]) == 2
+
+    def test_booting_replicas_count_toward_current(self):
+        view = one_service_view(
+            (
+                make_replica("a", cpu_request=0.5, cpu_usage=0.5),  # util 1 -> desired 2
+                make_replica("b", booting=True),
+            )
+        )
+        # Desired 2 == current 2: no churn while the new replica boots.
+        assert hpa().decide(view) == []
+
+
+class TestAntiThrash:
+    def test_up_interval_blocks_rapid_scale_up(self):
+        policy = hpa(scale_up_interval=3.0)
+        view = one_service_view((make_replica("a", cpu_request=0.5, cpu_usage=1.0),), now=100.0)
+        assert policy.decide(view) != []
+        view2 = one_service_view((make_replica("a", cpu_request=0.5, cpu_usage=1.0),), now=101.0)
+        assert policy.decide(view2) == []  # within 3 s
+        view3 = one_service_view((make_replica("a", cpu_request=0.5, cpu_usage=1.0),), now=104.0)
+        assert policy.decide(view3) != []
+
+    def test_down_interval_blocks_rapid_scale_down(self):
+        policy = hpa(scale_down_interval=50.0)
+        replicas = tuple(make_replica(f"c{i}", cpu_usage=0.01) for i in range(3))
+        assert policy.decide(one_service_view(replicas, now=100.0)) != []
+        assert policy.decide(one_service_view(replicas, now=120.0)) == []
+        assert policy.decide(one_service_view(replicas, now=151.0)) != []
+
+    def test_paper_intervals_default(self):
+        policy = hpa()
+        assert policy.guard.up_interval == 3.0
+        assert policy.guard.down_interval == 50.0
+
+
+class TestMultiService:
+    def test_services_reconciled_independently(self):
+        view = make_view(
+            services=(
+                make_service("hot", (make_replica("h1", node="n0", cpu_request=0.5, cpu_usage=1.0),)),
+                make_service("cold", tuple(
+                    make_replica(f"c{i}", node="n1", cpu_usage=0.01) for i in range(2)
+                )),
+            )
+        )
+        actions = hpa().decide(view)
+        adds = [a for a in actions if isinstance(a, AddReplica)]
+        removals = [a for a in actions if isinstance(a, RemoveReplica)]
+        assert adds and all(a.service == "hot" for a in adds)
+        assert removals and all(r.container_id.startswith("c") for r in removals)

@@ -1,0 +1,103 @@
+"""Tests for the Kubernetes memory-metric and multi-metric variants."""
+
+import pytest
+
+from repro.core.actions import AddReplica
+from repro.core.kubernetes_multi import KubernetesMemoryHpa, KubernetesMultiMetricHpa
+from repro.errors import PolicyError
+
+from tests.conftest import make_replica, make_service, make_view
+
+
+class TestMemoryHpa:
+    def test_scales_on_memory(self):
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", cpu_usage=0.01, mem_limit=512.0, mem_usage=512.0),),
+                ),
+            )
+        )
+        adds = [a for a in KubernetesMemoryHpa().decide(view) if isinstance(a, AddReplica)]
+        # mem util 1.0 / target 0.5 -> 2 desired.
+        assert len(adds) == 1
+
+    def test_ignores_cpu(self):
+        view = make_view(
+            services=(
+                make_service(
+                    "svc",
+                    (make_replica("a", cpu_usage=4.0, mem_limit=512.0, mem_usage=256.0),),
+                ),
+            )
+        )
+        assert KubernetesMemoryHpa().decide(view) == []
+
+
+class TestMultiMetric:
+    def hot_cpu_cold_mem(self):
+        return make_service(
+            "svc",
+            (make_replica("a", cpu_request=0.5, cpu_usage=1.0,
+                          mem_limit=512.0, mem_usage=100.0),),
+        )
+
+    def cold_cpu_hot_mem(self):
+        return make_service(
+            "svc",
+            (make_replica("a", cpu_request=0.5, cpu_usage=0.25,
+                          mem_limit=512.0, mem_usage=450.0),),
+        )
+
+    def test_largest_metric_wins(self):
+        """The paper: 'only the metric with the largest scale is chosen'."""
+        policy = KubernetesMultiMetricHpa(metrics=("cpu", "memory"))
+        # CPU says 4 replicas, memory says 1: desired = 4.
+        assert policy.desired_replicas(self.hot_cpu_cold_mem()) == 4
+        # CPU says 1, memory says ceil(0.879/0.5)=2: desired = 2.
+        assert policy.desired_replicas(self.cold_cpu_hot_mem()) == 2
+
+    def test_catches_bottlenecks_plain_hpa_misses(self):
+        view = make_view(services=(self.cold_cpu_hot_mem(),))
+        from repro.core.kubernetes import KubernetesHpa
+
+        assert KubernetesHpa().decide(view) == []  # CPU-only is blind
+        adds = [
+            a
+            for a in KubernetesMultiMetricHpa().decide(view)
+            if isinstance(a, AddReplica)
+        ]
+        assert len(adds) == 1
+
+    def test_tolerance_requires_all_metrics_quiet(self):
+        policy = KubernetesMultiMetricHpa()
+        quiet = make_service(
+            "svc",
+            (make_replica("a", cpu_request=1.0, cpu_usage=0.5,
+                          mem_limit=512.0, mem_usage=256.0),),
+        )
+        assert policy.within_tolerance(quiet)
+        assert not policy.within_tolerance(self.cold_cpu_hot_mem())
+
+    def test_metric_attribute_restored_after_calls(self):
+        policy = KubernetesMultiMetricHpa(metrics=("cpu", "memory"))
+        policy.desired_replicas(self.hot_cpu_cold_mem())
+        assert policy.metric == "cpu"
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            KubernetesMultiMetricHpa(metrics=())
+        with pytest.raises(PolicyError):
+            KubernetesMultiMetricHpa(metrics=("cpu", "gpu"))
+
+    def test_still_horizontal_only(self):
+        from repro.core.actions import VerticalScale
+
+        view = make_view(services=(self.cold_cpu_hot_mem(),))
+        actions = KubernetesMultiMetricHpa().decide(view)
+        assert not any(isinstance(a, VerticalScale) for a in actions)
+
+    def test_names(self):
+        assert KubernetesMemoryHpa().name == "kubernetes-mem"
+        assert KubernetesMultiMetricHpa().name == "kubernetes-multi"

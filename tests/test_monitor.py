@@ -1,0 +1,206 @@
+"""Tests for the MONITOR: view building, ticks, action execution."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.microservice import MicroserviceSpec
+from repro.config import ClusterConfig, SimulationConfig
+from repro.core.actions import AddReplica, RemoveReplica, ScalingAction, VerticalScale
+from repro.core.policy import AutoscalingPolicy
+from repro.core.view import ClusterView
+from repro.dockersim.api import DockerClient
+from repro.metrics.collector import MetricsCollector
+from repro.platform.monitor import Monitor
+from repro.platform.node_manager import NodeManager
+from repro.sim.clock import SimClock
+
+
+class ScriptedPolicy(AutoscalingPolicy):
+    """Returns a queued list of action batches, one batch per tick."""
+
+    name = "scripted"
+
+    def __init__(self, batches=None):
+        self.batches = list(batches or [])
+        self.views: list[ClusterView] = []
+
+    def decide(self, view: ClusterView) -> list[ScalingAction]:
+        self.views.append(view)
+        return self.batches.pop(0) if self.batches else []
+
+
+def build_platform(overheads, policy=None, worker_nodes=2):
+    config = SimulationConfig(
+        cluster=ClusterConfig(worker_nodes=worker_nodes),
+        seed=0,
+        monitor_period=5.0,
+    )
+    cluster = Cluster.from_config(config.cluster, overheads)
+    client = DockerClient(cluster)
+    cluster.register_service(MicroserviceSpec(name="svc"))
+    managers = {name: NodeManager(d) for name, d in client.daemons.items()}
+    collector = MetricsCollector()
+    monitor = Monitor(cluster, client, managers, policy or ScriptedPolicy(), config, collector)
+    return config, cluster, client, managers, collector, monitor
+
+
+def run_steps(cluster, managers, monitor, clock, steps):
+    for _ in range(steps):
+        clock.advance()
+        cluster.on_step(clock)
+        for name in sorted(managers):
+            managers[name].on_step(clock)
+        monitor.on_step(clock)
+
+
+class TestTickCadence:
+    def test_ticks_on_period(self, overheads):
+        _, cluster, _, managers, _, monitor = build_platform(overheads)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 12)
+        assert monitor.log.ticks == 2  # at t=5 and t=10
+
+    def test_policy_sees_snapshot(self, overheads):
+        policy = ScriptedPolicy()
+        _, cluster, client, managers, _, monitor = build_platform(overheads, policy)
+        client.run_replica("svc", "node-00", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, now=0.0)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        view = policy.views[0]
+        assert view.service("svc").replica_count == 1
+        assert view.node("node-00").allocated.cpu == pytest.approx(0.5)
+
+
+class TestViewBuilding:
+    def test_booting_replicas_flagged(self, overheads):
+        _, cluster, client, managers, _, monitor = build_platform(overheads)
+        cluster.overheads = overheads
+        client.run_replica(
+            "svc", "node-00", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, now=0.0, boot_delay=100.0
+        )
+        view = monitor.build_view(1.0)
+        replica = view.service("svc").replicas[0]
+        assert replica.booting
+        assert replica.cpu_request == 0.5
+
+    def test_usage_comes_from_window_mean(self, overheads):
+        _, cluster, client, managers, _, monitor = build_platform(overheads)
+        container = client.run_replica(
+            "svc", "node-00", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, now=0.0
+        )
+        from repro.workloads.requests import Request
+
+        container.accept(Request(service="svc", arrival_time=0.0, cpu_work=1000.0), 0.0)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        view = monitor.build_view(5.0)
+        assert view.service("svc").replicas[0].cpu_usage > 0.0
+
+
+class TestActionExecution:
+    def test_add_replica_with_pinned_node(self, overheads):
+        policy = ScriptedPolicy(
+            [[AddReplica("svc", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, node="node-01")]]
+        )
+        _, cluster, _, managers, collector, monitor = build_platform(overheads, policy)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert cluster.node("node-01").hosts_service("svc")
+        assert collector.horizontal_scale_ups == 1
+
+    def test_add_replica_placement_when_unpinned(self, overheads):
+        policy = ScriptedPolicy(
+            [[AddReplica("svc", cpu_request=0.5, mem_limit=512.0, net_rate=50.0)]]
+        )
+        _, cluster, _, managers, _, monitor = build_platform(overheads, policy)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert cluster.service("svc").replica_count == 1
+
+    def test_pinned_node_full_falls_back_to_placement(self, overheads):
+        policy = ScriptedPolicy(
+            [[AddReplica("svc", cpu_request=3.0, mem_limit=512.0, net_rate=50.0, node="node-00")]]
+        )
+        _, cluster, client, managers, _, monitor = build_platform(overheads, policy)
+        # Fill node-00 so the pin cannot be honoured.
+        client.run_replica("svc", "node-00", cpu_request=3.0, mem_limit=512.0, net_rate=50.0, now=0.0)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert cluster.node("node-01").hosts_service("svc")
+
+    def test_remove_replica(self, overheads):
+        _, cluster, client, managers, collector, monitor = build_platform(overheads)
+        container = client.run_replica(
+            "svc", "node-00", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, now=0.0
+        )
+        monitor.policy.batches = [[RemoveReplica(container.container_id)]]
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert cluster.service("svc").replica_count == 0
+        assert collector.horizontal_scale_downs == 1
+
+    def test_vertical_clamped_to_headroom(self, overheads):
+        _, cluster, client, managers, collector, monitor = build_platform(overheads)
+        container = client.run_replica(
+            "svc", "node-00", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, now=0.0
+        )
+        monitor.policy.batches = [[VerticalScale(container.container_id, cpu_request=99.0)]]
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert container.cpu_request == pytest.approx(4.0)  # node capacity
+        assert collector.vertical_scale_ops == 1
+
+    def test_failed_action_counted_not_raised(self, overheads):
+        policy = ScriptedPolicy([[RemoveReplica("ghost-container")]])
+        _, cluster, _, managers, _, monitor = build_platform(overheads, policy)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert monitor.log.actions_failed == 1
+        assert monitor.log.failures
+
+    def test_placement_failure_counted(self, overheads):
+        policy = ScriptedPolicy(
+            [[AddReplica("svc", cpu_request=100.0, mem_limit=512.0, net_rate=50.0)]]
+        )
+        _, cluster, _, managers, _, monitor = build_platform(overheads, policy)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert monitor.log.placement_failures == 1
+
+
+class TestReaping:
+    def test_oom_reaped_every_step(self, overheads):
+        _, cluster, client, managers, collector, monitor = build_platform(overheads)
+        container = client.run_replica(
+            "svc", "node-00", cpu_request=0.5, mem_limit=110.0, net_rate=50.0, now=0.0
+        )
+        from repro.workloads.requests import Request
+
+        for _ in range(8):
+            container.accept(
+                Request(service="svc", arrival_time=0.0, cpu_work=1000.0, mem_footprint=200.0), 0.0
+            )
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 2)
+        assert collector.oom_kills == 1
+        assert cluster.service("svc").replica_count == 0
+
+
+class TestPolicySwap:
+    def test_set_policy_takes_effect_next_tick(self, overheads):
+        """Section V-C: algorithms are switchable on a live cluster."""
+        from repro.core.hyscale import HyScaleCpu
+
+        first = ScriptedPolicy()
+        _, cluster, client, managers, collector, monitor = build_platform(overheads, first)
+        client.run_replica("svc", "node-00", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, now=0.0)
+        clock = SimClock(dt=1.0)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert len(first.views) == 1
+
+        replacement = HyScaleCpu()
+        monitor.set_policy(replacement)
+        run_steps(cluster, managers, monitor, clock, 5)
+        assert len(first.views) == 1  # old policy no longer consulted
+        assert monitor.policy is replacement
+        assert monitor.log.ticks == 2

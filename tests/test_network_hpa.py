@@ -1,0 +1,94 @@
+"""Tests for the network scaling algorithm (Section IV-A2)."""
+
+from repro.core.actions import AddReplica, RemoveReplica
+from repro.core.network import NetworkHpa
+
+from tests.conftest import make_replica, make_service, make_view
+
+
+class TestMetricSwap:
+    def test_uses_bandwidth_not_cpu(self):
+        """A bandwidth-saturated, CPU-idle service must scale out."""
+        view = make_view(
+            services=(
+                make_service(
+                    "cdn",
+                    (
+                        make_replica(
+                            "c1",
+                            cpu_request=0.5,
+                            cpu_usage=0.01,  # CPU idle
+                            net_rate=50.0,
+                            net_usage=75.0,  # bandwidth 150 % of rate
+                        ),
+                    ),
+                ),
+            )
+        )
+        actions = NetworkHpa().decide(view)
+        adds = [a for a in actions if isinstance(a, AddReplica)]
+        # util 1.5 / 0.5 target = 3 desired.
+        assert len(adds) == 2
+
+    def test_ignores_cpu_saturation(self):
+        """A CPU-saturated but network-idle service is left alone."""
+        view = make_view(
+            services=(
+                make_service(
+                    "compute",
+                    (
+                        make_replica(
+                            "c1",
+                            cpu_request=0.5,
+                            cpu_usage=4.0,  # CPU on fire
+                            net_rate=50.0,
+                            net_usage=25.0,  # exactly at 50 % target
+                        ),
+                    ),
+                ),
+            )
+        )
+        assert NetworkHpa().decide(view) == []
+
+    def test_scales_in_when_bandwidth_idle(self):
+        replicas = tuple(
+            make_replica(f"c{i}", net_rate=50.0, net_usage=0.5) for i in range(4)
+        )
+        view = make_view(services=(make_service("cdn", replicas),))
+        removals = [a for a in NetworkHpa().decide(view) if isinstance(a, RemoveReplica)]
+        assert len(removals) == 3
+
+    def test_same_formula_as_kubernetes(self):
+        """The paper: 'uses the same algorithm as Kubernetes, but replaces
+        CPU usage for outgoing network bandwidth usage'."""
+        service = make_service(
+            "svc",
+            (
+                make_replica("a", net_rate=100.0, net_usage=100.0),  # util 1.0
+                make_replica("b", net_rate=100.0, net_usage=50.0),  # util 0.5
+            ),
+            target=0.5,
+        )
+        assert NetworkHpa().desired_replicas(service) == 3
+
+    def test_inherits_anti_thrash(self):
+        policy = NetworkHpa(scale_up_interval=3.0, scale_down_interval=50.0)
+        view = make_view(
+            services=(
+                make_service("cdn", (make_replica("c1", net_rate=50.0, net_usage=100.0),)),
+            ),
+            now=10.0,
+        )
+        assert policy.decide(view) != []
+        view2 = make_view(
+            services=(
+                make_service("cdn", (make_replica("c1", net_rate=50.0, net_usage=100.0),)),
+            ),
+            now=11.0,
+        )
+        assert policy.decide(view2) == []
+
+    def test_name_and_metric(self):
+        policy = NetworkHpa()
+        assert policy.name == "network"
+        assert policy.metric == "network"

@@ -1,0 +1,80 @@
+"""Tests for the node manager (stats windows + vertical execution)."""
+
+import pytest
+
+from repro.dockersim.daemon import DockerDaemon
+from repro.errors import ContainerNotFound
+from repro.platform.node_manager import NodeManager
+from repro.sim.clock import SimClock
+from repro.workloads.requests import Request
+
+
+@pytest.fixture
+def manager(node):
+    return NodeManager(DockerDaemon(node), window_horizon=30.0)
+
+
+def run_container(manager, service="svc", cpu=0.5):
+    return manager.daemon.run(
+        service, 0, cpu_request=cpu, mem_limit=512.0, net_rate=50.0, now=0.0
+    )
+
+
+def sample_steps(manager, node, steps: int, dt: float = 1.0, work: bool = False):
+    clock = SimClock(dt=dt)
+    for _ in range(steps):
+        clock.advance()
+        node.step(clock.now, dt)
+        manager.on_step(clock)
+    return clock
+
+
+class TestSampling:
+    def test_collects_samples(self, manager, node):
+        container = run_container(manager)
+        sample_steps(manager, node, 5)
+        assert container.container_id in manager.tracked_containers()
+        stats = manager.mean_stats(container.container_id, 10.0)
+        assert stats.cpu_request == 0.5
+
+    def test_mean_over_window(self, manager, node):
+        container = run_container(manager)
+        container.accept(Request(service="svc", arrival_time=0.0, cpu_work=1000.0), 0.0)
+        sample_steps(manager, node, 10)
+        stats = manager.mean_stats(container.container_id, 5.0)
+        assert stats.cpu_usage > 0.0
+
+    def test_departed_containers_pruned(self, manager, node):
+        container = run_container(manager)
+        sample_steps(manager, node, 2)
+        manager.daemon.remove(container.container_id, 2.0)
+        sample_steps(manager, node, 1)
+        assert container.container_id not in manager.tracked_containers()
+        with pytest.raises(ContainerNotFound):
+            manager.mean_stats(container.container_id, 5.0)
+
+    def test_unknown_container_rejected(self, manager):
+        with pytest.raises(ContainerNotFound):
+            manager.mean_stats("ghost", 5.0)
+
+    def test_pending_containers_not_sampled_until_running(self, manager, node):
+        container = manager.daemon.run(
+            "svc", 0, cpu_request=0.5, mem_limit=512.0, net_rate=0.0, now=0.0, boot_delay=100.0
+        )
+        sample_steps(manager, node, 2)
+        # PENDING containers still occupy resources and appear in ps(), so
+        # they are tracked (with zero usage) — matching `docker stats`.
+        assert container.container_id in manager.tracked_containers()
+
+
+class TestVerticalExecution:
+    def test_apply_vertical(self, manager, node):
+        container = run_container(manager)
+        manager.apply_vertical(container.container_id, cpu_request=2.0, mem_limit=1024.0)
+        assert container.cpu_request == 2.0
+        assert container.mem_limit == 1024.0
+
+    def test_apply_vertical_network(self, manager, node):
+        container = run_container(manager)
+        manager.apply_vertical(container.container_id, net_rate=200.0)
+        assert container.net_rate == 200.0

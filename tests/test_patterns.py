@@ -1,0 +1,206 @@
+"""Tests (incl. property-based) for load patterns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.patterns import ConstantLoad, HighBurstLoad, LowBurstLoad, TraceLoad
+
+times = st.floats(0.0, 10_000.0, allow_nan=False)
+
+
+class TestConstant:
+    def test_flat(self):
+        load = ConstantLoad(5.0)
+        assert load.rate(0.0) == load.rate(123.4) == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            ConstantLoad(-1.0)
+
+    def test_mean(self):
+        assert ConstantLoad(5.0).mean_rate(100.0) == pytest.approx(5.0)
+
+
+class TestLowBurst:
+    def test_oscillates_around_base(self):
+        load = LowBurstLoad(base=10.0, amplitude=0.3, period=100.0)
+        rates = [load.rate(t) for t in range(0, 100)]
+        assert max(rates) == pytest.approx(13.0, rel=0.01)
+        assert min(rates) == pytest.approx(7.0, rel=0.01)
+
+    def test_mean_near_base(self):
+        load = LowBurstLoad(base=10.0, amplitude=0.3, period=50.0)
+        assert load.mean_rate(500.0) == pytest.approx(10.0, rel=0.02)
+
+    def test_phase_shifts_curve(self):
+        a = LowBurstLoad(base=10.0, period=100.0, phase=0.0)
+        b = LowBurstLoad(base=10.0, period=100.0, phase=25.0)
+        assert a.rate(0.0) != b.rate(0.0)
+        assert a.rate(25.0) == pytest.approx(b.rate(0.0))
+
+    @given(times)
+    def test_never_negative(self, t):
+        assert LowBurstLoad(base=5.0, amplitude=1.0, period=60.0).rate(t) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LowBurstLoad(base=-1.0)
+        with pytest.raises(WorkloadError):
+            LowBurstLoad(base=1.0, amplitude=1.5)
+        with pytest.raises(WorkloadError):
+            LowBurstLoad(base=1.0, period=0.0)
+
+
+class TestHighBurst:
+    def test_trough_and_peak(self):
+        load = HighBurstLoad(base=2.0, peak=20.0, period=100.0, duty=0.25, ramp=0.0)
+        assert load.rate(10.0) == 20.0  # inside the spike
+        assert load.rate(50.0) == 2.0  # in the trough
+
+    def test_ramp_edges(self):
+        load = HighBurstLoad(base=0.0, peak=10.0, period=100.0, duty=0.2, ramp=5.0)
+        assert load.rate(0.0) == pytest.approx(0.0)
+        assert load.rate(2.5) == pytest.approx(5.0)
+        assert load.rate(10.0) == pytest.approx(10.0)
+        assert load.rate(17.5) == pytest.approx(5.0)
+
+    def test_periodicity(self):
+        load = HighBurstLoad(base=1.0, peak=9.0, period=60.0, duty=0.3)
+        for t in (0.0, 13.0, 44.0):
+            assert load.rate(t) == pytest.approx(load.rate(t + 60.0))
+
+    def test_mean_between_base_and_peak(self):
+        load = HighBurstLoad(base=2.0, peak=20.0, period=100.0, duty=0.25)
+        mean = load.mean_rate(1000.0)
+        assert 2.0 < mean < 20.0
+
+    @given(times)
+    def test_rate_bounded(self, t):
+        load = HighBurstLoad(base=2.0, peak=20.0, period=120.0, duty=0.25, ramp=2.0)
+        assert 2.0 - 1e-9 <= load.rate(t) <= 20.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            HighBurstLoad(base=5.0, peak=2.0)
+        with pytest.raises(WorkloadError):
+            HighBurstLoad(base=1.0, peak=2.0, duty=0.0)
+        with pytest.raises(WorkloadError):
+            HighBurstLoad(base=1.0, peak=2.0, period=100.0, duty=0.1, ramp=50.0)
+
+
+class TestTrace:
+    def test_step_interpolation(self):
+        load = TraceLoad([0.0, 10.0, 20.0], [1.0, 5.0, 2.0], loop=False)
+        assert load.rate(0.0) == 1.0
+        assert load.rate(9.99) == 1.0
+        assert load.rate(10.0) == 5.0
+        assert load.rate(25.0) == 2.0  # holds last value
+
+    def test_looping(self):
+        load = TraceLoad([0.0, 10.0], [1.0, 5.0], loop=True)
+        assert load.duration == 20.0
+        assert load.rate(20.0) == 1.0  # wrapped around
+        assert load.rate(35.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceLoad([], [])
+        with pytest.raises(WorkloadError):
+            TraceLoad([1.0], [2.0])  # must start at 0
+        with pytest.raises(WorkloadError):
+            TraceLoad([0.0, 0.0], [1.0, 2.0])  # strictly increasing
+        with pytest.raises(WorkloadError):
+            TraceLoad([0.0, 1.0], [1.0, -2.0])  # non-negative rates
+        with pytest.raises(WorkloadError):
+            TraceLoad([0.0], [1.0]).rate(-1.0)
+
+
+class TestDiurnal:
+    def make(self):
+        from repro.workloads.patterns import DiurnalLoad
+
+        return DiurnalLoad(trough=2.0, peak=10.0, day_length=240.0, peak_at=0.5)
+
+    def test_peak_and_trough(self):
+        load = self.make()
+        assert load.rate(120.0) == pytest.approx(10.0)  # peak_at 0.5 of 240
+        assert load.rate(0.0) == pytest.approx(2.0)
+
+    def test_periodic(self):
+        load = self.make()
+        for t in (10.0, 57.0, 200.0):
+            assert load.rate(t) == pytest.approx(load.rate(t + 240.0))
+
+    @given(times)
+    def test_bounded(self, t):
+        load = self.make()
+        assert 2.0 - 1e-9 <= load.rate(t) <= 10.0 + 1e-9
+
+    def test_validation(self):
+        from repro.workloads.patterns import DiurnalLoad
+
+        with pytest.raises(WorkloadError):
+            DiurnalLoad(trough=5.0, peak=2.0)
+        with pytest.raises(WorkloadError):
+            DiurnalLoad(trough=1.0, peak=2.0, peak_at=1.5)
+
+
+class TestFlashCrowd:
+    def make(self):
+        from repro.workloads.patterns import FlashCrowdLoad
+
+        return FlashCrowdLoad(base=1.0, peak=50.0, onset=100.0, rise_tau=10.0, decay_tau=60.0)
+
+    def test_quiet_before_onset(self):
+        load = self.make()
+        assert load.rate(0.0) == 1.0
+        assert load.rate(99.9) == 1.0
+
+    def test_ramps_to_peak(self):
+        load = self.make()
+        crest = load.rate(150.0)  # 5 taus after onset
+        assert crest == pytest.approx(50.0, rel=0.02)
+
+    def test_decays_after_crest(self):
+        load = self.make()
+        assert load.rate(200.0) < load.rate(150.0)
+        assert load.rate(1000.0) == pytest.approx(1.0, abs=0.5)
+
+    def test_monotone_rise(self):
+        load = self.make()
+        samples = [load.rate(t) for t in range(100, 150, 5)]
+        assert samples == sorted(samples)
+
+    def test_validation(self):
+        from repro.workloads.patterns import FlashCrowdLoad
+
+        with pytest.raises(WorkloadError):
+            FlashCrowdLoad(base=2.0, peak=1.0, onset=0.0)
+        with pytest.raises(WorkloadError):
+            FlashCrowdLoad(base=1.0, peak=2.0, onset=0.0, rise_tau=0.0)
+
+
+class TestComposite:
+    def test_sums_parts(self):
+        from repro.workloads.patterns import CompositeLoad
+
+        load = CompositeLoad([ConstantLoad(2.0), ConstantLoad(3.0)])
+        assert load.rate(17.0) == 5.0
+
+    def test_empty_rejected(self):
+        from repro.workloads.patterns import CompositeLoad
+
+        with pytest.raises(WorkloadError):
+            CompositeLoad([])
+
+    def test_diurnal_plus_flash(self):
+        from repro.workloads.patterns import CompositeLoad, DiurnalLoad, FlashCrowdLoad
+
+        load = CompositeLoad(
+            [
+                DiurnalLoad(trough=2.0, peak=8.0, day_length=600.0),
+                FlashCrowdLoad(base=0.0, peak=30.0, onset=100.0),
+            ]
+        )
+        assert load.rate(150.0) > load.rate(50.0)  # the crowd shows up

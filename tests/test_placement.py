@@ -1,0 +1,96 @@
+"""Tests (incl. property-based) for placement strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.node import Node
+from repro.cluster.placement import BinPackPlacement, RandomPlacement, SpreadPlacement
+from repro.cluster.resources import ResourceVector
+
+from tests.conftest import make_container
+
+
+def node_with_load(name: str, used_cpu: float, overheads, service: str = "filler") -> Node:
+    node = Node(name, ResourceVector(4.0, 8192.0, 1000.0), overheads)
+    if used_cpu > 0:
+        node.add_container(make_container(service, cpu=used_cpu, mem=256.0, net=10.0, overheads=overheads))
+    return node
+
+
+@pytest.fixture
+def trio(overheads):
+    return [
+        node_with_load("n0", 3.0, overheads),
+        node_with_load("n1", 1.0, overheads),
+        node_with_load("n2", 2.0, overheads),
+    ]
+
+
+SMALL = ResourceVector(0.5, 128.0, 10.0)
+
+
+class TestSpread:
+    def test_picks_most_available(self, trio):
+        assert SpreadPlacement().choose(trio, SMALL).name == "n1"
+
+    def test_tie_broken_by_name(self, overheads):
+        nodes = [node_with_load("b", 0.0, overheads), node_with_load("a", 0.0, overheads)]
+        assert SpreadPlacement().choose(nodes, SMALL).name == "a"
+
+    def test_excludes_service_hosts(self, trio):
+        chosen = SpreadPlacement().choose(trio, SMALL, exclude_service="filler")
+        assert chosen is None  # all three host 'filler'
+
+    def test_none_when_nothing_fits(self, trio):
+        huge = ResourceVector(10.0, 128.0, 10.0)
+        assert SpreadPlacement().choose(trio, huge) is None
+
+
+class TestBinPack:
+    def test_picks_fullest_that_fits(self, trio):
+        assert BinPackPlacement().choose(trio, SMALL).name == "n0"
+
+    def test_skips_nodes_that_cannot_fit(self, trio):
+        request = ResourceVector(1.5, 128.0, 10.0)
+        assert BinPackPlacement().choose(trio, request).name == "n2"
+
+
+class TestRandom:
+    def test_deterministic_with_seeded_rng(self, trio):
+        a = RandomPlacement(np.random.default_rng(1)).choose(trio, SMALL)
+        b = RandomPlacement(np.random.default_rng(1)).choose(trio, SMALL)
+        assert a.name == b.name
+
+    def test_only_feasible_chosen(self, overheads):
+        nodes = [node_with_load("full", 4.0, overheads), node_with_load("free", 0.0, overheads)]
+        placement = RandomPlacement(np.random.default_rng(0))
+        for _ in range(10):
+            assert placement.choose(nodes, SMALL).name == "free"
+
+
+class TestProperties:
+    @given(
+        loads=st.lists(st.floats(0.0, 4.0, allow_nan=False), min_size=1, max_size=8),
+        cpu=st.floats(0.1, 4.0, allow_nan=False),
+    )
+    def test_chosen_node_always_fits(self, loads, cpu):
+        from repro.config import OverheadModel
+
+        overheads = OverheadModel(container_background_cpu=0.0)
+        nodes = []
+        for i, load in enumerate(loads):
+            node = Node(f"n{i}", ResourceVector(4.0, 8192.0, 1000.0), overheads)
+            if load > 0.05:
+                node.add_container(
+                    make_container("x", cpu=min(load, 4.0), mem=64.0, net=0.0, overheads=overheads),
+                    enforce_capacity=False,
+                )
+            nodes.append(node)
+        request = ResourceVector(cpu, 64.0, 0.0)
+        for strategy in (SpreadPlacement(), BinPackPlacement()):
+            chosen = strategy.choose(nodes, request)
+            if chosen is not None:
+                assert request.fits_within(chosen.available())
+            else:
+                assert all(not request.fits_within(n.available()) for n in nodes)

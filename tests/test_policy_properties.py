@@ -1,0 +1,191 @@
+"""Property-based tests on the algorithms' equations and decisions.
+
+The paper's equations have algebraic identities worth pinning down
+independently of any simulation: signs, fixed points, conservation, and
+monotonicity.  Hypothesis explores the input space; the assertions are the
+identities.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.actions import AddReplica, RemoveReplica, VerticalScale
+from repro.core.hyscale import HyScaleCpu
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.core.kubernetes import KubernetesHpa
+
+from tests.conftest import make_replica, make_service, make_view
+
+usage = st.floats(0.0, 8.0, allow_nan=False)
+request = st.floats(0.1, 4.0, allow_nan=False)
+target = st.floats(0.1, 1.0, allow_nan=False, exclude_min=True)
+
+
+class TestHpaFormula:
+    @given(
+        usages=st.lists(usage, min_size=1, max_size=8),
+        req=request,
+        tgt=target,
+    )
+    def test_desired_covers_demand(self, usages, req, tgt):
+        """ceil(sum(util)/target) replicas at the base request would bring
+        average utilization to at most the target (the formula's purpose)."""
+        replicas = tuple(
+            make_replica(f"c{i}", cpu_request=req, cpu_usage=u) for i, u in enumerate(usages)
+        )
+        service = make_service("svc", replicas, target=tgt, max_replicas=10_000, base_cpu=req)
+        desired = KubernetesHpa().desired_replicas(service)
+        total_util = sum(u / req for u in usages)
+        if desired < 10_000 and total_util > 0:
+            assert total_util / desired <= tgt + 1e-6
+
+    @given(
+        usages=st.lists(usage, min_size=1, max_size=8),
+        req=request,
+        tgt=target,
+    )
+    def test_desired_is_minimal(self, usages, req, tgt):
+        """One replica fewer would exceed the target (no over-provisioning
+        beyond the ceiling)."""
+        replicas = tuple(
+            make_replica(f"c{i}", cpu_request=req, cpu_usage=u) for i, u in enumerate(usages)
+        )
+        service = make_service(
+            "svc", replicas, target=tgt, min_replicas=1, max_replicas=10_000, base_cpu=req
+        )
+        desired = KubernetesHpa().desired_replicas(service)
+        total_util = sum(u / req for u in usages)
+        if desired > 1:
+            assert total_util / (desired - 1) > tgt - 1e-6 or desired == 1
+
+    @given(low=usage, high=usage, req=request, tgt=target)
+    def test_monotone_in_usage(self, low, high, req, tgt):
+        if low > high:
+            low, high = high, low
+        cold = make_service(
+            "svc", (make_replica("a", cpu_request=req, cpu_usage=low),), target=tgt,
+            max_replicas=10_000,
+        )
+        hot = make_service(
+            "svc", (make_replica("a", cpu_request=req, cpu_usage=high),), target=tgt,
+            max_replicas=10_000,
+        )
+        hpa = KubernetesHpa()
+        assert hpa.desired_replicas(hot) >= hpa.desired_replicas(cold)
+
+
+class TestHyScaleIdentities:
+    @given(u=usage, req=request, tgt=target)
+    def test_missing_sign_matches_utilization(self, u, req, tgt):
+        """Missing > 0 iff overall utilization exceeds the target."""
+        service = make_service(
+            "svc", (make_replica("a", cpu_request=req, cpu_usage=u),), target=tgt
+        )
+        missing = HyScaleCpu().missing_cpus(service)
+        utilization = u / req
+        if utilization > tgt + 1e-9:
+            assert missing > 0
+        elif utilization < tgt - 1e-9:
+            assert missing < 0
+
+    @given(u=usage, req=request, tgt=target)
+    def test_reclaim_and_require_are_negatives(self, u, req, tgt):
+        """ReclaimableCPUs_r == -RequiredCPUs_r by construction."""
+        policy = HyScaleCpu()
+        replica = make_replica("a", cpu_request=req, cpu_usage=u)
+        assert policy.reclaimable_cpus(replica, tgt) == pytest.approx(
+            -policy.required_cpus(replica, tgt)
+        )
+
+    @given(u=usage, req=request, tgt=target)
+    def test_post_reclaim_utilization_hits_headroom_target(self, u, req, tgt):
+        """Applying the reclaim formula lands utilization exactly at
+        0.9 * Target (the paper's design point)."""
+        policy = HyScaleCpu()
+        replica = make_replica("a", cpu_request=req, cpu_usage=u)
+        reclaim = policy.reclaimable_cpus(replica, tgt)
+        new_request = req - reclaim
+        if new_request > 1e-9 and u > 1e-9:
+            assert u / new_request == pytest.approx(0.9 * tgt)
+
+
+@st.composite
+def starved_cluster(draw):
+    """One or two starved services sharing a small set of nodes."""
+    n_services = draw(st.integers(1, 2))
+    services = []
+    for s in range(n_services):
+        n_replicas = draw(st.integers(1, 3))
+        replicas = tuple(
+            make_replica(
+                f"s{s}c{i}",
+                service=f"svc{s}",
+                node=f"n{draw(st.integers(0, 2))}",
+                cpu_request=draw(st.floats(0.1, 1.0, allow_nan=False)),
+                cpu_usage=draw(st.floats(0.5, 4.0, allow_nan=False)),
+                mem_limit=draw(st.floats(200.0, 1024.0, allow_nan=False)),
+                mem_usage=draw(st.floats(50.0, 2000.0, allow_nan=False)),
+            )
+            for i in range(n_replicas)
+        )
+        services.append(make_service(f"svc{s}", replicas, max_replicas=8))
+    return make_view(services=tuple(services))
+
+
+class TestDecisionSafety:
+    @given(starved_cluster())
+    def test_hyscale_never_overspends_nodes(self, view):
+        """Planned acquisitions + placements never exceed any node's
+        availability (the NodeLedger's guarantee)."""
+        for policy in (HyScaleCpu(), HyScaleCpuMem()):
+            actions = policy.decide(view)
+            planned_cpu = {n.name: 0.0 for n in view.nodes}
+            planned_mem = {n.name: 0.0 for n in view.nodes}
+            by_id = {r.container_id: r for s in view.services for r in s.replicas}
+            for action in actions:
+                if isinstance(action, VerticalScale):
+                    replica = by_id[action.container_id]
+                    if action.cpu_request is not None:
+                        planned_cpu[replica.node] += action.cpu_request - replica.cpu_request
+                    if action.mem_limit is not None:
+                        planned_mem[replica.node] += action.mem_limit - replica.mem_limit
+                elif isinstance(action, AddReplica) and action.node is not None:
+                    planned_cpu[action.node] += action.cpu_request
+                    planned_mem[action.node] += action.mem_limit
+            for node in view.nodes:
+                assert planned_cpu[node.name] <= node.available.cpu + 1e-6
+                assert planned_mem[node.name] <= node.available.memory + 1e-6
+
+    @given(starved_cluster())
+    def test_hyscale_vertical_targets_exist(self, view):
+        """Every vertical action references a replica in the view."""
+        ids = {r.container_id for s in view.services for r in s.replicas}
+        for action in HyScaleCpuMem().decide(view):
+            if isinstance(action, (VerticalScale, RemoveReplica)):
+                assert action.container_id in ids
+
+    @given(starved_cluster())
+    def test_hyscale_respects_max_replicas(self, view):
+        for policy in (HyScaleCpu(), HyScaleCpuMem()):
+            actions = policy.decide(view)
+            for service in view.services:
+                adds = sum(
+                    1 for a in actions if isinstance(a, AddReplica) and a.service == service.name
+                )
+                removals = sum(
+                    1
+                    for a in actions
+                    if isinstance(a, RemoveReplica)
+                    and a.container_id in {r.container_id for r in service.replicas}
+                )
+                assert service.replica_count + adds - removals <= service.max_replicas
+
+    @given(starved_cluster())
+    def test_hyscale_spawn_sizes_legal(self, view):
+        """Spilled replicas honour the paper's 0.25-CPU spawn floor."""
+        for action in HyScaleCpu().decide(view):
+            if isinstance(action, AddReplica):
+                assert action.cpu_request >= 0.25 - 1e-9
+                assert action.mem_limit > 0

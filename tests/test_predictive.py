@@ -1,0 +1,125 @@
+"""Tests for the predictive (forecast-driven) HyScale extension."""
+
+import pytest
+
+from repro.core.actions import VerticalScale
+from repro.core.predictive import HoltSmoother, PredictiveHyScale
+from repro.errors import PolicyError
+
+from tests.conftest import make_replica, make_service, make_view
+
+
+class TestHoltSmoother:
+    def test_first_observation_is_level(self):
+        smoother = HoltSmoother()
+        smoother.update(5.0)
+        assert smoother.forecast(0) == 5.0
+        assert smoother.forecast(10) == 5.0  # no trend yet
+
+    def test_learns_linear_trend(self):
+        smoother = HoltSmoother(alpha=0.8, beta=0.8)
+        for t in range(20):
+            smoother.update(float(t))
+        # One step ahead of a unit-slope line: ~next value.
+        assert smoother.forecast(1) == pytest.approx(20.0, abs=0.5)
+        assert smoother.forecast(5) == pytest.approx(24.0, abs=1.0)
+
+    def test_flat_signal_flat_forecast(self):
+        smoother = HoltSmoother()
+        for _ in range(10):
+            smoother.update(3.0)
+        assert smoother.forecast(4) == pytest.approx(3.0, abs=1e-6)
+
+    def test_forecast_never_negative(self):
+        smoother = HoltSmoother(alpha=0.9, beta=0.9)
+        for value in (10.0, 5.0, 1.0, 0.0):
+            smoother.update(value)
+        assert smoother.forecast(10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            HoltSmoother(alpha=0.0)
+        with pytest.raises(PolicyError):
+            HoltSmoother(beta=1.5)
+        with pytest.raises(PolicyError):
+            HoltSmoother().forecast(1)
+
+
+class TestPredictivePolicy:
+    def rising_views(self, usages):
+        """One view per tick with the replica's usage following ``usages``."""
+        for i, usage in enumerate(usages):
+            yield make_view(
+                services=(
+                    make_service(
+                        "svc",
+                        (make_replica("a", cpu_request=1.0, cpu_usage=usage,
+                                      mem_limit=512.0, mem_usage=150.0),),
+                    ),
+                ),
+                now=100.0 + 5.0 * i,
+            )
+
+    def test_provisions_ahead_of_rising_usage(self):
+        """On a steady ramp the forecast exceeds the present, so the
+        vertical acquisition lands higher than the reactive parent's."""
+        from repro.core.hyscale_mem import HyScaleCpuMem
+
+        predictive = PredictiveHyScale(horizon_ticks=2.0, alpha=0.8, beta=0.8)
+        reactive = HyScaleCpuMem()
+        last_predictive = last_reactive = None
+        for view in self.rising_views([0.6, 0.8, 1.0, 1.2, 1.4]):
+            predictive_actions = predictive.decide(view)
+            reactive_actions = reactive.decide(view)
+            for a in predictive_actions:
+                if isinstance(a, VerticalScale) and a.cpu_request:
+                    last_predictive = a.cpu_request
+            for a in reactive_actions:
+                if isinstance(a, VerticalScale) and a.cpu_request:
+                    last_reactive = a.cpu_request
+        assert last_predictive is not None and last_reactive is not None
+        assert last_predictive > last_reactive
+
+    def test_zero_horizon_matches_reactive(self):
+        """With no lookahead and a settled smoother, decisions converge to
+        the reactive parent's on a flat signal."""
+        from repro.core.hyscale_mem import HyScaleCpuMem
+
+        predictive = PredictiveHyScale(horizon_ticks=0.0, alpha=1.0, beta=0.0)
+        reactive = HyScaleCpuMem()
+        views = list(self.rising_views([0.9] * 3))
+        for view in views[:-1]:
+            predictive.decide(view)
+            reactive.decide(view)
+        final = views[-1]
+        p = [a for a in predictive.decide(final) if isinstance(a, VerticalScale)]
+        r = [a for a in reactive.decide(final) if isinstance(a, VerticalScale)]
+        assert [(a.cpu_request, a.mem_limit) for a in p] == [
+            (a.cpu_request, a.mem_limit) for a in r
+        ]
+
+    def test_smoothers_garbage_collected(self):
+        policy = PredictiveHyScale()
+        for view in self.rising_views([0.5, 0.5]):
+            policy.decide(view)
+        assert "a" in policy._cpu
+        empty = make_view(services=(make_service("svc", ()),), now=200.0)
+        policy.decide(empty)
+        assert "a" not in policy._cpu
+
+    def test_booting_replicas_passed_through(self):
+        view = make_view(
+            services=(
+                make_service("svc", (make_replica("a", booting=True, cpu_usage=0.0),)),
+            )
+        )
+        policy = PredictiveHyScale()
+        policy.decide(view)
+        assert "a" not in policy._cpu  # no usage signal folded in
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            PredictiveHyScale(horizon_ticks=-1.0)
+
+    def test_name(self):
+        assert PredictiveHyScale().name == "predictive"

@@ -1,0 +1,92 @@
+"""Cross-cutting property-based tests on whole-system invariants.
+
+These exercise short end-to-end simulations under randomized workload
+parameters and assert the invariants that must hold regardless of policy or
+load: request conservation, capacity conservation, determinism.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import HyScaleCpu, HyScaleCpuMem, KubernetesHpa, Simulation, SimulationConfig
+from repro.cluster import MicroserviceSpec
+from repro.config import ClusterConfig
+from repro.workloads import CPU_BOUND, MIXED, ConstantLoad, ServiceLoad
+
+POLICIES = {
+    "kubernetes": KubernetesHpa,
+    "hybrid": HyScaleCpu,
+    "hybridmem": HyScaleCpuMem,
+}
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**16),
+        "rate": st.floats(1.0, 14.0, allow_nan=False),
+        "policy": st.sampled_from(sorted(POLICIES)),
+        "profile": st.sampled_from(["cpu", "mixed"]),
+    }
+)
+
+
+def build(params, duration=30.0):
+    profile = CPU_BOUND if params["profile"] == "cpu" else MIXED
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=3), seed=params["seed"])
+    specs = [MicroserviceSpec(name="svc", max_replicas=6)]
+    loads = [ServiceLoad("svc", profile, ConstantLoad(params["rate"]))]
+    sim = Simulation.build(
+        config=config, specs=specs, loads=loads, policy=POLICIES[params["policy"]]()
+    )
+    sim.engine.run_for(duration)
+    return sim
+
+
+class TestSystemInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(scenario)
+    def test_request_conservation(self, params):
+        """Every generated request is exactly one of: finished-and-recorded,
+        in flight, or parked in the LB backlog."""
+        sim = build(params)
+        recorded = sim.collector.total_requests
+        inflight = sum(
+            len(c.inflight)
+            for node in sim.cluster.nodes.values()
+            for c in node.active_containers()
+        )
+        backlog = sim.load_balancer.backlog()
+        assert recorded + inflight + backlog == sim.generator.total_generated
+
+    @settings(max_examples=12, deadline=None)
+    @given(scenario)
+    def test_reservations_never_exceed_capacity(self, params):
+        sim = build(params)
+        for node in sim.cluster.nodes.values():
+            allocated = node.allocated()
+            assert allocated.fits_within(node.capacity, tolerance=1e-6), (
+                f"{node.name} over-allocated: {allocated}"
+            )
+
+    @settings(max_examples=12, deadline=None)
+    @given(scenario)
+    def test_replica_bounds_respected(self, params):
+        sim = build(params)
+        for service in sim.cluster.services.values():
+            assert service.replica_count <= service.spec.max_replicas
+
+    @settings(max_examples=8, deadline=None)
+    @given(scenario)
+    def test_determinism(self, params):
+        a = build(params, duration=20.0).summary()
+        b = build(params, duration=20.0).summary()
+        assert a.total_requests == b.total_requests
+        assert a.avg_response_time == pytest.approx(b.avg_response_time)
+        assert a.horizontal_scale_ups == b.horizontal_scale_ups
+
+    @settings(max_examples=12, deadline=None)
+    @given(scenario)
+    def test_failure_accounting_consistent(self, params):
+        summary = build(params).summary()
+        assert summary.failed == summary.removal_failures + summary.connection_failures
+        assert summary.completed + summary.failed == summary.total_requests
+        assert 0.0 <= summary.availability <= 1.0

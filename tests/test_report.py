@@ -1,0 +1,64 @@
+"""Tests for result-table formatting."""
+
+from repro.experiments.report import (
+    comparison_table,
+    format_table,
+    memory_table,
+    scaling_curve_table,
+    trace_series_table,
+)
+from repro.experiments.section3 import MemoryScenario, ScalingPoint
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import RunSummary
+from repro.workloads.requests import Request
+
+
+def simple_summary(name: str) -> RunSummary:
+    collector = MetricsCollector()
+    request = Request(service="s", arrival_time=0.0, cpu_work=0.1)
+    request.complete(1.5)
+    collector.record_request(request)
+    return RunSummary.from_collector(collector, algorithm=name, workload="w", duration=10.0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long-header"], [["xxxx", "1"]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert len(set(len(l.rstrip()) for l in lines[:2])) >= 1
+        assert lines[1].startswith("-")
+
+    def test_empty_rows(self):
+        text = format_table(["h"], [])
+        assert "h" in text
+
+
+class TestTables:
+    def test_comparison_table_rows_sorted(self):
+        text = comparison_table({"b": simple_summary("b"), "a": simple_summary("a")}, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        a_row = next(i for i, l in enumerate(lines) if l.startswith("a"))
+        b_row = next(i for i, l in enumerate(lines) if l.startswith("b"))
+        assert a_row < b_row
+
+    def test_scaling_curve_table(self):
+        points = [ScalingPoint(1, 10.0, 640, 0), ScalingPoint(2, 12.0, 640, 0)]
+        text = scaling_curve_table(points, title="Figure 2")
+        assert "Figure 2" in text
+        assert "10.00" in text and "12.00" in text
+
+    def test_memory_table_inf_rendered(self):
+        scenarios = [MemoryScenario("starved", 1, 128.0, float("inf"), True)]
+        text = memory_table(scenarios)
+        assert "inf" in text and "yes" in text
+
+    def test_trace_series_stride(self):
+        times = [0.0, 30.0, 60.0, 90.0]
+        cpu = [10.0, 20.0, 30.0, 40.0]
+        mem = [0.5, 0.5, 0.5, 0.5]
+        text = trace_series_table(times, cpu, mem, stride=2)
+        assert "0" in text and "60" in text
+        assert "30.00" in text  # cpu at t=60
+        assert len(text.splitlines()) == 2 + 2  # header + divider + 2 rows

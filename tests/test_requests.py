@@ -1,0 +1,131 @@
+"""Tests for the request lifecycle and failure taxonomy."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.requests import FailureReason, Request, RequestState
+
+
+def make_request(**kwargs) -> Request:
+    defaults = dict(service="svc", arrival_time=1.0, cpu_work=0.5, mem_footprint=10.0, net_mbits=2.0)
+    defaults.update(kwargs)
+    return Request(**defaults)
+
+
+class TestConstruction:
+    def test_starts_queued(self):
+        request = make_request()
+        assert request.state is RequestState.QUEUED
+        assert not request.is_finished
+
+    def test_unique_ids(self):
+        assert make_request().request_id != make_request().request_id
+
+    def test_rejects_negative_demands(self):
+        with pytest.raises(WorkloadError):
+            make_request(cpu_work=-1.0)
+        with pytest.raises(WorkloadError):
+            make_request(mem_footprint=-1.0)
+        with pytest.raises(WorkloadError):
+            make_request(net_mbits=-1.0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(WorkloadError):
+            make_request(timeout=0.0)
+
+
+class TestPhases:
+    def test_cpu_then_net_phase(self):
+        request = make_request()
+        request.assign("c1", 1.0)
+        assert request.in_cpu_phase and not request.in_net_phase
+        request.advance_cpu(0.5)
+        assert not request.in_cpu_phase and request.in_net_phase
+        request.advance_net(2.0)
+        assert not request.in_net_phase
+
+    def test_no_cpu_work_goes_straight_to_net(self):
+        request = make_request(cpu_work=0.0)
+        request.assign("c1", 1.0)
+        assert not request.in_cpu_phase and request.in_net_phase
+
+    def test_overhead_factor_inflates_cpu(self):
+        request = make_request(cpu_work=1.0)
+        request.assign("c1", 1.0, overhead_factor=1.2)
+        assert request.effective_cpu_work == pytest.approx(1.2)
+        request.advance_cpu(1.0)
+        assert request.in_cpu_phase  # 0.2 still remaining
+
+    def test_remaining_never_negative(self):
+        request = make_request(cpu_work=0.5)
+        request.assign("c1", 1.0)
+        request.advance_cpu(10.0)
+        assert request.cpu_remaining == 0.0
+
+
+class TestMemoryRamp:
+    def test_quarter_at_admission(self):
+        request = make_request(mem_footprint=100.0)
+        request.assign("c1", 1.0)
+        assert request.resident_memory == pytest.approx(25.0)
+
+    def test_full_at_completion_of_work(self):
+        request = make_request(mem_footprint=100.0, cpu_work=1.0, net_mbits=0.0)
+        request.assign("c1", 1.0)
+        request.advance_cpu(1.0)
+        assert request.resident_memory == pytest.approx(100.0)
+
+    def test_progress_spans_both_phases(self):
+        request = make_request(cpu_work=1.0, net_mbits=1.0)
+        request.assign("c1", 1.0)
+        request.advance_cpu(1.0)
+        assert request.progress == pytest.approx(0.5)
+
+    def test_zero_work_counts_as_done(self):
+        request = make_request(cpu_work=0.0, net_mbits=0.0)
+        assert request.progress == 1.0
+
+
+class TestTransitions:
+    def test_assign_only_from_queued(self):
+        request = make_request()
+        request.assign("c1", 1.0)
+        with pytest.raises(WorkloadError):
+            request.assign("c2", 2.0)
+
+    def test_overhead_below_one_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_request().assign("c1", 1.0, overhead_factor=0.9)
+
+    def test_complete_records_response_time(self):
+        request = make_request(arrival_time=1.0)
+        request.assign("c1", 1.5)
+        request.complete(3.0)
+        assert request.state is RequestState.SUCCEEDED
+        assert request.response_time == pytest.approx(2.0)
+
+    def test_fail_records_reason(self):
+        request = make_request()
+        request.fail(5.0, FailureReason.REMOVAL)
+        assert request.state is RequestState.FAILED
+        assert request.failure_reason is FailureReason.REMOVAL
+
+    def test_double_finish_rejected(self):
+        request = make_request()
+        request.complete(2.0)
+        with pytest.raises(WorkloadError):
+            request.fail(3.0, FailureReason.CONNECTION)
+        with pytest.raises(WorkloadError):
+            request.complete(3.0)
+
+    def test_deadline(self):
+        request = make_request(arrival_time=10.0, timeout=5.0)
+        assert request.deadline() == 15.0
+
+    def test_negative_progress_rejected(self):
+        request = make_request()
+        request.assign("c1", 1.0)
+        with pytest.raises(WorkloadError):
+            request.advance_cpu(-0.1)
+        with pytest.raises(WorkloadError):
+            request.advance_net(-0.1)

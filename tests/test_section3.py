@@ -1,0 +1,113 @@
+"""Tests for the Section III microbenchmarks (Figures 2-3, memory table).
+
+These assert the *shapes* the paper reports, which is what the reproduction
+promises: CPU response grows with replicas, network execution time falls
+and tapers, memory scenarios swap where the paper says they swap.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.section3 import (
+    cpu_scaling_curve,
+    cpu_scaling_point,
+    memory_scaling_table,
+    network_scaling_curve,
+    network_scaling_point,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return cpu_scaling_curve((1, 2, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return network_scaling_curve((1, 2, 4, 8, 16))
+
+
+@pytest.fixture(scope="module")
+def mem_table():
+    return memory_scaling_table()
+
+
+class TestFigure2:
+    def test_monotone_increase(self, fig2):
+        times = [p.avg_response_time for p in fig2]
+        assert times == sorted(times)
+        assert times[-1] > times[0] * 1.3  # replication costs are material
+
+    def test_all_requests_complete(self, fig2):
+        for point in fig2:
+            assert point.failed == 0
+            assert point.completed == 640
+
+    def test_paper_17pct_contention(self):
+        """A single co-located busy pair costs ~17 % service time."""
+        from repro.config import OverheadModel
+
+        quiet = OverheadModel(colocation_contention=0.0, colocation_cap=1.0)
+        loud = OverheadModel()
+        base = cpu_scaling_point(1, overheads=quiet).avg_response_time
+        contended = cpu_scaling_point(1, overheads=loud).avg_response_time
+        assert contended / base == pytest.approx(1.17, rel=0.05)
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ExperimentError):
+            cpu_scaling_point(0)
+
+
+class TestFigure3:
+    def test_monotone_decrease(self, fig3):
+        times = [p.avg_response_time for p in fig3]
+        assert times == sorted(times, reverse=True)
+
+    def test_tapering_after_8(self, fig3):
+        """'Tapering off at around 8 replicas': the 8->16 gain is much
+        smaller than the 1->2 gain."""
+        by_replicas = {p.replicas: p.avg_response_time for p in fig3}
+        first_gain = 1.0 - by_replicas[2] / by_replicas[1]
+        late_gain = 1.0 - by_replicas[16] / by_replicas[8]
+        assert late_gain < first_gain * 0.7
+
+    def test_all_transfers_complete(self, fig3):
+        assert all(p.failed == 0 for p in fig3)
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ExperimentError):
+            network_scaling_point(0)
+
+
+class TestMemoryTable:
+    def rows(self, mem_table):
+        return {m.label: m for m in mem_table}
+
+    def test_horizontal_swaps_at_same_total_memory(self, mem_table):
+        rows = self.rows(mem_table)
+        assert not rows["vertical-512"].swapped
+        assert rows["horizontal-2x256"].swapped
+        assert (
+            rows["horizontal-2x256"].avg_response_time
+            > rows["vertical-512"].avg_response_time
+        )
+
+    def test_equal_when_neither_swaps(self, mem_table):
+        rows = self.rows(mem_table)
+        assert rows["horizontal-2x448"].avg_response_time == pytest.approx(
+            rows["vertical-512"].avg_response_time, rel=0.35
+        )
+
+    def test_more_memory_does_not_speed_up(self, mem_table):
+        rows = self.rows(mem_table)
+        assert rows["vertical-1024"].avg_response_time == pytest.approx(
+            rows["vertical-512"].avg_response_time, rel=0.05
+        )
+
+    def test_starved_limit_drastically_degrades(self, mem_table):
+        rows = self.rows(mem_table)
+        assert rows["vertical-starved-224"].swapped
+        assert (
+            rows["vertical-starved-224"].avg_response_time
+            > 3.0 * rows["vertical-512"].avg_response_time
+        )

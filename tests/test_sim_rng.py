@@ -1,0 +1,55 @@
+"""Tests for named, seeded RNG streams."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(seed=7).stream("arrivals/svc").random(100)
+        b = RngStreams(seed=7).stream("arrivals/svc").random(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).stream("x").random(100)
+        b = RngStreams(seed=2).stream("x").random(100)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        streams = RngStreams(seed=3)
+        a = streams.stream("a").random(100)
+        b = streams.stream("b").random(100)
+        assert not np.array_equal(a, b)
+
+
+class TestIsolation:
+    def test_adding_a_stream_does_not_perturb_others(self):
+        # Draw from "x" alone...
+        lone = RngStreams(seed=5)
+        expected = lone.stream("x").random(50)
+        # ...then interleave draws from a second stream.
+        mixed = RngStreams(seed=5)
+        mixed.stream("y").random(10)
+        got = mixed.stream("x").random(50)
+        assert np.array_equal(expected, got)
+
+    def test_stream_identity_is_cached(self):
+        streams = RngStreams(seed=0)
+        assert streams.stream("a") is streams.stream("a")
+
+
+class TestSpawn:
+    def test_spawn_is_deterministic(self):
+        a = RngStreams(seed=9).spawn("child").stream("s").random(10)
+        b = RngStreams(seed=9).spawn("child").stream("s").random(10)
+        assert np.array_equal(a, b)
+
+    def test_spawned_children_are_independent(self):
+        parent = RngStreams(seed=9)
+        a = parent.spawn("left").stream("s").random(10)
+        b = parent.spawn("right").stream("s").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_seed_property(self):
+        assert RngStreams(seed=42).seed == 42

@@ -1,0 +1,120 @@
+"""Tests for the text timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import allocation_efficiency, render_timeline, sparkline
+from repro.errors import ExperimentError
+from repro.metrics.collector import TimelinePoint
+
+
+def point(t, replicas=2, cpu=1.0, alloc=2.0, nodes=2):
+    return TimelinePoint(
+        time=t, total_replicas=replicas, cpu_usage=cpu, cpu_allocated=alloc,
+        mem_usage=1024.0, mem_allocated=2048.0, net_usage=10.0, inflight=3,
+        active_nodes=nodes, total_nodes=4,
+    )
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 40
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline(list(range(10)), width=10)
+        assert list(line) == sorted(line, key=line.index)
+        assert line[0] != line[-1]
+
+    def test_flat_series(self):
+        line = sparkline([5.0, 5.0, 5.0], width=10)
+        assert len(set(line)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+        with pytest.raises(ExperimentError):
+            sparkline([1.0], width=0)
+
+
+class TestRenderTimeline:
+    def test_contains_all_rows(self):
+        timeline = [point(float(t), cpu=float(t % 5)) for t in range(20)]
+        text = render_timeline(timeline)
+        for label in ("replicas", "cpu used", "cpu allocated", "mem used", "net egress", "in flight", "nodes on"):
+            assert label in text
+
+    def test_ranges_shown(self):
+        timeline = [point(0.0, cpu=1.0), point(10.0, cpu=3.0)]
+        text = render_timeline(timeline)
+        assert "1.00" in text and "3.00" in text
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ExperimentError):
+            render_timeline([point(0.0)])
+
+    def test_nodes_row_omitted_for_legacy_timelines(self):
+        timeline = [
+            TimelinePoint(float(t), 1, 1.0, 2.0, 0.0, 0.0, 0.0, 0) for t in range(5)
+        ]
+        assert "nodes on" not in render_timeline(timeline)
+
+
+class TestAllocationEfficiency:
+    def test_mean_ratio(self):
+        timeline = [point(0.0, cpu=1.0, alloc=2.0), point(1.0, cpu=2.0, alloc=2.0)]
+        assert allocation_efficiency(timeline) == pytest.approx(0.75)
+
+    def test_skips_zero_allocation(self):
+        timeline = [point(0.0, cpu=1.0, alloc=2.0), point(1.0, cpu=0.0, alloc=0.0)]
+        assert allocation_efficiency(timeline) == pytest.approx(0.5)
+
+    def test_no_allocation_rejected(self):
+        timeline = [point(0.0, cpu=0.0, alloc=0.0)]
+        with pytest.raises(ExperimentError):
+            allocation_efficiency(timeline)
+
+    def test_end_to_end(self):
+        from repro.experiments.configs import cpu_bound, make_policy
+        from repro.experiments.runner import Simulation
+        from dataclasses import replace
+
+        spec = cpu_bound("low")
+        small = replace(spec, duration=30.0, specs=spec.specs[:2], loads=spec.loads[:2])
+        sim = Simulation.build(
+            config=small.config, specs=list(small.specs), loads=list(small.loads),
+            policy=make_policy("hybrid", small.config),
+        )
+        summary = sim.run(small.duration)
+        text = render_timeline(summary.timeline)
+        assert "replicas" in text
+        assert 0.0 < allocation_efficiency(summary.timeline) <= 2.0
+
+
+class TestLatencyRows:
+    def test_window_stats_drained(self):
+        from repro.metrics.collector import MetricsCollector
+        from repro.workloads.requests import FailureReason, Request
+
+        collector = MetricsCollector()
+        ok = Request(service="s", arrival_time=0.0, cpu_work=0.1)
+        ok.complete(2.0)
+        bad = Request(service="s", arrival_time=0.0, cpu_work=0.1)
+        bad.fail(1.0, FailureReason.CONNECTION)
+        collector.record_requests([ok, bad])
+        avg, completed, failed = collector.drain_window_stats()
+        assert avg == pytest.approx(2.0)
+        assert (completed, failed) == (1, 1)
+        # Drained: the next window starts empty.
+        assert collector.drain_window_stats() == (0.0, 0, 0)
+
+    def test_latency_row_rendered_when_present(self):
+        timeline = [
+            TimelinePoint(float(t), 1, 1.0, 2.0, 0.0, 0.0, 0.0, 0, 1, 2,
+                          window_avg_response=0.5 * t, window_completed=3, window_failed=0)
+            for t in range(4)
+        ]
+        text = render_timeline(timeline)
+        assert "latency" in text and "failures" in text
+
+    def test_latency_row_omitted_when_no_completions(self):
+        timeline = [point(float(t)) for t in range(4)]  # window_completed=0
+        assert "latency" not in render_timeline(timeline)

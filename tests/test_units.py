@@ -1,0 +1,52 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestShares:
+    def test_one_core_is_1024_shares(self):
+        assert units.cores_to_shares(1.0) == 1024
+
+    def test_round_trip(self):
+        for cores in (0.25, 0.5, 1.0, 2.0, 3.75):
+            assert units.shares_to_cores(units.cores_to_shares(cores)) == pytest.approx(
+                cores, abs=1e-3
+            )
+
+    def test_zero_cores_zero_shares(self):
+        assert units.cores_to_shares(0.0) == 0
+
+    def test_docker_minimum_two_shares(self):
+        # Docker clamps cpu-shares to a minimum of 2 for any non-zero value.
+        assert units.cores_to_shares(0.0001) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.cores_to_shares(-1.0)
+        with pytest.raises(ValueError):
+            units.shares_to_cores(-1)
+
+
+class TestBytesAndBits:
+    def test_mib_round_trip(self):
+        assert units.bytes_to_mib(units.mib_to_bytes(3.5)) == pytest.approx(3.5)
+
+    def test_mib_is_binary(self):
+        assert units.mib_to_bytes(1.0) == 1024 * 1024
+
+    def test_mbit_is_decimal(self):
+        assert units.mbit_to_bits(1.0) == 1_000_000
+
+    def test_megabytes_to_megabits(self):
+        assert units.mbytes_to_mbits(1.0) == 8.0
+        assert units.mbits_to_mbytes(8.0) == 1.0
+
+
+class TestPercent:
+    def test_percent_round_trip(self):
+        assert units.fraction(units.percent(0.37)) == pytest.approx(0.37)
+
+    def test_percent_of_half(self):
+        assert units.percent(0.5) == 50.0
