@@ -1,12 +1,22 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install test bench bench-full reproduce examples clean
+.PHONY: install lint test bench bench-full reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
-test:
+# Static analysis: the in-tree determinism/invariant linter is mandatory;
+# mypy and ruff run when installed (CI always has them, offline dev boxes
+# may not — see docs/dev-tooling.md).
+lint:
+	PYTHONPATH=src python -m repro.devtools.lint src tests benchmarks examples
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks examples; \
+	else echo "ruff not installed; skipping (pip install -e .[dev])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed; skipping (pip install -e .[dev])"; fi
+
+test: lint
 	pytest tests/
 
 bench:

@@ -17,7 +17,6 @@ for, so a reader can see *why* each knob exists:
 
 import pytest
 
-from repro.config import ClusterConfig, SimulationConfig
 from repro.core.hyscale import HyScaleCpu
 from repro.core.hyscale_mem import HyScaleCpuMem
 from repro.core.kubernetes import KubernetesHpa

@@ -11,7 +11,7 @@ Paper findings (Section VI-B):
 
 import pytest
 
-from benchmarks.conftest import CORE_ALGORITHMS, print_figure, run_matrix
+from benchmarks.conftest import print_figure, run_matrix
 from repro.experiments.configs import bitbrains
 
 

@@ -11,7 +11,7 @@ Paper findings (Section VI-A):
 
 import pytest
 
-from benchmarks.conftest import CORE_ALGORITHMS, print_figure, run_matrix
+from benchmarks.conftest import print_figure, run_matrix
 from repro.analysis.speedup import response_speedup
 from repro.experiments.configs import cpu_bound
 

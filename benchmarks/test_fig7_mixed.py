@@ -14,7 +14,7 @@ Paper findings (Section VI-A):
 
 import pytest
 
-from benchmarks.conftest import CORE_ALGORITHMS, print_figure, run_matrix
+from benchmarks.conftest import print_figure, run_matrix
 from repro.experiments.configs import mixed
 
 

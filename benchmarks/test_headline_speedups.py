@@ -10,7 +10,7 @@ measured counterparts next to the published values.
 
 import pytest
 
-from benchmarks.conftest import ALL_ALGORITHMS, CORE_ALGORITHMS, run_matrix
+from benchmarks.conftest import ALL_ALGORITHMS, run_matrix
 from repro.analysis.speedup import failure_reduction, response_speedup
 from repro.experiments.configs import cpu_bound, network_bound
 from repro.experiments.report import format_table

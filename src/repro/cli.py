@@ -12,6 +12,7 @@ Examples::
     hyscale-repro reproduce                      # the whole evaluation matrix
     hyscale-repro section3 --which network
     hyscale-repro trace --vms 50 --duration 600
+    hyscale-repro lint                           # determinism & invariant linter
 """
 
 from __future__ import annotations
@@ -201,6 +202,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.root is not None:
+        argv += ["--root", args.root]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.suite import render_reproduction, reproduce_evaluation
 
@@ -281,6 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_cmd.add_argument("--timeline", action="store_true",
                              help="also render saved timelines")
     inspect_cmd.set_defaults(func=_cmd_inspect)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & invariant linter (rules in docs/dev-tooling.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint (default: src tests benchmarks examples)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--root", default=None, help="repository root for rule scoping")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    lint.set_defaults(func=_cmd_lint)
 
     trace = sub.add_parser("trace", help="print the synthetic Bitbrains aggregate (Figure 9)")
     trace.add_argument("--vms", type=int, default=100)

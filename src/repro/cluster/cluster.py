@@ -8,6 +8,8 @@ NODE MANAGERs go through the real Docker API.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.cluster.microservice import Microservice, MicroserviceSpec
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
@@ -25,6 +27,15 @@ class Cluster:
         self.nodes: dict[str, Node] = {}
         self.services: dict[str, Microservice] = {}
         self._finished: list[Request] = []
+        # Per-cluster (i.e. per-run) container-id sequence.  A process-global
+        # counter here would leak across runs and break the guarantee that a
+        # SimulationConfig fully determines a run (container ids appear in
+        # the scaling-event stream).
+        self._container_seq = itertools.count(1)
+
+    def next_container_id(self, service: str, replica_index: int) -> str:
+        """Allocate the next container id, unique within this cluster."""
+        return f"{service}.r{replica_index}.c{next(self._container_seq)}"
 
     # ------------------------------------------------------------------
     # Construction

@@ -18,15 +18,11 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import TYPE_CHECKING
 
 from repro.config import OverheadModel
 from repro.errors import ContainerStateError
 from repro.units import cores_to_shares
 from repro.workloads.requests import FailureReason, Request, RequestState
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.cluster.node import Node
 
 _container_seq = itertools.count(1)
 
@@ -60,6 +56,7 @@ class Container:
         max_concurrency: int = 16,
         disk_quota: float = 50.0,
         overheads: OverheadModel | None = None,
+        container_id: str | None = None,
     ):
         if cpu_request < 0 or mem_limit <= 0 or net_rate < 0:
             raise ContainerStateError(
@@ -67,7 +64,10 @@ class Container:
             )
         if max_concurrency < 1:
             raise ContainerStateError("max_concurrency must be >= 1")
-        self.container_id = f"{service}.r{replica_index}.c{next(_container_seq)}"
+        # Simulation paths pass an id allocated by the run's Cluster so that
+        # ids are a pure function of the run (the process-global fallback is
+        # only for ad-hoc containers built in tests and microbenchmarks).
+        self.container_id = container_id or f"{service}.r{replica_index}.c{next(_container_seq)}"
         self.service = service
         self.replica_index = replica_index
         self.created_at = created_at

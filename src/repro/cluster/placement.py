@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
+from repro.sim.rng import RngStreams
 
 
 class PlacementStrategy(abc.ABC):
@@ -79,10 +80,20 @@ class BinPackPlacement(PlacementStrategy):
 
 
 class RandomPlacement(PlacementStrategy):
-    """Uniform choice over feasible nodes (seeded for reproducibility)."""
+    """Uniform choice over feasible nodes.
 
-    def __init__(self, rng: np.random.Generator | None = None):
-        self._rng = rng or np.random.default_rng(0)
+    Randomness must be *injected* (DET002): pass either a generator or the
+    run's :class:`~repro.sim.rng.RngStreams`, from which the strategy draws
+    the ``"cluster/placement"`` stream.  There is deliberately no default —
+    a silently self-seeded strategy would detach placement from the run's
+    single root seed.
+    """
+
+    #: Name of the stream drawn when an :class:`RngStreams` is injected.
+    STREAM = "cluster/placement"
+
+    def __init__(self, rng: np.random.Generator | RngStreams):
+        self._rng = rng.stream(self.STREAM) if isinstance(rng, RngStreams) else rng
 
     def rank(self, candidates: list[Node], request: ResourceVector) -> Node:
         ordered = sorted(candidates, key=lambda n: n.name)

@@ -16,6 +16,7 @@ Three layers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.errors import ConfigError
 
@@ -200,7 +201,7 @@ class SimulationConfig:
         if self.request_timeout <= 0:
             raise ConfigError("request_timeout must be positive")
 
-    def with_overrides(self, **kwargs) -> "SimulationConfig":
+    def with_overrides(self, **kwargs: Any) -> "SimulationConfig":
         """Return a copy with the given top-level fields replaced."""
         return replace(self, **kwargs)
 

@@ -20,6 +20,8 @@ Both variants are implemented so the critique is testable:
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.actions import ScalingAction
 from repro.core.kubernetes import KubernetesHpa
 from repro.core.view import ClusterView, ServiceView
@@ -44,7 +46,7 @@ class KubernetesMultiMetricHpa(KubernetesHpa):
     def __init__(
         self,
         metrics: tuple[str, ...] = ("cpu", "memory"),
-        **kwargs,
+        **kwargs: Any,
     ):
         super().__init__(**kwargs)
         if not metrics:
@@ -57,7 +59,7 @@ class KubernetesMultiMetricHpa(KubernetesHpa):
     # ------------------------------------------------------------------
     def desired_replicas(self, service: ServiceView) -> int:
         """``max`` over the per-metric desired counts (the beta rule)."""
-        desires = []
+        desires: list[int] = []
         for metric in self.metrics:
             self.metric = metric
             desires.append(super().desired_replicas(service))
@@ -66,7 +68,7 @@ class KubernetesMultiMetricHpa(KubernetesHpa):
 
     def within_tolerance(self, service: ServiceView) -> bool:
         """Quiet only if *every* metric sits inside the dead band."""
-        verdicts = []
+        verdicts: list[bool] = []
         for metric in self.metrics:
             self.metric = metric
             verdicts.append(super().within_tolerance(service))

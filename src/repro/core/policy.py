@@ -82,7 +82,7 @@ class NodeLedger:
 
         Ordered by descending available CPU (spread-style), ties by name.
         """
-        out = []
+        out: list[str] = []
         for name in self.node_names():
             if exclude_hosting and self.hosts(name, service):
                 continue

@@ -32,6 +32,7 @@ reactive HyScale on the paper's high-burst pattern.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Any
 
 from repro.core.actions import ScalingAction
 from repro.core.hyscale_mem import HyScaleCpuMem
@@ -77,7 +78,7 @@ class PredictiveHyScale(HyScaleCpuMem):
         horizon_ticks: float = 2.5,
         alpha: float = 0.5,
         beta: float = 0.3,
-        **kwargs,
+        **kwargs: Any,
     ):
         super().__init__(**kwargs)
         if horizon_ticks < 0:

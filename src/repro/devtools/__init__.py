@@ -1,0 +1,51 @@
+"""Repo-specific static analysis (the determinism & invariant linter).
+
+The simulator's headline guarantee — "a :class:`~repro.config.SimulationConfig`
+fully determines a run" (see ``repro.sim.rng``) — is a *global* property: one
+stray ``np.random.default_rng(...)`` or ``time.time()`` anywhere in the tree
+silently breaks it.  This package makes the guarantee structural instead of
+aspirational: an AST linter that walks ``src/``, ``tests/``, ``benchmarks/``
+and ``examples/`` and enforces the project's determinism and unit-hygiene
+invariants as hard rules.
+
+Run it as ``python -m repro.devtools.lint`` or ``hyscale-repro lint``; see
+``docs/dev-tooling.md`` for the rule catalogue and suppression syntax.
+
+Submodules are loaded lazily so ``python -m repro.devtools.lint`` does not
+re-import the module it is about to execute.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "parse_suppressions",
+    "rule_catalog",
+]
+
+_EXPORTS = {
+    "ALL_RULES": "repro.devtools.rules",
+    "Rule": "repro.devtools.rules",
+    "rule_catalog": "repro.devtools.rules",
+    "Violation": "repro.devtools.violations",
+    "parse_suppressions": "repro.devtools.violations",
+    "lint_paths": "repro.devtools.lint",
+    "lint_source": "repro.devtools.lint",
+    "main": "repro.devtools.lint",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.devtools' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,193 @@
+"""Engine and CLI of the determinism & invariant linter.
+
+Usage::
+
+    python -m repro.devtools.lint                 # lint src tests benchmarks examples
+    python -m repro.devtools.lint src/repro/sim   # lint a subtree
+    python -m repro.devtools.lint --format json   # machine-readable output
+    python -m repro.devtools.lint --list-rules    # the rule catalogue
+    hyscale-repro lint                            # same engine, via the main CLI
+
+Exit status is 0 when the tree is clean and 1 when any violation (including a
+malformed suppression) is found.  See ``docs/dev-tooling.md`` for the rule
+catalogue and the ``# lint: disable=RULE(reason)`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.rules import ALL_RULES, Rule, rule_catalog
+from repro.devtools.violations import PARSE_ERROR, Violation, parse_suppressions
+
+#: Paths linted when the CLI is invoked without arguments (repo-root relative).
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", ".pytest_cache", ".benchmarks"})
+
+#: Repo areas whose prefix anchors a logical (repo-relative) path.
+_AREA_MARKERS = ("src/repro/", "tests/", "benchmarks/", "examples/")
+
+
+def logical_path(path: Path, root: Path | None = None) -> str:
+    """Repo-relative posix path used for rule scoping.
+
+    Works from any CWD: prefers relativising against ``root``, then falls
+    back to locating a known area marker (``src/repro/``, ``tests/`` …)
+    inside the absolute path.
+    """
+    candidates: list[str] = []
+    if root is not None:
+        try:
+            candidates.append(path.resolve().relative_to(root.resolve()).as_posix())
+        except ValueError:
+            pass
+    candidates.append(path.as_posix())
+    for candidate in candidates:
+        for marker in _AREA_MARKERS:
+            idx = candidate.find(marker)
+            if idx == 0 or (idx > 0 and candidate[idx - 1] == "/"):
+                return candidate[idx:]
+    return candidates[0]
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.add(candidate)
+    return sorted(found)
+
+
+def lint_source(
+    source: str,
+    logical: str,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> list[Violation]:
+    """Lint one module's source under its repo-relative ``logical`` path."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=logical,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                rule=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressed, problems = parse_suppressions(source, logical)
+    violations = list(problems)
+    for rule in rules:
+        for violation in rule.run(tree, logical):
+            if rule.id in suppressed.get(violation.line, frozenset()):
+                continue
+            violations.append(violation)
+    return sorted(violations)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> tuple[list[Violation], int]:
+    """Lint files/directories; returns ``(violations, files_checked)``."""
+    root_path = Path(root) if root is not None else Path.cwd()
+    files = iter_python_files(Path(root_path, p) if not Path(p).is_absolute() else Path(p) for p in paths)
+    violations: list[Violation] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, logical_path(file, root_path), rules))
+    return sorted(violations), len(files)
+
+
+def render_report(violations: Sequence[Violation], files_checked: int) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [v.render() for v in violations]
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        by_rule: dict[str, int] = {}
+        for v in violations:
+            by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+        mix = ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+        lines.append(f"{len(violations)} violation(s) in {files_checked} {noun} ({mix})")
+    else:
+        lines.append(f"clean: {files_checked} {noun} checked, 0 violations")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files_checked: int) -> str:
+    """Machine-readable report (stable shape for CI consumers)."""
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "violation_count": len(violations),
+            "violations": [v.to_dict() for v in violations],
+        },
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & invariant linter for the HyScale reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root used to derive rule-scoping paths (default: CWD)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in sorted(rule_catalog().items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    requested = [Path(args.root or ".", p) if not Path(p).is_absolute() else Path(p) for p in args.paths]
+    missing = [str(p) for p in requested if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    violations, files_checked = lint_paths(args.paths, root=args.root)
+    if args.format == "json":
+        print(render_json(violations, files_checked))
+    else:
+        print(render_report(violations, files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Violation records and ``# lint: disable=...`` suppression parsing.
+
+A violation pins one rule breach to one source location.  Suppressions are
+per-line comments of the form::
+
+    rng = np.random.default_rng(0)  # lint: disable=DET002(fixture generator for docs)
+
+The rule ID must be followed by a parenthesised, non-empty reason — an
+auditable justification is part of the contract.  A suppression without a
+reason does not suppress anything and is itself reported under ``LINT001``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import asdict, dataclass
+
+#: Meta-rule ID for malformed suppression comments.
+BAD_SUPPRESSION = "LINT001"
+
+#: Meta-rule ID for files the linter cannot parse.
+PARSE_ERROR = "LINT002"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule breach at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-liner, in the classic ``path:line:col`` shape."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (for ``--format json`` consumers)."""
+        return dict(asdict(self))
+
+
+#: Matches the suppression marker and captures everything after ``disable=``.
+_MARKER_RE = re.compile(r"#\s*lint:\s*disable=(?P<spec>.*)$")
+
+#: One well-formed entry: a rule ID plus a parenthesised reason.
+_ENTRY_RE = re.compile(r"(?P<rule>[A-Z][A-Z0-9]{2,15})\s*\(\s*(?P<reason>[^()]*?)\s*\)")
+
+#: A bare rule ID (used to detect reason-less entries like ``disable=DET002``).
+_BARE_RE = re.compile(r"[A-Z][A-Z0-9]{2,15}")
+
+
+def _iter_comments(source: str) -> list[tuple[int, int, str]]:
+    """``(line, col, text)`` for every real comment token in ``source``.
+
+    Tokenising (rather than regex-scanning raw lines) means a suppression
+    marker inside a *string literal* is inert — only actual comments count.
+    """
+    comments: list[tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparsable files are reported separately (LINT002); no comments.
+        return []
+    return comments
+
+
+def parse_suppressions(source: str, path: str) -> tuple[dict[int, frozenset[str]], list[Violation]]:
+    """Extract per-line suppressions from ``source``.
+
+    Returns ``(suppressed, problems)`` where ``suppressed`` maps a 1-based
+    line number to the rule IDs disabled on that line, and ``problems`` holds
+    :data:`BAD_SUPPRESSION` violations for entries missing a reason.
+    """
+    suppressed: dict[int, frozenset[str]] = {}
+    problems: list[Violation] = []
+    for lineno, col, text in _iter_comments(source):
+        marker = _MARKER_RE.search(text)
+        if marker is None:
+            continue
+        spec = marker.group("spec").strip()
+        rules = {m.group("rule") for m in _ENTRY_RE.finditer(spec) if m.group("reason")}
+        for m in _ENTRY_RE.finditer(spec):
+            if not m.group("reason"):
+                problems.append(
+                    Violation(
+                        path=path,
+                        line=lineno,
+                        col=col + marker.start() + 1,
+                        rule=BAD_SUPPRESSION,
+                        message=f"suppression of {m.group('rule')} has an empty reason; "
+                        f"write `# lint: disable={m.group('rule')}(why it is safe)`",
+                    )
+                )
+        # Entries with no parenthesised reason at all: strip the well-formed
+        # ones, then look for leftover bare IDs.
+        leftover = _ENTRY_RE.sub("", spec)
+        for bare in _BARE_RE.finditer(leftover):
+            problems.append(
+                Violation(
+                    path=path,
+                    line=lineno,
+                    col=col + marker.start() + 1,
+                    rule=BAD_SUPPRESSION,
+                    message=f"suppression of {bare.group(0)} is missing its reason; "
+                    f"write `# lint: disable={bare.group(0)}(why it is safe)`",
+                )
+            )
+        if rules:
+            suppressed[lineno] = frozenset(rules)
+    return suppressed, problems

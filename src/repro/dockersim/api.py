@@ -69,9 +69,10 @@ class DockerClient:
             # the state from its peers (Section IV-B) — the first replica is
             # exempt (it *is* the state).
             delay += service.spec.state_size_mb / self.cluster.overheads.state_transfer_mbps
+        replica_index = service.next_replica_index()
         container = daemon.run(
             service_name,
-            service.next_replica_index(),
+            replica_index,
             cpu_request=cpu_request,
             mem_limit=mem_limit,
             net_rate=net_rate,
@@ -79,6 +80,8 @@ class DockerClient:
             boot_delay=delay,
             max_concurrency=service.spec.max_concurrency,
             disk_quota=service.spec.disk_quota,
+            # Allocated by the run's cluster so ids are per-run deterministic.
+            container_id=self.cluster.next_container_id(service_name, replica_index),
         )
         service.track(container)
         self._location[container.container_id] = node_name

@@ -47,6 +47,7 @@ class DockerDaemon:
         max_concurrency: int = 16,
         disk_quota: float = 50.0,
         enforce_capacity: bool = True,
+        container_id: str | None = None,
     ) -> Container:
         """Create and host a container; it serves traffic once booted."""
         container = Container(
@@ -60,6 +61,7 @@ class DockerDaemon:
             max_concurrency=max_concurrency,
             disk_quota=disk_quota,
             overheads=self.node.overheads,
+            container_id=container_id,
         )
         self.node.add_container(container, enforce_capacity=enforce_capacity)
         return container

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 from repro.cluster.container import Container
 from repro.cluster.node import Node
@@ -161,7 +162,7 @@ def cpu_scaling_point(
 
 def cpu_scaling_curve(
     replica_counts: tuple[int, ...] = DEFAULT_REPLICA_COUNTS,
-    **kwargs,
+    **kwargs: Any,
 ) -> list[ScalingPoint]:
     """Figure 2: response time vs. replica count under CPU contention."""
     return [cpu_scaling_point(n, **kwargs) for n in replica_counts]
@@ -341,7 +342,7 @@ def network_scaling_point(
 
 def network_scaling_curve(
     replica_counts: tuple[int, ...] = DEFAULT_REPLICA_COUNTS,
-    **kwargs,
+    **kwargs: Any,
 ) -> list[ScalingPoint]:
     """Figure 3: execution time vs. replica count at fixed total bandwidth."""
     return [network_scaling_point(n, **kwargs) for n in replica_counts]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.container import Container
+from repro.cluster.microservice import MicroserviceSpec
 from repro.errors import ClusterError
 
 
@@ -43,7 +44,7 @@ class ServiceRegistry:
         """Number of serving replicas (the fan-out the LB spreads over)."""
         return len(self.endpoints(service))
 
-    def spec(self, service: str):
+    def spec(self, service: str) -> MicroserviceSpec:
         """The service's deployment spec (the LB reads statefulness)."""
         if not self.has_service(service):
             raise ClusterError(f"unknown service {service!r}")

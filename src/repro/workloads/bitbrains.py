@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.sim.rng import RngStreams
 from repro.workloads.generator import ServiceLoad
 from repro.workloads.patterns import TraceLoad
 from repro.workloads.profiles import MicroserviceProfile, MIXED
@@ -87,11 +88,16 @@ class BitbrainsTrace:
         return np.mean([vm.mem_frac for vm in self.vms], axis=0)
 
 
+#: Stream name the trace generator draws when deriving from a root seed.
+TRACE_STREAM = "workloads/bitbrains"
+
+
 def generate_bitbrains_trace(
     n_vms: int = 500,
     duration: float = 3600.0,
     interval: float = 30.0,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> BitbrainsTrace:
     """Generate the synthetic ``Rnd`` trace.
 
@@ -106,13 +112,20 @@ def generate_bitbrains_trace(
         Sampling interval in seconds (the original samples every 300 s; we
         default finer so hour-scale replays have enough points).
     seed:
-        Root seed; the trace is a pure function of the arguments.
+        Root seed.  The generator participates in the single-root-seed
+        guarantee by drawing the named :data:`TRACE_STREAM` stream of
+        ``RngStreams(seed)``, so the trace is a pure function of the
+        arguments and independent of every other consumer of the seed.
+    rng:
+        Explicitly injected generator; overrides ``seed`` when given (e.g.
+        to synthesise a trace from a live run's own stream factory).
     """
     if n_vms < 1:
         raise WorkloadError("n_vms must be >= 1")
     if duration <= 0 or interval <= 0 or interval > duration:
         raise WorkloadError("need 0 < interval <= duration")
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = RngStreams(seed).stream(TRACE_STREAM)
     n_samples = int(round(duration / interval))
     t = np.arange(n_samples) * interval
 

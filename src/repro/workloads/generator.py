@@ -13,6 +13,7 @@ to an experiment does not perturb the arrivals of the others.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable
 
@@ -54,6 +55,9 @@ class ClientLoadGenerator:
         self._sink = sink
         self.total_generated = 0
         self.generated_by_service: dict[str, int] = {load.service: 0 for load in loads}
+        # Per-generator (i.e. per-run) id sequence: request ids shard the
+        # balancer tier, so they must be a pure function of the run.
+        self._request_seq = itertools.count(1)
 
     def on_step(self, clock: SimClock) -> None:
         """Draw this step's arrivals for every service and emit them."""
@@ -67,7 +71,9 @@ class ClientLoadGenerator:
                 continue
             count = int(stream.poisson(mean))
             for _ in range(count):
-                request = load.profile.make_request(load.service, t0, stream)
+                request = load.profile.make_request(
+                    load.service, t0, stream, request_id=next(self._request_seq)
+                )
                 self.total_generated += 1
                 self.generated_by_service[load.service] += 1
                 self._sink(request)

@@ -52,9 +52,21 @@ class MicroserviceProfile:
         if self.timeout <= 0:
             raise WorkloadError(f"profile {self.name!r}: timeout must be positive")
 
-    def make_request(self, service: str, now: float, rng: np.random.Generator) -> Request:
-        """Stamp one request with jittered demands."""
-        return Request(
+    def make_request(
+        self,
+        service: str,
+        now: float,
+        rng: np.random.Generator,
+        request_id: int | None = None,
+    ) -> Request:
+        """Stamp one request with jittered demands.
+
+        ``request_id`` lets the load generator allocate ids from its own
+        per-run sequence (ids feed balancer sharding, so a process-global
+        sequence would make back-to-back runs diverge); when omitted, the
+        module-level fallback sequence is used.
+        """
+        request = Request(
             service=service,
             arrival_time=now,
             cpu_work=self._draw(self.cpu_per_request, rng),
@@ -63,6 +75,9 @@ class MicroserviceProfile:
             disk_mb=self._draw(self.disk_per_request, rng),
             timeout=self.timeout,
         )
+        if request_id is not None:
+            request.request_id = request_id
+        return request
 
     def _draw(self, mean: float, rng: np.random.Generator) -> float:
         """Lognormal draw with the configured sigma and unit mean scaling."""

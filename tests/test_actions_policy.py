@@ -8,7 +8,7 @@ from repro.core.intervals import RescaleIntervalGuard
 from repro.core.policy import NodeLedger
 from repro.errors import PolicyError
 
-from tests.conftest import make_node_view, make_replica, make_service, make_view
+from tests.conftest import make_node_view, make_service, make_view
 
 
 class TestActions:

@@ -1,0 +1,371 @@
+"""Tests for the determinism & invariant linter (``repro.devtools``).
+
+Each rule gets positive fixtures (deliberately seeded violations) and
+negative fixtures (idiomatic code that must stay clean), plus coverage of
+the suppression syntax and a meta-test asserting the real tree lints clean.
+"""
+
+import json
+from pathlib import Path
+
+from repro.devtools.lint import (
+    DEFAULT_PATHS,
+    lint_paths,
+    lint_source,
+    main,
+    render_json,
+    render_report,
+)
+from repro.devtools.rules import ALL_RULES, rule_catalog
+from repro.devtools.violations import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Logical paths used to exercise each rule's scope.
+SIM_PATH = "src/repro/sim/fixture.py"
+CLUSTER_PATH = "src/repro/cluster/fixture.py"
+NETSIM_PATH = "src/repro/netsim/fixture.py"
+CORE_PATH = "src/repro/core/fixture.py"
+RNG_PATH = "src/repro/sim/rng.py"
+TESTS_PATH = "tests/test_fixture.py"
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall-clock reads
+# ----------------------------------------------------------------------
+class TestDet001:
+    def test_flags_time_time(self):
+        src = "import time\n\ndef tick() -> float:\n    return time.time()\n"
+        assert "DET001" in rules_of(lint_source(src, SIM_PATH))
+
+    def test_flags_from_import_perf_counter(self):
+        src = "from time import perf_counter\n\ndef tick() -> float:\n    return perf_counter()\n"
+        assert "DET001" in rules_of(lint_source(src, SIM_PATH))
+
+    def test_flags_aliased_datetime_now(self):
+        src = "from datetime import datetime as dt\n\ndef stamp() -> object:\n    return dt.now()\n"
+        assert "DET001" in rules_of(lint_source(src, SIM_PATH))
+
+    def test_sim_clock_usage_is_clean(self):
+        src = (
+            "from repro.sim.clock import SimClock\n\n"
+            "def tick(clock: SimClock) -> float:\n    return clock.now\n"
+        )
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_tests_area_may_use_wall_clock(self):
+        src = "import time\n\ndef test_elapsed():\n    assert time.time() > 0\n"
+        assert lint_source(src, TESTS_PATH) == []
+
+    def test_unrelated_now_attribute_is_clean(self):
+        src = "def probe(clock) -> float:\n    return clock.now\n"
+        # `clock.now` is an attribute read, not a wall-clock call.
+        assert "DET001" not in rules_of(lint_source(src, TESTS_PATH))
+
+
+# ----------------------------------------------------------------------
+# DET002 — private randomness
+# ----------------------------------------------------------------------
+class TestDet002:
+    def test_flags_default_rng(self):
+        src = "import numpy as np\n\ndef make() -> object:\n    return np.random.default_rng(0)\n"
+        assert "DET002" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_flags_np_random_seed(self):
+        src = "import numpy as np\n\ndef seed() -> None:\n    np.random.seed(0)\n"
+        assert "DET002" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_legacy_global_draws(self):
+        src = "import numpy as np\n\ndef draw() -> float:\n    return float(np.random.uniform())\n"
+        assert "DET002" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_stdlib_random(self):
+        src = "import random\n\ndef draw() -> float:\n    return random.random()\n"
+        assert "DET002" in rules_of(lint_source(src, SIM_PATH))
+
+    def test_flags_from_import_stdlib_random(self):
+        src = "from random import shuffle\n\ndef mix(xs: list) -> None:\n    shuffle(xs)\n"
+        assert "DET002" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_rng_module_itself_is_exempt(self):
+        src = "import numpy as np\n\ndef make() -> object:\n    return np.random.default_rng(0)\n"
+        assert lint_source(src, RNG_PATH) == []
+
+    def test_tests_may_construct_generators(self):
+        src = "import numpy as np\n\ndef test_x():\n    rng = np.random.default_rng(1)\n    assert rng\n"
+        assert lint_source(src, TESTS_PATH) == []
+
+    def test_injected_generator_usage_is_clean(self):
+        src = (
+            "import numpy as np\n\n"
+            "def draw(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.uniform())\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_seed_sequence_is_safe(self):
+        src = "import numpy as np\n\ndef derive(seed: int) -> object:\n    return np.random.SeedSequence(seed)\n"
+        assert "DET002" not in rules_of(lint_source(src, CORE_PATH))
+
+
+# ----------------------------------------------------------------------
+# DET003 — iteration over bare sets
+# ----------------------------------------------------------------------
+class TestDet003:
+    def test_flags_for_over_set_call(self):
+        src = "def walk(items: list) -> None:\n    for x in set(items):\n        print(x)\n"
+        assert "DET003" in rules_of(lint_source(src, SIM_PATH))
+
+    def test_flags_for_over_set_literal(self):
+        src = "def walk() -> None:\n    for x in {1, 2, 3}:\n        print(x)\n"
+        assert "DET003" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_list_of_set(self):
+        src = "def order(items: list) -> list:\n    return list(set(items))\n"
+        assert "DET003" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_flags_comprehension_over_set_union(self):
+        src = "def pair(a: set, b: set) -> list:\n    return [x for x in a | b]\n"
+        # `a | b` on unannotated names is not statically a set, but on
+        # literals it is:
+        src = "def pair() -> list:\n    return [x for x in {1} | {2}]\n"
+        assert "DET003" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_iteration_over_local_set_variable(self):
+        src = (
+            "def walk(items: list) -> None:\n"
+            "    seen = set(items)\n"
+            "    for x in seen:\n"
+            "        print(x)\n"
+        )
+        assert "DET003" in rules_of(lint_source(src, SIM_PATH))
+
+    def test_sorted_set_is_clean(self):
+        src = "def walk(items: list) -> None:\n    for x in sorted(set(items)):\n        print(x)\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_membership_and_len_are_clean(self):
+        src = (
+            "def stats(items: list) -> int:\n"
+            "    names = set(items)\n"
+            "    if 'a' in names:\n"
+            "        return len(names)\n"
+            "    return 0\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_set_comprehension_output_is_clean(self):
+        src = "def dedupe(items: list) -> set:\n    return {x for x in set(items)}\n"
+        # Draining a set into another set never materialises an order.
+        assert "DET003" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_out_of_scope_area_is_clean(self):
+        src = "def walk(items: list) -> None:\n    for x in set(items):\n        print(x)\n"
+        assert lint_source(src, TESTS_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# UNIT001 — raw unit-conversion literals
+# ----------------------------------------------------------------------
+class TestUnit001:
+    def test_flags_mib_literal_in_cluster(self):
+        src = "def to_mib(n_bytes: float) -> float:\n    return n_bytes / 1048576\n"
+        assert "UNIT001" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_flags_1024_in_netsim(self):
+        src = "def shares(cores: float) -> int:\n    return int(cores * 1024)\n"
+        assert "UNIT001" in rules_of(lint_source(src, NETSIM_PATH))
+
+    def test_flags_mbit_literal(self):
+        src = "def to_bits(mbit: float) -> float:\n    return mbit * 1000000\n"
+        assert "UNIT001" in rules_of(lint_source(src, NETSIM_PATH))
+
+    def test_units_helpers_are_clean(self):
+        src = (
+            "from repro.units import MIB\n\n"
+            "def to_mib(n_bytes: float) -> float:\n    return n_bytes / MIB\n"
+        )
+        assert lint_source(src, CLUSTER_PATH) == []
+
+    def test_other_literals_are_clean(self):
+        src = "def cap() -> float:\n    return 512.0\n"
+        assert lint_source(src, CLUSTER_PATH) == []
+
+    def test_rule_is_scoped_to_cluster_and_netsim(self):
+        src = "def to_mib(n_bytes: float) -> float:\n    return n_bytes / 1048576\n"
+        assert lint_source(src, CORE_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# API001 — complete annotations on the public surface
+# ----------------------------------------------------------------------
+class TestApi001:
+    def test_flags_missing_return_type(self):
+        src = "def speed(mbit: float):\n    return mbit * 2\n"
+        assert "API001" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_unannotated_parameter(self):
+        src = "def speed(mbit) -> float:\n    return mbit * 2\n"
+        assert "API001" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_unannotated_method_kwargs(self):
+        src = (
+            "class Policy:\n"
+            "    def decide(self, view: object, **extras) -> list:\n"
+            "        return []\n"
+        )
+        assert "API001" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_init_needs_no_return_annotation(self):
+        src = "class Clock:\n    def __init__(self, dt: float):\n        self.dt = dt\n"
+        assert lint_source(src, SIM_PATH) == []
+
+    def test_private_and_nested_defs_are_exempt(self):
+        src = (
+            "def _helper(x):\n"
+            "    return x\n\n"
+            "def public(x: int) -> int:\n"
+            "    def inner(y):\n"
+            "        return y\n"
+            "    return inner(x)\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_fully_annotated_method_is_clean(self):
+        src = (
+            "class Policy:\n"
+            "    def decide(self, view: object, *, dry_run: bool = False) -> list[str]:\n"
+            "        return []\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+    def test_rule_is_scoped_to_src(self):
+        src = "def helper(x):\n    return x\n"
+        assert lint_source(src, TESTS_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression syntax
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    DIRTY = "import numpy as np\n\ndef make() -> object:\n    return np.random.default_rng(0)"
+
+    def test_reasoned_suppression_silences_the_rule(self):
+        src = self.DIRTY + "  # lint: disable=DET002(doc fixture, not simulator state)\n"
+        assert lint_source(src, CLUSTER_PATH) == []
+
+    def test_suppression_without_reason_is_reported_and_ineffective(self):
+        src = self.DIRTY + "  # lint: disable=DET002\n"
+        rules = rules_of(lint_source(src, CLUSTER_PATH))
+        assert "LINT001" in rules and "DET002" in rules
+
+    def test_empty_reason_is_reported(self):
+        src = self.DIRTY + "  # lint: disable=DET002()\n"
+        rules = rules_of(lint_source(src, CLUSTER_PATH))
+        assert "LINT001" in rules and "DET002" in rules
+
+    def test_suppression_of_other_rule_does_not_silence(self):
+        src = self.DIRTY + "  # lint: disable=DET001(wrong rule)\n"
+        assert "DET002" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_multiple_rules_on_one_line(self):
+        src = (
+            "import numpy as np\n\n"
+            "def make() -> object:\n"
+            "    return list(set(np.random.default_rng(0).integers(0, 9, 4)))"
+            "  # lint: disable=DET002(fixture), DET003(fixture)\n"
+        )
+        assert lint_source(src, CLUSTER_PATH) == []
+
+    def test_parse_suppressions_maps_lines(self):
+        suppressed, problems = parse_suppressions(
+            "x = 1\ny = 2  # lint: disable=DET001(known quirk)\n", "src/repro/sim/x.py"
+        )
+        assert suppressed == {2: frozenset({"DET001"})}
+        assert problems == []
+
+
+# ----------------------------------------------------------------------
+# Engine, output formats, CLI
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_syntax_error_becomes_lint002(self):
+        violations = lint_source("def broken(:\n", SIM_PATH)
+        assert rules_of(violations) == ["LINT002"]
+
+    def test_json_report_shape(self):
+        violations = lint_source("import time\n\ndef t() -> float:\n    return time.time()\n", SIM_PATH)
+        payload = json.loads(render_json(violations, files_checked=1))
+        assert payload["files_checked"] == 1
+        assert payload["violation_count"] == len(violations) == 1
+        entry = payload["violations"][0]
+        assert entry["rule"] == "DET001"
+        assert entry["path"] == SIM_PATH
+        assert entry["line"] == 4
+
+    def test_text_report_mentions_rule_mix(self):
+        violations = lint_source("import time\n\ndef t() -> float:\n    return time.time()\n", SIM_PATH)
+        report = render_report(violations, files_checked=1)
+        assert "DET001=1" in report
+        assert f"{SIM_PATH}:4" in report
+
+    def test_clean_report(self):
+        assert "0 violations" in render_report([], files_checked=3)
+
+    def test_every_rule_has_id_and_summary(self):
+        catalog = rule_catalog()
+        assert set(catalog) == {"DET001", "DET002", "DET003", "UNIT001", "API001"}
+        assert all(summary for summary in catalog.values())
+        assert len(ALL_RULES) == 5
+
+
+class TestCli:
+    def _write(self, root: Path, rel: str, source: str) -> Path:
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return path
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/sim/ok.py", "X: int = 1\n")
+        assert main(["src", "--root", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_violation(self, tmp_path, capsys):
+        self._write(
+            tmp_path,
+            "src/repro/cluster/bad.py",
+            "import numpy as np\n\ndef make() -> object:\n    return np.random.default_rng(0)\n",
+        )
+        assert main(["src", "--root", str(tmp_path)]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main(["no-such-dir", "--root", str(tmp_path)]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_json_format_flag(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/sim/ok.py", "X: int = 1\n")
+        assert main(["src", "--root", str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violation_count"] == 0
+
+    def test_list_rules_flag(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003", "UNIT001", "API001"):
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# The real tree must lint clean (the CI gate, asserted in-process)
+# ----------------------------------------------------------------------
+class TestRepositoryIsClean:
+    def test_default_paths_lint_clean(self):
+        violations, files_checked = lint_paths(list(DEFAULT_PATHS), root=REPO_ROOT)
+        assert files_checked > 100  # the walker actually found the tree
+        assert violations == [], "\n" + "\n".join(v.render() for v in violations)

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.cluster.node import Node
-from repro.cluster.resources import ResourceVector
 from repro.dockersim.daemon import DockerDaemon
 from repro.errors import CapacityError, ContainerNotFound, ContainerStateError
 from repro.workloads.requests import Request

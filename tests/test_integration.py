@@ -14,7 +14,7 @@ from repro import (
 from repro.cluster import MicroserviceSpec
 from repro.config import ClusterConfig
 from repro.errors import ExperimentError
-from repro.workloads import CPU_BOUND, MEMORY_BOUND, ConstantLoad, LowBurstLoad, ServiceLoad
+from repro.workloads import CPU_BOUND, MEMORY_BOUND, ConstantLoad, ServiceLoad
 
 
 def small_setup(n_services=2, rate=6.0, profile=CPU_BOUND, worker_nodes=4, seed=0):

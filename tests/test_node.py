@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
-from repro.config import OverheadModel
 from repro.errors import CapacityError, ClusterError
 from repro.workloads.requests import FailureReason, Request, RequestState
 

@@ -6,7 +6,6 @@ monotonicity.  Hypothesis explores the input space; the assertions are the
 identities.
 """
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -12,7 +12,7 @@ import pytest
 from repro import HyScaleCpu, KubernetesHpa, Simulation, SimulationConfig, run_experiment
 from repro.cluster import MicroserviceSpec
 from repro.cluster.microservice import MicroserviceSpec as Spec
-from repro.config import ClusterConfig, OverheadModel
+from repro.config import ClusterConfig
 from repro.errors import ClusterError
 from repro.workloads import CPU_BOUND, ConstantLoad, ServiceLoad
 

@@ -4,7 +4,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.analysis.stats import SeedAggregate, multi_seed, ordering_holds
+from repro.analysis.stats import multi_seed, ordering_holds
 from repro.errors import ExperimentError
 from repro.experiments.configs import cpu_bound
 

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.cluster.node import Node
-from repro.cluster.resources import ResourceVector
 from repro.cluster.stress import CpuStressContainer, NetStressContainer
 from repro.workloads.requests import Request
 
