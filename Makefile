@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint test bench bench-full reproduce examples clean
+.PHONY: install lint test bench bench-full profile reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,12 @@ bench:
 # Paper-scale benchmarks (15 services / 19 nodes / 1 h).  Slow.
 bench-full:
 	REPRO_FULL=1 pytest benchmarks/ --benchmark-only -s
+
+# Per-engine-phase wall-time profile (docs/observability.md); the JSON
+# report is uploaded as a CI artifact for run-to-run comparison.
+profile:
+	PYTHONPATH=src python -m repro.cli profile --workload cpu --algorithm hybrid \
+		--json BENCH_phase_profile.json
 
 reproduce:
 	hyscale-repro reproduce

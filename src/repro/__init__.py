@@ -29,16 +29,28 @@ from repro.config import ClusterConfig, OverheadModel, PAPER_CONFIG, SimulationC
 from repro.core import (
     AddReplica,
     AutoscalingPolicy,
+    ClusterView,
     HyScaleCpu,
     HyScaleCpuMem,
     KubernetesHpa,
     NetworkHpa,
     RemoveReplica,
+    ScalingAction,
     VerticalScale,
+    resolve_policy,
 )
 from repro.errors import ReproError
 from repro.experiments.runner import Simulation, run_experiment
-from repro.metrics import MetricsCollector, RunSummary, Sla, evaluate_sla
+from repro.metrics import (
+    MetricsCollector,
+    RunSummary,
+    ScalingEvent,
+    ScalingEventLog,
+    Sla,
+    TimelinePoint,
+    evaluate_sla,
+)
+from repro.obs import DecisionTracer, NullTracer, PhaseProfiler, Tracer
 
 __version__ = "1.0.0"
 
@@ -55,7 +67,10 @@ __all__ = [
     "NetworkHpa",
     "HyScaleCpu",
     "HyScaleCpuMem",
-    # actions
+    "resolve_policy",
+    # what policies consume and emit
+    "ClusterView",
+    "ScalingAction",
     "VerticalScale",
     "AddReplica",
     "RemoveReplica",
@@ -67,6 +82,14 @@ __all__ = [
     "RunSummary",
     "Sla",
     "evaluate_sla",
+    "TimelinePoint",
+    "ScalingEvent",
+    "ScalingEventLog",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "DecisionTracer",
+    "PhaseProfiler",
     # errors
     "ReproError",
 ]

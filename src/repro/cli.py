@@ -9,6 +9,9 @@ Examples::
     hyscale-repro run cpu --burst high --algorithms kubernetes hybrid
     hyscale-repro run mixed --costs --events 10 --timeline
     hyscale-repro run bitbrains --json runs.json && hyscale-repro inspect runs.json
+    hyscale-repro run cpu --algorithms hybrid --trace-out t.jsonl
+    hyscale-repro explain t.jsonl --actions-only # why did each action fire?
+    hyscale-repro profile --workload cpu --json BENCH_phase_profile.json
     hyscale-repro reproduce                      # the whole evaluation matrix
     hyscale-repro section3 --which network
     hyscale-repro trace --vms 50 --duration 600
@@ -61,26 +64,43 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_path(base: str, algorithm: str, multiple: bool) -> str:
+    """Per-algorithm trace file: ``t.jsonl`` -> ``t.hybrid.jsonl`` when the
+    run covers several algorithms, unchanged for a single one."""
+    if not multiple:
+        return base
+    root, dot, ext = base.rpartition(".")
+    if not dot:
+        return f"{base}.{algorithm}"
+    return f"{root}.{algorithm}.{ext}"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _build_spec(args.workload, args.burst, args.seed)
     summaries = {}
     cost_reports = {}
     event_logs = {}
-    needs_collector = args.costs or args.events > 0
+    needs_simulation = args.costs or args.events > 0 or args.trace_out
     for algorithm in args.algorithms:
         print(f"running {spec.label} under {algorithm} ...", file=sys.stderr)
-        if needs_collector:
-            from repro.experiments.configs import make_policy
+        if needs_simulation:
             from repro.experiments.runner import Simulation
+            from repro.obs import NULL_TRACER, DecisionTracer, write_trace_jsonl
 
+            tracer = DecisionTracer() if args.trace_out else NULL_TRACER
             simulation = Simulation.build(
                 config=spec.config,
                 specs=list(spec.specs),
                 loads=list(spec.loads),
-                policy=make_policy(algorithm, spec.config),
+                policy=algorithm,
                 workload_label=spec.label,
+                tracer=tracer,
             )
             summaries[algorithm] = simulation.run(spec.duration)
+            if args.trace_out:
+                path = _trace_path(args.trace_out, algorithm, len(args.algorithms) > 1)
+                count = write_trace_jsonl(tracer.spans(), path)
+                print(f"wrote {count} decision spans to {path}", file=sys.stderr)
             if args.costs:
                 from repro.metrics import Sla
                 from repro.metrics.costs import evaluate_costs
@@ -202,6 +222,56 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs import read_trace_jsonl, render_explain
+
+    try:
+        spans = read_trace_jsonl(args.path)
+    except (OSError, ObservabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(
+            render_explain(
+                spans,
+                limit=args.limit,
+                service=args.service,
+                actions_only=args.actions_only,
+            )
+        )
+    except BrokenPipeError:
+        # Reader (head, less) closed the pipe mid-render: not an error.
+        sys.stderr.close()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import Simulation
+    from repro.obs import PhaseProfiler
+
+    spec = _build_spec(args.workload, args.burst, args.seed)
+    duration = args.duration if args.duration is not None else spec.duration
+    profiler = PhaseProfiler()
+    print(f"profiling {spec.label} under {args.algorithm} ...", file=sys.stderr)
+    simulation = Simulation.build(
+        config=spec.config,
+        specs=list(spec.specs),
+        loads=list(spec.loads),
+        policy=args.algorithm,
+        workload_label=spec.label,
+        profiler=profiler,
+    )
+    simulation.run(duration)
+    print(profiler.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(profiler.to_json())
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import main as lint_main
 
@@ -272,7 +342,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=8.0,
         help="response-time SLA target in seconds for --costs (default 8.0)",
     )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record every scaling decision and write a JSONL trace "
+        "(per-algorithm suffix when several algorithms run)",
+    )
     run.set_defaults(func=_cmd_run)
+
+    explain = sub.add_parser(
+        "explain", help="render a decision trace written by `run --trace-out`"
+    )
+    explain.add_argument("path", help="JSONL trace file")
+    explain.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="only the last N decision spans")
+    explain.add_argument("--service", default=None,
+                         help="restrict to one microservice")
+    explain.add_argument("--actions-only", action="store_true",
+                         help="skip ticks that emitted no actions")
+    explain.set_defaults(func=_cmd_explain)
+
+    profile = sub.add_parser(
+        "profile", help="run one workload with per-phase wall-time attribution"
+    )
+    profile.add_argument("--workload", choices=sorted(WORKLOADS), default="cpu")
+    profile.add_argument("--burst", choices=BURSTS, default="low")
+    profile.add_argument("--algorithm", choices=ALL_POLICY_NAMES, default="hybrid")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--duration", type=float, default=None,
+                         help="simulated seconds (default: the workload's own duration)")
+    profile.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the phase report as JSON")
+    profile.set_defaults(func=_cmd_profile)
 
     rep = sub.add_parser(
         "reproduce", help="run the paper's whole evaluation matrix and print every figure"

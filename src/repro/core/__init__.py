@@ -7,6 +7,8 @@
 * :mod:`repro.core.network` — the network scaling algorithm (Section IV-A2).
 * :mod:`repro.core.hyscale` — HyScale_CPU (Section IV-B1).
 * :mod:`repro.core.hyscale_mem` — HyScale_CPU+Mem (Section IV-B2).
+* :mod:`repro.core.registry` — algorithm names -> policy factories;
+  :func:`resolve_policy` lets every policy-accepting API take a name.
 """
 
 from repro.core.actions import (
@@ -26,9 +28,23 @@ from repro.core.kubernetes_multi import KubernetesMemoryHpa, KubernetesMultiMetr
 from repro.core.network import NetworkHpa
 from repro.core.predictive import HoltSmoother, PredictiveHyScale
 from repro.core.policy import AutoscalingPolicy, NodeLedger
+from repro.core.registry import (
+    ALGORITHMS,
+    EXTENSION_ALGORITHMS,
+    make_policy,
+    register_policy,
+    registered_policies,
+    resolve_policy,
+)
 from repro.core.view import ClusterView, NodeView, ReplicaView, ServiceView
 
 __all__ = [
+    "ALGORITHMS",
+    "EXTENSION_ALGORITHMS",
+    "make_policy",
+    "register_policy",
+    "registered_policies",
+    "resolve_policy",
     "ScalingAction",
     "VerticalScale",
     "AddReplica",

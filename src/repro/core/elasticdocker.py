@@ -76,7 +76,7 @@ class ElasticDockerPolicy(AutoscalingPolicy):
     def decide(self, view: ClusterView) -> list[ScalingAction]:
         """One MAPE iteration over every replica."""
         actions: list[ScalingAction] = []
-        ledger = NodeLedger(view)
+        ledger = NodeLedger(view, tracer=self.tracer)
         for service in view.services:
             for replica in service.measurable_replicas():
                 actions.extend(self._adjust(replica, ledger, view.now))
@@ -86,6 +86,18 @@ class ElasticDockerPolicy(AutoscalingPolicy):
     def _adjust(self, replica: ReplicaView, ledger: NodeLedger, now: float) -> list[ScalingAction]:
         cpu_util = replica.cpu_utilization
         mem_util = replica.mem_utilization
+        if self.tracer.enabled:
+            for metric, util in (("cpu", cpu_util), ("memory", mem_util)):
+                verdict = (
+                    "grow" if util > self.high_watermark
+                    else "shrink" if util < self.low_watermark
+                    else "hold"
+                )
+                threshold = self.high_watermark if util > self.high_watermark else self.low_watermark
+                self.tracer.record_metric(
+                    service=replica.service, metric=metric,
+                    value=util, threshold=threshold, verdict=verdict,
+                )
 
         wanted_cpu = replica.cpu_request
         wanted_mem = replica.mem_limit
@@ -113,6 +125,10 @@ class ElasticDockerPolicy(AutoscalingPolicy):
             shrink_mem = max(0.0, replica.mem_limit - wanted_mem)
             if shrink_cpu > 0 or shrink_mem > 0:
                 ledger.release(replica.node, ResourceVector(cpu=shrink_cpu, memory=shrink_mem))
+            if self.tracer.enabled:
+                self._record_adjust(
+                    replica, "elastic", cpu_util, mem_util, wanted_cpu, wanted_mem
+                )
             return [
                 VerticalScale(
                     replica.container_id,
@@ -152,6 +168,10 @@ class ElasticDockerPolicy(AutoscalingPolicy):
                     memory=capped_mem - replica.mem_limit,
                 ),
             )
+            if self.tracer.enabled:
+                self._record_adjust(
+                    replica, "elastic-capped", cpu_util, mem_util, capped_cpu, capped_mem
+                )
             return [
                 VerticalScale(
                     replica.container_id,
@@ -171,6 +191,16 @@ class ElasticDockerPolicy(AutoscalingPolicy):
             ledger.available(target)
         )
         ledger.plan_placement(target, replica.service, landing)
+        if self.tracer.enabled:
+            self.tracer.record_action(
+                kind="migrate-replica", service=replica.service,
+                target=replica.container_id, reason="elastic-migrate", metric="cpu",
+                value=cpu_util, threshold=self.high_watermark,
+                detail=f"{replica.node}->{target}",
+            )
+            self._record_adjust(
+                replica, "elastic-after-migrate", cpu_util, mem_util, wanted_cpu, wanted_mem
+            )
         return [
             MigrateReplica(replica.container_id, target, reason="elastic-migrate"),
             VerticalScale(
@@ -180,3 +210,28 @@ class ElasticDockerPolicy(AutoscalingPolicy):
                 reason="elastic-after-migrate",
             ),
         ]
+
+    def _record_adjust(
+        self,
+        replica: ReplicaView,
+        reason: str,
+        cpu_util: float,
+        mem_util: float,
+        new_cpu: float,
+        new_mem: float,
+    ) -> None:
+        """Trace one vertical adjustment, naming the axis that triggered it."""
+        if abs(new_cpu - replica.cpu_request) >= abs(new_mem - replica.mem_limit) / 1024.0:
+            metric, value = "cpu", cpu_util
+        else:
+            metric, value = "memory", mem_util
+        threshold = self.high_watermark if value > self.high_watermark else self.low_watermark
+        self.tracer.record_action(
+            kind="vertical-scale", service=replica.service,
+            target=replica.container_id, reason=reason, metric=metric,
+            value=value, threshold=threshold,
+            detail=(
+                f"cpu {replica.cpu_request:.3f}->{new_cpu:.3f}"
+                f" mem {replica.mem_limit:.1f}->{new_mem:.1f} on {replica.node}"
+            ),
+        )

@@ -104,13 +104,28 @@ class HyScaleCpu(AutoscalingPolicy):
         """Reclaim first, then acquire — so freed resources are immediately
         redistributable within the same period (Section IV-B1)."""
         actions: list[ScalingAction] = []
-        ledger = NodeLedger(view)
+        ledger = NodeLedger(view, tracer=self.tracer)
         removed: set[str] = set()
 
         for service in view.services:
             actions.extend(self._enforce_bounds(service, view, ledger, removed))
 
         missing = {s.name: self.missing_cpus(s) for s in view.services}
+        if self.tracer.enabled:
+            for service in view.services:
+                deficit = missing[service.name]
+                verdict = (
+                    "acquire" if deficit > EPSILON else "reclaim" if deficit < -EPSILON else "balanced"
+                )
+                self.tracer.record_metric(
+                    service=service.name, metric="cpu",
+                    value=_service_utilization(service), threshold=service.target_utilization,
+                    verdict=verdict,
+                )
+                self.tracer.record_metric(
+                    service=service.name, metric="missing-cpu",
+                    value=deficit, threshold=0.0, verdict=verdict,
+                )
 
         for service in view.services:
             if missing[service.name] < -EPSILON:
@@ -143,6 +158,13 @@ class HyScaleCpu(AutoscalingPolicy):
             if placed is None:
                 break
             actions.append(placed)
+            if self.tracer.enabled:
+                self.tracer.record_action(
+                    kind="add-replica", service=service.name, target=placed.node or "",
+                    reason="min-replicas", metric="replicas",
+                    value=float(service.replica_count), threshold=float(service.min_replicas),
+                    detail=f"cpu {placed.cpu_request:.3f} on {placed.node}",
+                )
 
         excess = service.replica_count - service.max_replicas
         if excess > 0:
@@ -151,6 +173,13 @@ class HyScaleCpu(AutoscalingPolicy):
                 actions.append(RemoveReplica(victim.container_id, reason="max-replicas"))
                 removed.add(victim.container_id)
                 ledger.release(victim.node, _reservation(victim))
+                if self.tracer.enabled:
+                    self.tracer.record_action(
+                        kind="remove-replica", service=service.name, target=victim.container_id,
+                        reason="max-replicas", metric="replicas",
+                        value=float(service.replica_count), threshold=float(service.max_replicas),
+                        detail=f"from {victim.node}",
+                    )
         return actions
 
     # ------------------------------------------------------------------
@@ -185,6 +214,16 @@ class HyScaleCpu(AutoscalingPolicy):
                     ledger.release(replica.node, _reservation(replica))
                     self.guard.record_scale_down(service.name, view.now)
                     live -= 1
+                    if self.tracer.enabled:
+                        self.tracer.record_action(
+                            kind="remove-replica", service=service.name,
+                            target=replica.container_id, reason="reclaim-remove", metric="cpu",
+                            value=replica.cpu_utilization, threshold=target,
+                            detail=(
+                                f"request {replica.cpu_request:.3f} below removal "
+                                f"floor {self.min_cpu_removal:.3f} on {replica.node}"
+                            ),
+                        )
                     continue
                 # Cannot remove: clamp the shrink at the minimum allocation.
                 new_request = self.min_cpu_removal
@@ -195,6 +234,13 @@ class HyScaleCpu(AutoscalingPolicy):
                 VerticalScale(replica.container_id, cpu_request=new_request, reason="reclaim")
             )
             ledger.release(replica.node, ResourceVector(cpu=replica.cpu_request - new_request))
+            if self.tracer.enabled:
+                self.tracer.record_action(
+                    kind="vertical-scale", service=service.name,
+                    target=replica.container_id, reason="reclaim", metric="cpu",
+                    value=replica.cpu_utilization, threshold=target,
+                    detail=f"cpu {replica.cpu_request:.3f}->{new_request:.3f} on {replica.node}",
+                )
         return actions
 
     # ------------------------------------------------------------------
@@ -230,6 +276,14 @@ class HyScaleCpu(AutoscalingPolicy):
             )
             ledger.take(replica.node, ResourceVector(cpu=acquired))
             acquired_total += acquired
+            if self.tracer.enabled:
+                new_request = replica.cpu_request + acquired
+                self.tracer.record_action(
+                    kind="vertical-scale", service=service.name,
+                    target=replica.container_id, reason="acquire", metric="cpu",
+                    value=replica.cpu_utilization, threshold=target,
+                    detail=f"cpu {replica.cpu_request:.3f}->{new_request:.3f} on {replica.node}",
+                )
 
         shortfall = missing - acquired_total
         if shortfall > EPSILON:
@@ -253,6 +307,13 @@ class HyScaleCpu(AutoscalingPolicy):
             if placed is None:
                 break
             actions.append(placed)
+            if self.tracer.enabled:
+                self.tracer.record_action(
+                    kind="add-replica", service=service.name, target=placed.node or "",
+                    reason="spill", metric="missing-cpu",
+                    value=shortfall, threshold=0.0,
+                    detail=f"cpu {placed.cpu_request:.3f} on {placed.node}",
+                )
             shortfall -= placed.cpu_request
             live += 1
         if actions:
@@ -298,3 +359,13 @@ class HyScaleCpu(AutoscalingPolicy):
 def _reservation(replica: ReplicaView) -> ResourceVector:
     """Resources a replica holds against its node."""
     return ResourceVector(replica.cpu_request, replica.mem_limit, replica.net_rate)
+
+
+def _service_utilization(service: ServiceView) -> float:
+    """Service-wide ``sum(usage) / sum(requested)`` (0.0 when nothing is
+    requested) — the utilization figure a trace reader compares against
+    ``Target_m``."""
+    requested = service.total_cpu_requested()
+    if requested <= 0:
+        return 0.0
+    return service.total_cpu_usage() / requested

@@ -90,7 +90,7 @@ class HyScaleCpuMem(HyScaleCpu):
     def decide(self, view: ClusterView) -> list[ScalingAction]:
         """Reclaim both axes first, then acquire both axes."""
         actions: list[ScalingAction] = []
-        ledger = NodeLedger(view)
+        ledger = NodeLedger(view, tracer=self.tracer)
         removed: set[str] = set()
 
         for service in view.services:
@@ -98,6 +98,21 @@ class HyScaleCpuMem(HyScaleCpu):
 
         missing_cpu = {s.name: self.missing_cpus(s) for s in view.services}
         missing_mem = {s.name: self.missing_mem(s) for s in view.services}
+        if self.tracer.enabled:
+            for service in view.services:
+                for metric, deficit in (
+                    ("missing-cpu", missing_cpu[service.name]),
+                    ("missing-mem", missing_mem[service.name]),
+                ):
+                    verdict = (
+                        "acquire" if deficit > EPSILON
+                        else "reclaim" if deficit < -EPSILON
+                        else "balanced"
+                    )
+                    self.tracer.record_metric(
+                        service=service.name, metric=metric,
+                        value=deficit, threshold=0.0, verdict=verdict,
+                    )
 
         for service in view.services:
             if missing_cpu[service.name] < -EPSILON or missing_mem[service.name] < -EPSILON:
@@ -174,6 +189,17 @@ class HyScaleCpuMem(HyScaleCpu):
                     ledger.release(replica.node, _reservation(replica))
                     self.guard.record_scale_down(service.name, view.now)
                     live -= 1
+                    if self.tracer.enabled:
+                        self.tracer.record_action(
+                            kind="remove-replica", service=service.name,
+                            target=replica.container_id, reason="reclaim-remove", metric="cpu+mem",
+                            value=replica.cpu_utilization, threshold=target,
+                            detail=(
+                                f"mutual floors: cpu {new_cpu:.3f}<{self.min_cpu_removal:.3f}"
+                                f" and mem {new_mem:.1f}<{self.min_mem_removal:.1f}"
+                                f" on {replica.node}"
+                            ),
+                        )
                     continue
 
             # Keep it: clamp each axis at its floor and shrink what remains.
@@ -199,6 +225,16 @@ class HyScaleCpuMem(HyScaleCpu):
                 replica.node,
                 ResourceVector(cpu=max(cpu_delta, 0.0), memory=max(mem_delta, 0.0)),
             )
+            if self.tracer.enabled:
+                self.tracer.record_action(
+                    kind="vertical-scale", service=service.name,
+                    target=replica.container_id, reason="reclaim", metric="cpu+mem",
+                    value=replica.cpu_utilization, threshold=target,
+                    detail=(
+                        f"cpu {replica.cpu_request:.3f}->{new_cpu:.3f}"
+                        f" mem {replica.mem_limit:.1f}->{new_mem:.1f} on {replica.node}"
+                    ),
+                )
         return actions
 
     # ------------------------------------------------------------------
@@ -242,6 +278,17 @@ class HyScaleCpuMem(HyScaleCpu):
             ledger.take(replica.node, ResourceVector(cpu=got_cpu, memory=got_mem))
             acquired_cpu += got_cpu
             acquired_mem += got_mem
+            if self.tracer.enabled:
+                self.tracer.record_action(
+                    kind="vertical-scale", service=service.name,
+                    target=replica.container_id, reason="acquire", metric="cpu+mem",
+                    value=replica.cpu_utilization, threshold=target,
+                    detail=(
+                        f"cpu {replica.cpu_request:.3f}->{replica.cpu_request + got_cpu:.3f}"
+                        f" mem {replica.mem_limit:.1f}->{replica.mem_limit + got_mem:.1f}"
+                        f" on {replica.node}"
+                    ),
+                )
 
         cpu_short = missing_cpu - acquired_cpu
         mem_short = missing_mem - acquired_mem
@@ -288,6 +335,13 @@ class HyScaleCpuMem(HyScaleCpu):
                     reason="spill",
                 )
             )
+            if self.tracer.enabled:
+                self.tracer.record_action(
+                    kind="add-replica", service=service.name, target=node,
+                    reason="spill", metric="missing-cpu",
+                    value=cpu_short, threshold=0.0,
+                    detail=f"cpu {cpu:.3f} mem {mem:.1f} on {node}",
+                )
             cpu_short -= cpu
             mem_short -= mem
             live += 1

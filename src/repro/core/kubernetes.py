@@ -92,35 +92,72 @@ class KubernetesHpa(AutoscalingPolicy):
         avg_utilization = sum(self.utilization(r) for r in replicas) / len(replicas)
         return abs(avg_utilization / service.target_utilization - 1.0) <= self.tolerance
 
+    def average_utilization(self, service: ServiceView) -> float:
+        """Mean ``utilization_r`` over measurable replicas (0.0 when none)."""
+        replicas = service.measurable_replicas()
+        if not replicas:
+            return 0.0
+        return sum(self.utilization(r) for r in replicas) / len(replicas)
+
     def _reconcile(self, service: ServiceView, now: float) -> list[ScalingAction]:
+        current = service.replica_count
+        actions, verdict = self._reconcile_actions(service, now)
+        if self.tracer.enabled:
+            value = self.average_utilization(service)
+            threshold = service.target_utilization
+            self.tracer.record_metric(
+                service=service.name, metric=self.metric, value=value, threshold=threshold,
+                verdict=verdict,
+            )
+            for action in actions:
+                if isinstance(action, AddReplica):
+                    self.tracer.record_action(
+                        kind="add-replica", service=service.name, reason=action.reason,
+                        metric=self.metric, value=value, threshold=threshold,
+                        detail=f"replicas {current}->{current + len(actions)}",
+                    )
+                else:
+                    self.tracer.record_action(
+                        kind="remove-replica", service=service.name,
+                        target=getattr(action, "container_id", ""), reason=action.reason,
+                        metric=self.metric, value=value, threshold=threshold,
+                        detail=f"replicas {current}->{current - len(actions)}",
+                    )
+        return actions
+
+    def _reconcile_actions(self, service: ServiceView, now: float) -> tuple[list[ScalingAction], str]:
+        """The controller's decision plus a verdict label for the trace."""
         current = service.replica_count
         if current == 0:
             # Nothing running (first tick, or everything OOM-killed): restore
             # the user-specified minimum.
-            return [self._new_replica(service, reason="bootstrap") for _ in range(service.min_replicas)]
+            return (
+                [self._new_replica(service, reason="bootstrap") for _ in range(service.min_replicas)],
+                "bootstrap",
+            )
 
         desired = self.desired_replicas(service)
         # The replica bounds are hard constraints; the tolerance band only
         # mutes *metric-driven* rescaling inside the legal range.
         if service.min_replicas <= current <= service.max_replicas and self.within_tolerance(service):
-            return []
+            return [], "within-tolerance"
         if desired == current:
-            return []
+            return [], "hold"
 
         if desired > current:
             if not self.guard.can_scale_up(service.name, now):
-                return []
+                return [], "scale-up-blocked"
             self.guard.record_scale_up(service.name, now)
-            return [
-                self._new_replica(service, reason="scale-up")
-                for _ in range(desired - current)
-            ]
+            return (
+                [self._new_replica(service, reason="scale-up") for _ in range(desired - current)],
+                "scale-up",
+            )
 
         if not self.guard.can_scale_down(service.name, now):
-            return []
+            return [], "scale-down-blocked"
         self.guard.record_scale_down(service.name, now)
         victims = self._scale_in_victims(service, current - desired)
-        return [RemoveReplica(v.container_id, reason="scale-down") for v in victims]
+        return [RemoveReplica(v.container_id, reason="scale-down") for v in victims], "scale-down"
 
     # ------------------------------------------------------------------
     # Helpers

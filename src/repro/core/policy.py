@@ -20,6 +20,7 @@ from repro.cluster.resources import ResourceVector
 from repro.core.actions import ScalingAction
 from repro.core.view import ClusterView
 from repro.errors import PolicyError
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class AutoscalingPolicy(abc.ABC):
@@ -29,9 +30,19 @@ class AutoscalingPolicy(abc.ABC):
     #: (e.g. ``"kubernetes"``, ``"hybrid"``, ``"hybridmem"``, ``"network"``).
     name: str = "abstract"
 
+    #: Decision-trace sink.  The default :class:`~repro.obs.NullTracer` is a
+    #: shared, stateless no-op, so untraced policies pay nothing; the
+    #: MONITOR re-points this at the run's tracer (see
+    #: :meth:`repro.platform.monitor.Monitor.set_policy`).
+    tracer: Tracer = NULL_TRACER
+
     @abc.abstractmethod
     def decide(self, view: ClusterView) -> list[ScalingAction]:
         """Produce this period's scaling actions from a cluster snapshot."""
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Point this policy's decision-evidence hooks at ``tracer``."""
+        self.tracer = tracer
 
 
 class NodeLedger:
@@ -44,9 +55,10 @@ class NodeLedger:
     replicas of the same service (the HyScale constraint).
     """
 
-    def __init__(self, view: ClusterView):
+    def __init__(self, view: ClusterView, tracer: Tracer = NULL_TRACER):
         self._available: dict[str, ResourceVector] = {}
         self._hosted: dict[str, set[str]] = {}
+        self._tracer = tracer
         for node in view.nodes:
             self._available[node.name] = node.available
             self._hosted[node.name] = set(node.services)
@@ -104,14 +116,31 @@ class NodeLedger:
                 f"ledger overdraft on {node}: taking {amount} from {self.available(node)}"
             )
         self._available[node] = remaining
+        if self._tracer.enabled:
+            self._tracer.record_ledger(
+                op="take", node=node, cpu=amount.cpu, memory=amount.memory, network=amount.network
+            )
 
     def release(self, node: str, amount: ResourceVector) -> None:
         """Return ``amount`` of reclaimed resources to ``node``."""
         if not amount.is_nonnegative():
             raise PolicyError("cannot release a negative amount")
         self._available[node] = self.available(node) + amount
+        if self._tracer.enabled:
+            self._tracer.record_ledger(
+                op="release", node=node, cpu=amount.cpu, memory=amount.memory, network=amount.network
+            )
 
     def plan_placement(self, node: str, service: str, allocation: ResourceVector) -> None:
         """Reserve a new replica's allocation and mark the node as hosting."""
         self.take(node, allocation)
         self._hosted[node].add(service)
+        if self._tracer.enabled:
+            self._tracer.record_ledger(
+                op="plan-placement",
+                node=node,
+                service=service,
+                cpu=allocation.cpu,
+                memory=allocation.memory,
+                network=allocation.network,
+            )

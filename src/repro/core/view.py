@@ -13,6 +13,7 @@ configuration.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.cluster.resources import ResourceVector
@@ -166,3 +167,32 @@ class ClusterView:
     def node_of(self, replica: ReplicaView) -> NodeView:
         """Node snapshot hosting the given replica."""
         return self.node(replica.node)
+
+    def digest(self) -> str:
+        """Short content digest of the whole snapshot.
+
+        Two views of identical observable state produce the same digest, so
+        decision traces can be correlated ("this tick saw the same cluster
+        as that one") and same-seed runs produce byte-identical traces.
+        Floats are folded in via ``repr`` (exact, locale-independent).
+        """
+        hasher = hashlib.sha256()
+        parts: list[str] = [repr(self.now)]
+        for service in self.services:
+            parts.append(
+                f"s|{service.name}|{service.min_replicas}|{service.max_replicas}"
+                f"|{service.target_utilization!r}|{service.base_cpu_request!r}"
+                f"|{service.base_mem_limit!r}|{service.base_net_rate!r}"
+            )
+            for r in service.replicas:
+                parts.append(
+                    f"r|{r.container_id}|{r.node}|{int(r.booting)}|{r.cpu_request!r}"
+                    f"|{r.cpu_usage!r}|{r.mem_limit!r}|{r.mem_usage!r}|{r.net_rate!r}"
+                    f"|{r.net_usage!r}|{r.disk_quota!r}|{r.disk_usage!r}"
+                )
+        for node in self.nodes:
+            parts.append(
+                f"n|{node.name}|{node.capacity!r}|{node.allocated!r}|{','.join(node.services)}"
+            )
+        hasher.update("\n".join(parts).encode("utf-8"))
+        return hasher.hexdigest()[:16]

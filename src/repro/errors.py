@@ -62,3 +62,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run failed."""
+
+
+class ObservabilityError(ReproError):
+    """Decision-trace or profiling instrumentation was misused."""

@@ -21,15 +21,13 @@ from dataclasses import dataclass, replace
 
 from repro.cluster.microservice import MicroserviceSpec
 from repro.config import ClusterConfig, SimulationConfig
-from repro.core.disk import DiskHpa
-from repro.core.elasticdocker import ElasticDockerPolicy
-from repro.core.hyscale import HyScaleCpu
-from repro.core.hyscale_mem import HyScaleCpuMem
-from repro.core.kubernetes import KubernetesHpa
-from repro.core.kubernetes_multi import KubernetesMemoryHpa, KubernetesMultiMetricHpa
-from repro.core.network import NetworkHpa
-from repro.core.predictive import PredictiveHyScale
 from repro.core.policy import AutoscalingPolicy
+from repro.core.registry import (
+    ALGORITHMS,
+    EXTENSION_ALGORITHMS,
+    make_policy,
+    resolve_policy,
+)
 from repro.errors import ExperimentError
 from repro.experiments.runner import run_experiment
 from repro.metrics.summary import RunSummary
@@ -45,14 +43,25 @@ from repro.workloads.profiles import (
     MicroserviceProfile,
 )
 
-#: Algorithm names as the paper's figures label them.
-ALGORITHMS = ("kubernetes", "hybrid", "hybridmem", "network")
-
-#: Algorithms added by this reproduction beyond the paper's four.
-EXTENSION_ALGORITHMS = ("disk", "elasticdocker", "predictive", "kubernetes-multi", "kubernetes-mem")
-
 #: Client-load burst regimes from Section VI.
 BURSTS = ("low", "high")
+
+__all__ = [
+    "ALGORITHMS",
+    "EXTENSION_ALGORITHMS",
+    "BURSTS",
+    "ExperimentSpec",
+    "Scale",
+    "full_scale",
+    "make_policy",
+    "resolve_policy",
+    "cpu_bound",
+    "memory_bound",
+    "mixed",
+    "network_bound",
+    "disk_bound",
+    "bitbrains",
+]
 
 
 def full_scale() -> bool:
@@ -102,14 +111,12 @@ class ExperimentSpec:
     duration: float
 
     def run(self, policy: AutoscalingPolicy | str) -> RunSummary:
-        """Run this experiment under one algorithm."""
-        if isinstance(policy, str):
-            policy = make_policy(policy, self.config)
+        """Run this experiment under one algorithm (object or name)."""
         return run_experiment(
             config=self.config,
             specs=list(self.specs),
             loads=list(self.loads),
-            policy=policy,
+            policy=resolve_policy(policy, self.config),
             duration=self.duration,
             workload_label=self.label,
         )
@@ -117,41 +124,6 @@ class ExperimentSpec:
     def run_all(self, algorithms: tuple[str, ...] = ALGORITHMS) -> dict[str, RunSummary]:
         """Run the same workload under every algorithm (the paper's method)."""
         return {name: self.run(name) for name in algorithms}
-
-
-# ----------------------------------------------------------------------
-# Policy factory
-# ----------------------------------------------------------------------
-def make_policy(name: str, config: SimulationConfig | None = None) -> AutoscalingPolicy:
-    """Build one of the paper's four algorithms with the run's intervals."""
-    cfg = config or SimulationConfig()
-    kwargs = dict(
-        scale_up_interval=cfg.scale_up_interval,
-        scale_down_interval=cfg.scale_down_interval,
-    )
-    if name == "kubernetes":
-        return KubernetesHpa(**kwargs)
-    if name == "network":
-        return NetworkHpa(**kwargs)
-    if name == "hybrid":
-        return HyScaleCpu(**kwargs)
-    if name == "hybridmem":
-        return HyScaleCpuMem(**kwargs)
-    if name == "disk":
-        return DiskHpa(**kwargs)
-    if name == "kubernetes-multi":
-        return KubernetesMultiMetricHpa(**kwargs)
-    if name == "kubernetes-mem":
-        return KubernetesMemoryHpa(**kwargs)
-    if name == "predictive":
-        return PredictiveHyScale(**kwargs)
-    if name == "elasticdocker":
-        # Threshold-driven and purely vertical: the rescale-interval knobs
-        # do not apply (ElasticDocker has no horizontal operations).
-        return ElasticDockerPolicy()
-    raise ExperimentError(
-        f"unknown algorithm {name!r}; known: {ALGORITHMS + EXTENSION_ALGORITHMS}"
-    )
 
 
 # ----------------------------------------------------------------------

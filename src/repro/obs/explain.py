@@ -1,0 +1,93 @@
+"""Human-readable rendering of decision traces.
+
+``hyscale-repro explain trace.jsonl`` answers the operator's question after
+any surprising scaling episode: *what did the arbiter see, and why did it
+act?*  Each tick renders as a header (time, policy, view shape + digest)
+followed by the metric comparisons, ledger planning steps, and emitted
+actions — every action annotated with the triggering value and threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.spans import ActionRecord, DecisionSpan, LedgerStep, MetricSample
+
+
+def _render_metric(sample: MetricSample) -> str:
+    return (
+        f"  metric  {sample.metric:<12} svc={sample.service:<18} "
+        f"value={sample.value:.3f} threshold={sample.threshold:.3f}  -> {sample.verdict}"
+    )
+
+
+def _render_ledger(step: LedgerStep) -> str:
+    amounts = []
+    if step.cpu:
+        amounts.append(f"cpu={step.cpu:.3f}")
+    if step.memory:
+        amounts.append(f"mem={step.memory:.0f}MiB")
+    if step.network:
+        amounts.append(f"net={step.network:.0f}Mbit/s")
+    service = f" svc={step.service}" if step.service else ""
+    joined = " ".join(amounts) if amounts else "-"
+    return f"  ledger  {step.op:<14} node={step.node}{service}  {joined}"
+
+
+def _render_action(action: ActionRecord) -> str:
+    reason = f" [{action.reason}]" if action.reason else ""
+    target = f" target={action.target}" if action.target else ""
+    trigger = (
+        f"  ({action.metric} {action.value:.3f} vs threshold {action.threshold:.3f})"
+        if action.metric
+        else ""
+    )
+    detail = f"  {action.detail}" if action.detail else ""
+    return f"  action  {action.kind:<15} svc={action.service}{target}{reason}{trigger}{detail}"
+
+
+def render_span(span: DecisionSpan, *, verbose: bool = True) -> str:
+    """One tick as indented text."""
+    header = (
+        f"tick t={span.now:8.1f}s  policy={span.policy}  "
+        f"view={span.services} services/{span.nodes} nodes/{span.replicas} replicas  "
+        f"digest={span.digest}"
+    )
+    lines = [header]
+    if verbose:
+        lines.extend(_render_metric(m) for m in span.metrics)
+        lines.extend(_render_ledger(s) for s in span.ledger)
+    lines.extend(_render_action(a) for a in span.actions)
+    lines.append(f"  applied {span.applied}/{span.emitted} (failed {span.failed})")
+    return "\n".join(lines)
+
+
+def render_explain(
+    spans: Sequence[DecisionSpan],
+    *,
+    limit: int | None = None,
+    service: str | None = None,
+    actions_only: bool = False,
+) -> str:
+    """A whole trace as the operator-facing explanation.
+
+    ``limit`` keeps the last N ticks; ``service`` drops ticks that touched
+    neither a metric nor an action of that service; ``actions_only``
+    suppresses the per-tick metric and ledger evidence.
+    """
+    selected = list(spans)
+    if service is not None:
+        selected = [
+            s
+            for s in selected
+            if any(m.service == service for m in s.metrics)
+            or any(a.service == service for a in s.actions)
+        ]
+    if limit is not None:
+        selected = selected[-limit:]
+    if not selected:
+        return "(no decision spans)"
+    body = "\n".join(render_span(span, verbose=not actions_only) for span in selected)
+    total_actions = sum(s.emitted for s in selected)
+    footer = f"{len(selected)} ticks, {total_actions} actions"
+    return f"{body}\n{footer}"

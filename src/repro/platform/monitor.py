@@ -40,12 +40,14 @@ from repro.core.actions import (
     VerticalScale,
 )
 from repro.core.policy import AutoscalingPolicy
+from repro.core.registry import resolve_policy
 from repro.core.view import ClusterView, NodeView, ReplicaView, ServiceView
 from repro.cluster.placement import PlacementStrategy, SpreadPlacement
 from repro.dockersim.api import DockerClient
 from repro.errors import ContainerNotFound, DockerSimError, PolicyError, ReproError
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.events import EventKind, ScalingEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.platform.node_manager import NodeManager
 from repro.sim.clock import SimClock
 
@@ -74,6 +76,7 @@ class Monitor:
         config: SimulationConfig,
         collector: MetricsCollector,
         placement: PlacementStrategy | None = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.cluster = cluster
         self.client = client
@@ -83,6 +86,8 @@ class Monitor:
         self.collector = collector
         self.placement = placement or SpreadPlacement()
         self.log = MonitorLog()
+        self.tracer = tracer
+        policy.set_tracer(tracer)
         self._next_tick = config.monitor_period
 
     # ------------------------------------------------------------------
@@ -108,23 +113,42 @@ class Monitor:
         self._next_tick += self.config.monitor_period
         self.tick(clock.now)
 
-    def set_policy(self, policy: AutoscalingPolicy) -> None:
-        """Swap the scaling algorithm at runtime.
+    def set_policy(self, policy: AutoscalingPolicy | str) -> None:
+        """Swap the scaling algorithm at runtime (object or registered name).
 
         Section V-C: the algorithm "can be specified at initialization or
         through the command-line interface" — operators switch algorithms on
         a live cluster.  The new policy starts with fresh state (its own
         interval guards), which matches restarting the algorithm process.
         """
-        self.policy = policy
+        self.policy = resolve_policy(policy, self.config)
+        self.policy.set_tracer(self.tracer)
 
     def tick(self, now: float) -> list[ScalingAction]:
         """One full monitor round: view -> decide -> apply."""
         self.log.ticks += 1
         view = self.build_view(now)
+        tracing = self.tracer.enabled
+        applied_before = self.log.actions_applied
+        failed_before = self.log.actions_failed
+        if tracing:
+            self.tracer.begin_tick(
+                now=now,
+                policy=self.policy.name,
+                digest=view.digest(),
+                services=len(view.services),
+                nodes=len(view.nodes),
+                replicas=sum(s.replica_count for s in view.services),
+            )
         actions = self.policy.decide(view)
         for action in actions:
             self._apply(action, now)
+        if tracing:
+            self.tracer.end_tick(
+                emitted=len(actions),
+                applied=self.log.actions_applied - applied_before,
+                failed=self.log.actions_failed - failed_before,
+            )
         return actions
 
     # ------------------------------------------------------------------

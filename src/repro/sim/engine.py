@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
+from repro.obs.profiler import PhaseProfiler
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue, ScheduledEvent
 
@@ -40,11 +41,18 @@ class Engine:
     ----------
     dt:
         Step width in simulated seconds.
+    profiler:
+        Optional :class:`~repro.obs.PhaseProfiler`.  When set, every step
+        times each registered actor (plus clock advance and event firing)
+        individually; when ``None`` (the default) the hot loop contains no
+        timing calls at all.  Profiler timings never feed back into the
+        simulation — they only populate reports.
     """
 
-    def __init__(self, dt: float = 0.5):
+    def __init__(self, dt: float = 0.5, profiler: PhaseProfiler | None = None):
         self.clock = SimClock(dt=dt)
         self.events = EventQueue()
+        self.profiler = profiler
         self._actors: list[tuple[str, SimActor]] = []
         self._running = False
 
@@ -84,12 +92,28 @@ class Engine:
         """Run exactly one simulation step."""
         self._running = True
         try:
-            self.clock.advance()
-            for _, actor in self._actors:
-                actor.on_step(self.clock)
-            self.events.fire_due(self.clock.now)
+            if self.profiler is not None:
+                self._step_profiled(self.profiler)
+            else:
+                self.clock.advance()
+                for _, actor in self._actors:
+                    actor.on_step(self.clock)
+                self.events.fire_due(self.clock.now)
         finally:
             self._running = False
+
+    def _step_profiled(self, profiler: PhaseProfiler) -> None:
+        """One step with per-phase wall-time attribution."""
+        timer = profiler.timer
+        profiler.count_step()
+        self.clock.advance()
+        for name, actor in self._actors:
+            start = timer()
+            actor.on_step(self.clock)
+            profiler.observe(f"actor:{name}", timer() - start)
+        start = timer()
+        self.events.fire_due(self.clock.now)
+        profiler.observe("events", timer() - start)
 
     def run_for(self, duration: float) -> int:
         """Run until at least ``duration`` more simulated seconds pass.

@@ -102,3 +102,80 @@ class TestCommands:
         assert "hybrid" in out
         assert "avg resp" in out
         assert "allocation efficiency" in out
+
+
+class TestObservabilityCommands:
+    def test_run_trace_out_writes_parseable_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["run", "cpu", "--burst", "low", "--algorithms", "hybrid", "--trace-out", str(trace)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "decision spans" in err
+
+        from repro.obs import read_trace_jsonl
+
+        spans = read_trace_jsonl(trace)
+        assert spans, "expected decision spans from the probe run"
+        # Every emitted action names its triggering metric value/threshold.
+        for span in spans:
+            for action in span.actions:
+                assert action.metric
+
+    def test_run_trace_out_splits_per_algorithm(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            [
+                "run", "cpu", "--burst", "low",
+                "--algorithms", "kubernetes", "hybrid",
+                "--trace-out", str(trace),
+            ]
+        ) == 0
+        assert (tmp_path / "t.kubernetes.jsonl").exists()
+        assert (tmp_path / "t.hybrid.jsonl").exists()
+
+    def test_explain_renders_a_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["run", "cpu", "--burst", "low", "--algorithms", "hybrid", "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["explain", str(trace), "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=hybrid" in out
+        assert "threshold" in out
+        assert "ticks" in out
+
+    def test_explain_actions_only(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["run", "cpu", "--burst", "low", "--algorithms", "hybrid", "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["explain", str(trace), "--actions-only"]) == 0
+        out = capsys.readouterr().out
+        assert "  metric " not in out  # evidence lines suppressed
+        assert "ticks" in out
+
+    def test_explain_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["explain", str(tmp_path / "missing.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_renders_phase_table(self, capsys):
+        assert main(
+            ["profile", "--workload", "cpu", "--burst", "low", "--duration", "60"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "actor:" in out
+        assert "share" in out
+
+    def test_profile_json_report(self, capsys, tmp_path):
+        report = tmp_path / "phases.json"
+        assert main(
+            [
+                "profile", "--workload", "cpu", "--burst", "low",
+                "--duration", "60", "--json", str(report),
+            ]
+        ) == 0
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["steps"] > 0
+        assert any(name.startswith("actor:") for name in payload["phases"])
+        assert payload["counters"].get("metrics.steps", 0) > 0

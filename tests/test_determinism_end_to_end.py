@@ -12,12 +12,15 @@ from repro.config import ClusterConfig, SimulationConfig
 from repro.core.hyscale_mem import HyScaleCpuMem
 from repro.experiments.configs import cpu_bound, make_policy
 from repro.experiments.runner import Simulation
+from repro.obs import NULL_TRACER, DecisionTracer, Tracer, spans_to_jsonl
 from repro.sim.rng import RngStreams
 from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
 from repro.workloads.bitbrains import generate_bitbrains_trace
 
 
-def _fresh_simulation(seed: int, *, random_placement: bool = False) -> Simulation:
+def _fresh_simulation(
+    seed: int, *, random_placement: bool = False, tracer: Tracer = NULL_TRACER
+) -> Simulation:
     """Build a small but busy experiment entirely from ``seed``."""
     config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=seed)
     specs = [
@@ -42,6 +45,7 @@ def _fresh_simulation(seed: int, *, random_placement: bool = False) -> Simulatio
         policy=HyScaleCpuMem(),
         workload_label="determinism-probe",
         placement=placement,
+        tracer=tracer,
     )
 
 
@@ -96,6 +100,35 @@ class TestEndToEndDeterminism:
         summary_b = sim_b.run(60.0).to_dict()
         assert summary_a == summary_b
         assert list(sim_a.collector.events.events()) == list(sim_b.collector.events.events())
+
+    def test_decision_trace_is_byte_identical_across_same_seed_runs(self):
+        """The JSONL trace encoding is part of the determinism contract:
+        same seed, same bytes — no wall-clock, ids, or dict-order leaks."""
+
+        def trace_once() -> str:
+            tracer = DecisionTracer()
+            simulation = _fresh_simulation(seed=7, tracer=tracer)
+            simulation.run(90.0)
+            return spans_to_jsonl(tracer.spans())
+
+        first = trace_once()
+        second = trace_once()
+        assert first, "expected a non-empty trace"
+        assert first == second
+
+    def test_tracing_does_not_perturb_the_run(self):
+        """Recording decision evidence is observation only: a traced run
+        and an untraced run of the same seed produce identical results."""
+        untraced = _run_once(seed=7)
+        tracer = DecisionTracer()
+        simulation = _fresh_simulation(seed=7, tracer=tracer)
+        summary = simulation.run(90.0)
+        traced = (
+            summary.to_dict(),
+            list(simulation.collector.events.events()),
+            list(simulation.collector.timeline),
+        )
+        assert untraced == traced
 
     def test_bitbrains_trace_is_a_pure_function_of_the_seed(self):
         trace_a = generate_bitbrains_trace(n_vms=8, duration=300.0, interval=30.0, seed=5)

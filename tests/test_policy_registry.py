@@ -1,0 +1,116 @@
+"""Registry tests: the one name-to-policy coercion point behind every API
+that accepts ``AutoscalingPolicy | str``."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core import (
+    ALGORITHMS,
+    EXTENSION_ALGORITHMS,
+    HyScaleCpu,
+    KubernetesHpa,
+    make_policy,
+    register_policy,
+    registered_policies,
+    resolve_policy,
+)
+from repro.core.registry import _REGISTRY
+from repro.errors import ExperimentError
+
+
+class TestResolvePolicy:
+    def test_instances_pass_through_untouched(self):
+        policy = HyScaleCpu()
+        assert resolve_policy(policy) is policy
+
+    def test_names_build_fresh_policies(self):
+        first = resolve_policy("hybrid")
+        second = resolve_policy("hybrid")
+        assert isinstance(first, HyScaleCpu)
+        assert first is not second
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(ExperimentError, match="unknown algorithm"):
+            resolve_policy("does-not-exist")
+
+    def test_non_policy_object_raises(self):
+        with pytest.raises(ExperimentError, match="expected an AutoscalingPolicy"):
+            resolve_policy(42)  # type: ignore[arg-type]
+
+    def test_config_intervals_flow_into_the_policy(self):
+        config = SimulationConfig(scale_up_interval=7.0, scale_down_interval=70.0)
+        policy = resolve_policy("kubernetes", config)
+        assert isinstance(policy, KubernetesHpa)
+        assert policy.guard.up_interval == 7.0
+        assert policy.guard.down_interval == 70.0
+
+
+class TestRegistryContents:
+    def test_every_paper_and_extension_algorithm_is_registered(self):
+        names = registered_policies()
+        for name in ALGORITHMS + EXTENSION_ALGORITHMS:
+            assert name in names
+
+    def test_registered_names_are_sorted_and_resolvable(self):
+        names = registered_policies()
+        assert list(names) == sorted(names)
+        for name in names:
+            assert resolve_policy(name).name == name
+
+    def test_make_policy_defaults_config(self):
+        policy = make_policy("kubernetes")
+        assert policy.guard.up_interval == SimulationConfig().scale_up_interval
+
+
+class TestRegisterPolicy:
+    def test_extension_policies_can_register_and_resolve(self):
+        name = "test-registry-probe"
+        try:
+            register_policy(name, lambda config: HyScaleCpu())
+            assert name in registered_policies()
+            assert isinstance(resolve_policy(name), HyScaleCpu)
+        finally:
+            _REGISTRY.pop(name, None)
+
+    def test_duplicate_registration_raises_unless_replaced(self):
+        name = "test-registry-dup"
+        try:
+            register_policy(name, lambda config: HyScaleCpu())
+            with pytest.raises(ExperimentError, match="already registered"):
+                register_policy(name, lambda config: HyScaleCpu())
+            register_policy(name, lambda config: KubernetesHpa(), replace=True)
+            assert isinstance(resolve_policy(name), KubernetesHpa)
+        finally:
+            _REGISTRY.pop(name, None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExperimentError, match="non-empty"):
+            register_policy("", lambda config: HyScaleCpu())
+
+
+class TestStringAcceptingSurfaces:
+    def test_simulation_build_accepts_a_name(self):
+        from tests.test_determinism_end_to_end import _fresh_simulation
+
+        simulation = _fresh_simulation(seed=2)
+        # Same wiring, but by name through the public entry point.
+        from repro.experiments.configs import cpu_bound
+        from repro.experiments.runner import Simulation
+
+        spec = cpu_bound("low", seed=2)
+        by_name = Simulation.build(
+            config=spec.config,
+            specs=list(spec.specs),
+            loads=list(spec.loads),
+            policy="hybrid",
+            workload_label=spec.label,
+        )
+        assert by_name.policy.name == "hybrid"
+        assert simulation is not by_name
+
+    def test_monitor_set_policy_accepts_a_name(self):
+        from tests.test_determinism_end_to_end import _fresh_simulation
+
+        simulation = _fresh_simulation(seed=2)
+        simulation.monitor.set_policy("kubernetes")
+        assert simulation.monitor.policy.name == "kubernetes"

@@ -18,6 +18,7 @@ PUBLIC_MODULES = (
     "repro.netsim",
     "repro.platform",
     "repro.core",
+    "repro.obs",
     "repro.workloads",
     "repro.metrics",
     "repro.experiments",
@@ -65,6 +66,43 @@ def test_top_level_covers_the_paper():
         "RunSummary",
     ):
         assert name in repro.__all__
+
+
+def test_top_level_covers_the_decision_surface():
+    """Types a policy author or trace reader needs are one import away."""
+    import repro
+
+    for name in (
+        "ClusterView",
+        "ScalingAction",
+        "ScalingEvent",
+        "ScalingEventLog",
+        "TimelinePoint",
+        "Tracer",
+        "NullTracer",
+        "DecisionTracer",
+        "PhaseProfiler",
+        "resolve_policy",
+    ):
+        assert name in repro.__all__, f"repro.__all__ missing {name!r}"
+        assert hasattr(repro, name)
+
+
+def test_no_private_names_leak():
+    """``__all__`` never exports underscore-prefixed names, and the
+    exported objects live in ``repro``-owned modules."""
+    for module_name in PUBLIC_MODULES:
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert not name.startswith("_") or name == "__version__", (
+                f"{module_name}.__all__ leaks private name {name!r}"
+            )
+            obj = getattr(module, name)
+            owner = getattr(obj, "__module__", None)
+            if owner is not None and (inspect.isclass(obj) or inspect.isfunction(obj)):
+                assert owner.startswith("repro"), (
+                    f"{module_name}.{name} is foreign ({owner})"
+                )
 
 def test_policies_have_unique_names():
     """Algorithm name strings are the CLI/summary identity — no collisions."""
