@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint test bench bench-full profile reproduce examples clean
+.PHONY: install lint test bench bench-full profile telemetry-check reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,13 @@ bench-full:
 profile:
 	PYTHONPATH=src python -m repro.cli profile --workload cpu --algorithm hybrid \
 		--json BENCH_phase_profile.json
+
+# End-to-end telemetry validation (docs/telemetry.md): runs a short
+# instrumented scenario twice, validates the OpenMetrics/JSONL exports with
+# the in-tree parsers, and checks byte-determinism; the JSON report is
+# uploaded as a CI artifact next to the phase profile.
+telemetry-check:
+	PYTHONPATH=src python -m repro.telemetry.check --out BENCH_telemetry_snapshot.json
 
 reproduce:
 	hyscale-repro reproduce

@@ -51,6 +51,13 @@ from repro.metrics import (
     evaluate_sla,
 )
 from repro.obs import DecisionTracer, NullTracer, PhaseProfiler, Tracer
+from repro.telemetry import (
+    NULL_REGISTRY,
+    MetricRegistry,
+    NullRegistry,
+    RunTelemetry,
+    SloTracker,
+)
 
 __version__ = "1.0.0"
 
@@ -90,6 +97,12 @@ __all__ = [
     "NullTracer",
     "DecisionTracer",
     "PhaseProfiler",
+    # streaming telemetry
+    "MetricRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "RunTelemetry",
+    "SloTracker",
     # errors
     "ReproError",
 ]

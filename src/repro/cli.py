@@ -80,7 +80,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     summaries = {}
     cost_reports = {}
     event_logs = {}
-    needs_simulation = args.costs or args.events > 0 or args.trace_out
+    wants_metrics = bool(args.metrics_out or args.openmetrics_out)
+    needs_simulation = args.costs or args.events > 0 or args.trace_out or wants_metrics
+    multiple = len(args.algorithms) > 1
     for algorithm in args.algorithms:
         print(f"running {spec.label} under {algorithm} ...", file=sys.stderr)
         if needs_simulation:
@@ -88,6 +90,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from repro.obs import NULL_TRACER, DecisionTracer, write_trace_jsonl
 
             tracer = DecisionTracer() if args.trace_out else NULL_TRACER
+            registry = slo = None
+            if wants_metrics:
+                from repro.metrics import Sla
+                from repro.telemetry import MetricRegistry, SloTracker
+
+                registry = MetricRegistry()
+                slo = SloTracker(Sla(response_time_target=args.sla_target))
             simulation = Simulation.build(
                 config=spec.config,
                 specs=list(spec.specs),
@@ -95,12 +104,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 policy=algorithm,
                 workload_label=spec.label,
                 tracer=tracer,
+                **({"telemetry": registry, "slo": slo} if registry is not None else {}),
             )
             summaries[algorithm] = simulation.run(spec.duration)
             if args.trace_out:
-                path = _trace_path(args.trace_out, algorithm, len(args.algorithms) > 1)
+                path = _trace_path(args.trace_out, algorithm, multiple)
                 count = write_trace_jsonl(tracer.spans(), path)
                 print(f"wrote {count} decision spans to {path}", file=sys.stderr)
+            if registry is not None and slo is not None:
+                now = simulation.engine.clock.now
+                if args.metrics_out:
+                    from repro.telemetry import write_snapshot_jsonl
+
+                    path = _trace_path(args.metrics_out, algorithm, multiple)
+                    count = write_snapshot_jsonl(registry, path, now=now, alerts=slo.alerts())
+                    print(f"wrote {count} metric snapshot lines to {path}", file=sys.stderr)
+                if args.openmetrics_out:
+                    from repro.telemetry import write_openmetrics
+
+                    path = _trace_path(args.openmetrics_out, algorithm, multiple)
+                    count = write_openmetrics(registry, path)
+                    print(f"wrote {count} OpenMetrics samples to {path}", file=sys.stderr)
+                fired = [a for a in slo.alerts() if a.state == "firing"]
+                if fired:
+                    print(
+                        f"SLO: {len(fired)} burn-rate alert(s) fired "
+                        f"({', '.join(sorted({f'{a.service}/{a.window}' for a in fired}))})",
+                        file=sys.stderr,
+                    )
             if args.costs:
                 from repro.metrics import Sla
                 from repro.metrics.costs import evaluate_costs
@@ -160,6 +191,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 print(f"--- {name} ---")
                 print(render_timeline(list(summary.timeline)))
                 print(f"allocation efficiency: {allocation_efficiency(summary.timeline):.2f}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Run one workload live, printing a dashboard frame per interval."""
+    from repro.experiments.runner import Simulation
+    from repro.metrics import Sla
+    from repro.telemetry import MetricRegistry, SloTracker, run_top
+
+    spec = _build_spec(args.workload, args.burst, args.seed)
+    registry = MetricRegistry()
+    slo = SloTracker(Sla(response_time_target=args.sla_target))
+    simulation = Simulation.build(
+        config=spec.config,
+        specs=list(spec.specs),
+        loads=list(spec.loads),
+        policy=args.algorithm,
+        workload_label=spec.label,
+        telemetry=registry,
+        slo=slo,
+        timeline_every=min(5.0, args.interval),
+    )
+    duration = args.duration if args.duration is not None else spec.duration
+    try:
+        frames = run_top(
+            simulation,
+            duration=duration,
+            interval=args.interval,
+            stream=sys.stdout,
+            title=f"{spec.label} / {args.algorithm}",
+            clear=args.clear and sys.stdout.isatty(),
+        )
+        print(f"{frames} frame(s), t={simulation.engine.clock.now:.1f}s", file=sys.stderr)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) went away: exit quietly.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
     return 0
 
 
@@ -349,7 +419,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="record every scaling decision and write a JSONL trace "
         "(per-algorithm suffix when several algorithms run)",
     )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry during the run and write the final JSONL "
+        "metric snapshot (per-algorithm suffix when several algorithms run)",
+    )
+    run.add_argument(
+        "--openmetrics-out",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry during the run and write the final OpenMetrics "
+        "exposition text (per-algorithm suffix when several algorithms run)",
+    )
     run.set_defaults(func=_cmd_run)
+
+    top = sub.add_parser(
+        "top", help="run one workload with live telemetry and print a top-style dashboard"
+    )
+    top.add_argument("workload", choices=sorted(WORKLOADS))
+    top.add_argument("--burst", choices=BURSTS, default="low")
+    top.add_argument("--algorithm", choices=ALL_POLICY_NAMES, default="hybrid")
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds to run (default: the workload's full duration)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=30.0,
+        help="simulated seconds between dashboard frames (default 30)",
+    )
+    top.add_argument(
+        "--sla-target",
+        type=float,
+        default=8.0,
+        help="response-time SLA target in seconds for the SLO panel (default 8.0)",
+    )
+    top.add_argument(
+        "--clear",
+        action="store_true",
+        help="clear the terminal between frames (live-view mode)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     explain = sub.add_parser(
         "explain", help="render a decision trace written by `run --trace-out`"

@@ -23,6 +23,10 @@ UNIT001     No raw unit-conversion magic numbers (1024, 1024², 10⁶ …) in
 API001      Public functions and methods in ``src/repro`` carry complete
             type annotations — the typed surface is what ``mypy`` strict
             verifies, and unannotated escapes undermine it.
+OBS001      ``src/repro/telemetry`` must not import ``time`` or
+            ``datetime`` at all — exporters promise byte-identical output
+            for same-seed runs, so telemetry timestamps are exclusively
+            the simulated clock values handed to ``capture()``.
 ==========  ==============================================================
 """
 
@@ -455,6 +459,49 @@ def _api001_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[
 
 
 # ----------------------------------------------------------------------
+# OBS001 — no wall-clock modules inside the telemetry package
+# ----------------------------------------------------------------------
+#: Modules whose very import signals wall-clock intent in telemetry code.
+_OBS_FORBIDDEN_MODULES = frozenset({"time", "datetime"})
+
+
+def _obs001_applies(path: str) -> bool:
+    module = repro_module_path(path)
+    return module is not None and module.startswith("telemetry/")
+
+
+def _obs001_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[Violation]:
+    """OBS001: the telemetry package's exporters promise byte-identical
+    output for same-seed runs, so its only notion of time is the simulated
+    ``now`` handed to ``capture()``.  Stronger than DET001: even *importing*
+    ``time``/``datetime`` is flagged, before any call site exists."""
+    out: list[Violation] = []
+    _ = aliases
+    for node in ast.walk(tree):
+        offending: str | None = None
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                root = item.name.split(".")[0]
+                if root in _OBS_FORBIDDEN_MODULES:
+                    offending = item.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module.split(".")[0] in _OBS_FORBIDDEN_MODULES:
+                offending = node.module
+        if offending is not None:
+            out.append(
+                _violation(
+                    path,
+                    node,
+                    "OBS001",
+                    f"`{offending}` imported inside src/repro/telemetry; telemetry "
+                    "is sim-time only — take timestamps from the `now` passed to "
+                    "capture()/snapshot functions",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
 # Catalogue
 # ----------------------------------------------------------------------
 ALL_RULES: tuple[Rule, ...] = (
@@ -463,6 +510,7 @@ ALL_RULES: tuple[Rule, ...] = (
     Rule("DET003", "no iteration over bare sets", _det003_applies, _det003_check),
     Rule("UNIT001", "no raw unit-conversion literals in cluster/netsim", _unit001_applies, _unit001_check),
     Rule("API001", "public src/repro defs carry complete annotations", _api001_applies, _api001_check),
+    Rule("OBS001", "no time/datetime imports inside src/repro/telemetry", _obs001_applies, _obs001_check),
 )
 
 

@@ -66,3 +66,7 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """Decision-trace or profiling instrumentation was misused."""
+
+
+class TelemetryError(ReproError):
+    """Streaming-telemetry instruments or exporters were misused."""

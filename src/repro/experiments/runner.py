@@ -7,7 +7,9 @@ Phase order within each simulation step (see DESIGN.md §4):
 3. ``cluster``    — boot timers, CPU fair-share, NIC, settlement, OOM,
 4. ``nm/*``       — sample ``docker stats`` into the NMs' windows,
 5. ``monitor``    — reap corpses; on the query period: view -> policy -> act,
-6. ``metrics``    — drain finished requests and sample the timeline.
+6. ``metrics``    — drain finished requests and sample the timeline,
+7. ``telemetry``  — (only with a recording registry) sample the standard
+   instrument catalogue and capture series rings.
 
 Registration order in the engine *is* this order, so the data flow is
 auditable and deterministic.
@@ -38,7 +40,11 @@ from repro.platform.registry import ServiceRegistry
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
+from repro.telemetry.hub import RunTelemetry
+from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
+from repro.telemetry.slo import SloTracker
 from repro.workloads.generator import ClientLoadGenerator, ServiceLoad
+from repro.workloads.requests import Request
 
 
 class _MetricsActor:
@@ -50,15 +56,21 @@ class _MetricsActor:
         collector: MetricsCollector,
         sample_every: float,
         profiler: PhaseProfiler | None = None,
+        telemetry: RunTelemetry | None = None,
     ):
         self._cluster = cluster
         self._collector = collector
         self._sample_every = sample_every
         self._next_sample = 0.0
         self._profiler = profiler
+        self._telemetry = telemetry
 
     def on_step(self, clock: SimClock) -> None:
-        self._collector.record_requests(self._cluster.drain_finished())
+        finished = self._cluster.drain_finished()
+        self._collector.record_requests(finished)
+        if self._telemetry is not None:
+            for request in finished:
+                self._telemetry.observe_request(request)
         if self._profiler is not None:
             self._profiler.increment("metrics.steps")
         if clock.now + 1e-9 >= self._next_sample:
@@ -139,6 +151,10 @@ class Simulation:
     tracer: Tracer = NULL_TRACER
     #: Per-phase wall-time profiler, or ``None`` when profiling is off.
     profiler: PhaseProfiler | None = None
+    #: The run's instrument catalogue + sampling actor.  Always present;
+    #: backed by :data:`~repro.telemetry.NULL_REGISTRY` (all no-ops) unless
+    #: a recording registry was passed to :meth:`build`.
+    telemetry: RunTelemetry | None = None
 
     @classmethod
     def build(
@@ -154,12 +170,22 @@ class Simulation:
         timeline_every: float = 5.0,
         tracer: Tracer = NULL_TRACER,
         profiler: PhaseProfiler | None = None,
+        telemetry: MetricRegistry = NULL_REGISTRY,
+        slo: SloTracker | None = None,
     ) -> "Simulation":
         """Assemble cluster, platform, and workload for one experiment.
 
         ``policy`` may be a policy object or a registered algorithm name
         (see :func:`repro.core.resolve_policy`); names are built with this
         config's rescale intervals.
+
+        ``telemetry`` selects the metric registry: the default
+        :data:`~repro.telemetry.NULL_REGISTRY` records nothing at zero
+        cost; pass a :class:`~repro.telemetry.MetricRegistry` to stream the
+        standard instrument catalogue (sampled every ``timeline_every``
+        simulated seconds, as an extra final engine phase named
+        ``telemetry``).  ``slo`` optionally adds error-budget burn-rate
+        tracking on top; it requires a recording registry.
         """
         config.validate()
         policy = resolve_policy(policy, config)
@@ -170,16 +196,29 @@ class Simulation:
         if not load_names <= spec_names:
             raise ExperimentError(f"loads reference unknown services: {load_names - spec_names}")
 
+        if slo is not None and not telemetry.enabled:
+            raise ExperimentError("SLO tracking needs a recording telemetry registry")
+
         engine = Engine(dt=config.dt, profiler=profiler)
         rng = RngStreams(config.seed)
         cluster = Cluster.from_config(config.cluster, config.overheads)
         client = DockerClient(cluster)
         collector = MetricsCollector()
+        hub = RunTelemetry(telemetry, slo=slo, sample_every=timeline_every, profiler=profiler)
+        if telemetry.enabled:
+            # LB rejections bypass the cluster's drain path, so the sink is
+            # the only place they can be observed; wrap it.
+            def failure_sink(request: Request) -> None:
+                collector.record_request(request)
+                hub.observe_rejection(request)
+
+        else:
+            failure_sink = collector.record_request
         registry = ServiceRegistry(cluster)
         lb = LoadBalancerTier(
             registry,
             config.overheads,
-            failure_sink=collector.record_request,
+            failure_sink=failure_sink,
             policy=routing,
             n_balancers=config.cluster.load_balancers,
         )
@@ -198,6 +237,7 @@ class Simulation:
             collector,
             placement=placement or SpreadPlacement(),
             tracer=tracer,
+            telemetry=hub if telemetry.enabled else None,
         )
 
         # Initial deployment: min_replicas per service, spread over the
@@ -235,8 +275,24 @@ class Simulation:
         engine.add_actor("node-managers", NodeManagerFleet(node_managers))
         engine.add_actor("monitor", monitor)
         engine.add_actor(
-            "metrics", _MetricsActor(cluster, collector, timeline_every, profiler=profiler)
+            "metrics",
+            _MetricsActor(
+                cluster,
+                collector,
+                timeline_every,
+                profiler=profiler,
+                telemetry=hub if telemetry.enabled else None,
+            ),
         )
+        hub.bind(cluster=cluster, lb=lb, generator=generator)
+        if telemetry.enabled:
+            # Last phase: sample after the step has fully settled.  Not
+            # registered at all under the null registry, so un-instrumented
+            # runs keep the documented seven-phase order.
+            engine.add_actor("telemetry", hub)
+            engine.attach_counters(
+                steps=hub.sim_steps.labels(), events=hub.sim_events_fired.labels()
+            )
 
         return cls(
             engine=engine,
@@ -251,6 +307,7 @@ class Simulation:
             faults=faults,
             tracer=tracer,
             profiler=profiler,
+            telemetry=hub,
         )
 
     def run(self, duration: float) -> RunSummary:
@@ -280,6 +337,8 @@ def run_experiment(
     placement: PlacementStrategy | None = None,
     tracer: Tracer = NULL_TRACER,
     profiler: PhaseProfiler | None = None,
+    telemetry: MetricRegistry = NULL_REGISTRY,
+    slo: SloTracker | None = None,
 ) -> RunSummary:
     """Convenience one-shot: build a :class:`Simulation` and run it."""
     simulation = Simulation.build(
@@ -292,5 +351,7 @@ def run_experiment(
         placement=placement,
         tracer=tracer,
         profiler=profiler,
+        telemetry=telemetry,
+        slo=slo,
     )
     return simulation.run(duration)

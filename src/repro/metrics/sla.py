@@ -45,6 +45,12 @@ class SlaReport:
     total_requests: int
     failed_requests: int
     slow_requests: int
+    #: ``True`` when the run finished no requests at all.  The ratio
+    #: properties then report their vacuous best-case values (availability
+    #: and adherence 1.0, zero violations) — well-defined, but a consumer
+    #: deciding "did the service meet its SLA?" should check this flag
+    #: rather than celebrate an idle run.
+    no_traffic: bool = False
 
     @property
     def violations(self) -> int:
@@ -80,9 +86,11 @@ def evaluate_sla(collector: MetricsCollector, sla: Sla) -> SlaReport:
     """Score a finished run's metrics against an SLA."""
     slow = sum(1 for rt in collector.all_response_times() if rt > sla.response_time_target)
     failed = collector.total_removal_failures + collector.total_connection_failures
+    total = collector.total_requests
     return SlaReport(
         sla=sla,
-        total_requests=collector.total_requests,
+        total_requests=total,
         failed_requests=failed,
         slow_requests=slow,
+        no_traffic=total == 0,
     )

@@ -26,6 +26,10 @@ class ServiceSummary:
     connection_failures: int
     avg_response_time: float
     p95_response_time: float
+    # Appended after p95 with defaults so summaries archived before these
+    # fields existed still load through from_dict().
+    p50_response_time: float = 0.0
+    p99_response_time: float = 0.0
 
     @property
     def total(self) -> int:
@@ -136,6 +140,8 @@ class RunSummary:
                     connection_failures=acc.connection_failures,
                     avg_response_time=float(svc_arr.mean()),
                     p95_response_time=float(np.percentile(svc_arr, 95)),
+                    p50_response_time=float(np.percentile(svc_arr, 50)),
+                    p99_response_time=float(np.percentile(svc_arr, 99)),
                 )
             )
         return cls(

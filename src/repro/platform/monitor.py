@@ -50,6 +50,7 @@ from repro.metrics.events import EventKind, ScalingEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.platform.node_manager import NodeManager
 from repro.sim.clock import SimClock
+from repro.telemetry.hub import RunTelemetry
 
 
 @dataclass
@@ -62,6 +63,15 @@ class MonitorLog:
     placement_failures: int = 0
     migrations: int = 0
     failures: list[str] = field(default_factory=list)
+
+
+#: Telemetry label value per applied action type (``scaling_actions{kind=}``).
+_ACTION_KINDS: dict[type, str] = {
+    VerticalScale: "vertical",
+    AddReplica: "scale_up",
+    RemoveReplica: "scale_down",
+    MigrateReplica: "migrate",
+}
 
 
 class Monitor:
@@ -77,6 +87,7 @@ class Monitor:
         collector: MetricsCollector,
         placement: PlacementStrategy | None = None,
         tracer: Tracer = NULL_TRACER,
+        telemetry: RunTelemetry | None = None,
     ):
         self.cluster = cluster
         self.client = client
@@ -87,6 +98,7 @@ class Monitor:
         self.placement = placement or SpreadPlacement()
         self.log = MonitorLog()
         self.tracer = tracer
+        self.telemetry = telemetry
         policy.set_tracer(tracer)
         self._next_tick = config.monitor_period
 
@@ -98,6 +110,8 @@ class Monitor:
         corpses = self.client.reap(clock.now)
         if corpses:
             self.collector.record_oom(len(corpses))
+            if self.telemetry is not None:
+                self.telemetry.oom_kills.inc(len(corpses))
             for corpse in corpses:
                 self.collector.events.record(
                     ScalingEvent(
@@ -143,6 +157,10 @@ class Monitor:
         actions = self.policy.decide(view)
         for action in actions:
             self._apply(action, now)
+        if self.telemetry is not None:
+            self.telemetry.monitor_ticks.inc()
+            if actions:
+                self.telemetry.monitor_actions_emitted.inc(len(actions))
         if tracing:
             self.tracer.end_tick(
                 emitted=len(actions),
@@ -260,8 +278,13 @@ class Monitor:
             else:
                 raise PolicyError(f"unknown action type {type(action).__name__}")
             self.log.actions_applied += 1
+            if self.telemetry is not None:
+                self.telemetry.monitor_actions_applied.inc()
+                self.telemetry.scaling_actions.inc(kind=_ACTION_KINDS[type(action)])
         except ReproError as exc:
             self.log.actions_failed += 1
+            if self.telemetry is not None:
+                self.telemetry.monitor_actions_failed.inc()
             self.log.failures.append(f"{now:.1f}s {type(action).__name__}: {exc}")
             self.collector.events.record(
                 ScalingEvent(

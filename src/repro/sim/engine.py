@@ -34,6 +34,19 @@ class SimActor(Protocol):
         ...  # pragma: no cover - protocol stub
 
 
+class StepCounter(Protocol):
+    """A monotone counter handle (structurally, a telemetry ``Counter``).
+
+    The engine depends only on this shape so :mod:`repro.sim` stays free of
+    any telemetry import; the runner attaches real instruments via
+    :meth:`Engine.attach_counters`.
+    """
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the counter."""
+        ...  # pragma: no cover - protocol stub
+
+
 class Engine:
     """Drives actors and scheduled events on a shared clock.
 
@@ -55,6 +68,17 @@ class Engine:
         self.profiler = profiler
         self._actors: list[tuple[str, SimActor]] = []
         self._running = False
+        self._step_counter: StepCounter | None = None
+        self._event_counter: StepCounter | None = None
+
+    def attach_counters(self, *, steps: StepCounter, events: StepCounter) -> None:
+        """Wire telemetry counters for steps executed and events fired.
+
+        Optional: when never called (the default), the hot loop carries a
+        single ``is None`` check per step and no counter work.
+        """
+        self._step_counter = steps
+        self._event_counter = events
 
     # ------------------------------------------------------------------
     # Wiring
@@ -98,7 +122,11 @@ class Engine:
                 self.clock.advance()
                 for _, actor in self._actors:
                     actor.on_step(self.clock)
-                self.events.fire_due(self.clock.now)
+                fired = self.events.fire_due(self.clock.now)
+                if self._step_counter is not None:
+                    self._step_counter.inc()
+                    if fired and self._event_counter is not None:
+                        self._event_counter.inc(fired)
         finally:
             self._running = False
 
@@ -112,8 +140,12 @@ class Engine:
             actor.on_step(self.clock)
             profiler.observe(f"actor:{name}", timer() - start)
         start = timer()
-        self.events.fire_due(self.clock.now)
+        fired = self.events.fire_due(self.clock.now)
         profiler.observe("events", timer() - start)
+        if self._step_counter is not None:
+            self._step_counter.inc()
+            if fired and self._event_counter is not None:
+                self._event_counter.inc(fired)
 
     def run_for(self, duration: float) -> int:
         """Run until at least ``duration`` more simulated seconds pass.

@@ -1,0 +1,81 @@
+"""Streaming telemetry: metric registry, exporters, SLO burn-rate tracking.
+
+The observability layer for *running* experiments, complementing the
+post-hoc summaries in :mod:`repro.metrics` and the decision traces in
+:mod:`repro.obs`:
+
+* :class:`MetricRegistry` / :data:`NULL_REGISTRY` — instrument namespace
+  per run; the null default records nothing at zero cost (the
+  ``NullTracer`` pattern).
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` and their
+  families — the three OpenMetrics instrument kinds, sim-time only,
+  fixed declared histogram buckets.
+* :class:`RunTelemetry` — the standard instrument catalogue and the
+  engine's sampling actor (wired by ``Simulation.build(telemetry=...)``).
+* :class:`SloTracker` / :class:`BurnWindow` / :class:`SloAlert` —
+  error-budget accounting with multiwindow burn-rate alerts.
+* :func:`render_openmetrics` / :func:`write_snapshot_jsonl` and friends —
+  byte-deterministic exporters (and their strict parsers).
+* :func:`render_top` / :func:`run_top` — the live ``top`` dashboard.
+
+See ``docs/telemetry.md`` for the instrument catalogue and conventions.
+"""
+
+from repro.telemetry.hub import RunTelemetry
+from repro.telemetry.instruments import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricFamily,
+)
+from repro.telemetry.openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+    write_openmetrics,
+)
+from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry, NullRegistry
+from repro.telemetry.slo import (
+    DEFAULT_BURN_WINDOWS,
+    BurnWindow,
+    SloAlert,
+    SloTracker,
+)
+from repro.telemetry.snapshot import (
+    TELEMETRY_SCHEMA,
+    read_snapshot_jsonl,
+    snapshot_to_jsonl,
+    write_snapshot_jsonl,
+)
+from repro.telemetry.top import render_top, run_top
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricFamily",
+    "DEFAULT_LATENCY_BUCKETS",
+    "MetricRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "RunTelemetry",
+    "SloTracker",
+    "SloAlert",
+    "BurnWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "TELEMETRY_SCHEMA",
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "snapshot_to_jsonl",
+    "write_snapshot_jsonl",
+    "read_snapshot_jsonl",
+    "render_top",
+    "run_top",
+]

@@ -1,0 +1,142 @@
+"""Self-contained telemetry validation scenario (``make telemetry-check``).
+
+Runs one short, fixed-seed experiment twice with full instrumentation,
+then checks the pipeline end to end:
+
+1. the OpenMetrics document parses under the strict in-tree validator
+   (:func:`repro.telemetry.openmetrics.parse_openmetrics`),
+2. the JSONL snapshot round-trips through the schema-checked reader,
+3. both artifacts are **byte-identical** across the two same-seed runs,
+4. headline instruments are self-consistent (steps > 0, offered >=
+   completed, histogram count == completed count).
+
+Writes a machine-readable report (default ``BENCH_telemetry_snapshot.json``
+— uploaded as a CI artifact next to ``BENCH_phase_profile.json``) whose
+content hashes double as a cross-run determinism fingerprint.  Exits
+non-zero on any failed check.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.telemetry.check --out BENCH_telemetry_snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry.openmetrics import parse_openmetrics, render_openmetrics
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.slo import SloTracker
+from repro.telemetry.snapshot import parse_snapshot_line, snapshot_to_jsonl
+
+#: Simulated duration of the probe scenario (seconds).
+CHECK_DURATION = 120.0
+
+
+def _run_once(seed: int) -> dict:
+    """One instrumented probe run; returns its rendered artifacts."""
+    # Imported here: the check scenario needs the full experiment stack,
+    # but `repro.telemetry` itself must stay importable without it.
+    from repro.cluster.microservice import MicroserviceSpec
+    from repro.config import ClusterConfig, SimulationConfig
+    from repro.experiments.runner import Simulation
+    from repro.metrics.sla import Sla
+    from repro.workloads import CPU_BOUND, MIXED, HighBurstLoad, ServiceLoad
+
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=seed)
+    specs = [
+        MicroserviceSpec(name="frontend", max_replicas=6),
+        MicroserviceSpec(name="backend", max_replicas=6),
+    ]
+    loads = [
+        ServiceLoad("frontend", MIXED, HighBurstLoad(base=6.0, peak=30.0)),
+        ServiceLoad("backend", CPU_BOUND, HighBurstLoad(base=4.0, peak=18.0)),
+    ]
+    registry = MetricRegistry()
+    slo = SloTracker(Sla(response_time_target=5.0, availability_target=0.95))
+    simulation = Simulation.build(
+        config=config,
+        specs=specs,
+        loads=loads,
+        policy="hybrid",
+        workload_label="telemetry-check",
+        telemetry=registry,
+        slo=slo,
+    )
+    summary = simulation.run(CHECK_DURATION)
+    now = simulation.engine.clock.now
+    return {
+        "openmetrics": render_openmetrics(registry),
+        "snapshot": snapshot_to_jsonl(registry, now=now, alerts=slo.alerts()),
+        "registry": registry,
+        "summary": summary,
+        "alerts": len(slo.alerts()),
+    }
+
+
+def run_check(out: Path) -> int:
+    """Run the probe twice, validate, write the report; returns exit code."""
+    first = _run_once(seed=0)
+    second = _run_once(seed=0)
+
+    checks: dict[str, bool] = {}
+    families = parse_openmetrics(first["openmetrics"])
+    checks["openmetrics_parses"] = True
+    lines = [line for line in first["snapshot"].splitlines() if line]
+    for line in lines:
+        parse_snapshot_line(line)
+    checks["snapshot_parses"] = True
+    checks["openmetrics_deterministic"] = first["openmetrics"] == second["openmetrics"]
+    checks["snapshot_deterministic"] = first["snapshot"] == second["snapshot"]
+
+    registry = first["registry"]
+    steps = registry.get("sim_steps").labels().value
+    checks["steps_counted"] = steps > 0
+    offered = sum(c.value for _, c in registry.get("requests_offered").children())
+    completed = sum(c.value for _, c in registry.get("requests_completed").children())
+    failed = sum(c.value for _, c in registry.get("requests_failed").children())
+    checks["offered_covers_outcomes"] = offered >= completed + failed > 0
+    hist_count = sum(h.count for _, h in registry.get("request_response_seconds").children())
+    checks["histogram_matches_completed"] = hist_count == completed
+    summary = first["summary"]
+    checks["summary_agrees"] = summary.total_requests == int(completed + failed)
+
+    report = {
+        "schema": "repro.telemetry-check/1",
+        "duration": CHECK_DURATION,
+        "families": len(families),
+        "series": sum(len(f.samples) for f in families.values()),
+        "snapshot_lines": len(lines),
+        "alerts": first["alerts"],
+        "openmetrics_sha256": hashlib.sha256(first["openmetrics"].encode()).hexdigest(),
+        "snapshot_sha256": hashlib.sha256(first["snapshot"].encode()).hexdigest(),
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    for name, passed in sorted(checks.items()):
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+    print(f"telemetry-check: {report['series']} series in {report['families']} families -> {out}")
+    return 0 if report["ok"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.telemetry.check``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_telemetry_snapshot.json"),
+        help="report path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    return run_check(args.out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

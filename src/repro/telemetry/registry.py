@@ -1,0 +1,302 @@
+"""The metric registry: one namespace of instrument families per run.
+
+Mirrors the :class:`~repro.obs.tracer.NullTracer` pattern:
+
+* :class:`MetricRegistry` — the recording implementation.  Families are
+  registered idempotently (asking again with the same schema returns the
+  same family; a conflicting re-declaration raises), children accumulate,
+  and :meth:`~MetricRegistry.capture` appends each series' current value to
+  a ring buffer stamped with *simulated* time.
+* :class:`NullRegistry` — the zero-overhead default.  ``enabled`` is
+  ``False`` and every family it hands out is a shared no-op, so
+  instrumented code can hold instrument handles unconditionally and pay
+  nothing when telemetry is off.
+
+Retention is ring-buffered per series: ``MetricRegistry(retention=240)``
+keeps the last 240 capture points of every series, enough for the live
+``top`` dashboard's rate windows without unbounded growth on long runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TelemetryError
+from repro.telemetry.instruments import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricFamily,
+)
+
+#: Family kinds a registry can hold (exporters switch on this).
+FAMILY_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricRegistry:
+    """Registry of metric families for one simulation run."""
+
+    #: ``False`` on :class:`NullRegistry`: callers may skip building
+    #: expensive label values / sampling passes entirely when unset.
+    enabled = True
+
+    def __init__(self, *, retention: int = 240) -> None:
+        if retention < 2:
+            raise TelemetryError(f"retention must be >= 2 capture points, got {retention}")
+        #: Capture points kept per series (ring buffer length).
+        self.retention = retention
+        self._families: dict[str, MetricFamily[Counter] | MetricFamily[Gauge] | MetricFamily[Histogram]] = {}
+        #: Simulated time of the most recent :meth:`capture` (-1 before any).
+        self.last_capture = -1.0
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent per name)
+    # ------------------------------------------------------------------
+    def counter(
+        self,
+        name: str,
+        help: str,
+        *,
+        unit: str = "",
+        labels: tuple[str, ...] = (),
+        volatile: bool = False,
+    ) -> CounterFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(
+            CounterFamily(name, help, unit=unit, label_names=labels, volatile=volatile)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        help: str,
+        *,
+        unit: str = "",
+        labels: tuple[str, ...] = (),
+        volatile: bool = False,
+    ) -> GaugeFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(
+            GaugeFamily(name, help, unit=unit, label_names=labels, volatile=volatile)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        *,
+        unit: str = "",
+        labels: tuple[str, ...] = (),
+        volatile: bool = False,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> HistogramFamily:
+        """Register (or fetch) a histogram family with fixed bucket bounds."""
+        return self._register(
+            HistogramFamily(
+                name, help, unit=unit, label_names=labels, volatile=volatile, buckets=buckets
+            )
+        )
+
+    def _register(self, family):  # type: ignore[no-untyped-def]
+        existing = self._families.get(family.name)
+        if existing is None:
+            self._families[family.name] = family
+            return family
+        if (
+            type(existing) is not type(family)
+            or existing.label_names != family.label_names
+            or existing.unit != family.unit
+            or existing.volatile != family.volatile
+            or getattr(existing, "buckets", None) != getattr(family, "buckets", None)
+        ):
+            raise TelemetryError(
+                f"metric {family.name!r} re-registered with a different schema "
+                f"(kind/labels/unit/buckets must match the first declaration)"
+            )
+        return existing
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> MetricFamily[Counter] | MetricFamily[Gauge] | MetricFamily[Histogram] | None:
+        """The family registered under ``name``, or ``None``."""
+        return self._families.get(name)
+
+    def families(
+        self, *, include_volatile: bool = True
+    ) -> tuple[MetricFamily[Counter] | MetricFamily[Gauge] | MetricFamily[Histogram], ...]:
+        """All families, sorted by name (the canonical export order)."""
+        return tuple(
+            family
+            for name, family in sorted(self._families.items())
+            if include_volatile or not family.volatile
+        )
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def capture(self, now: float) -> None:
+        """Append every series' current value to its ring, stamped ``now``.
+
+        ``now`` is simulated time supplied by the caller (normally the
+        telemetry sampling actor) — this module never reads a clock.
+        """
+        if now < self.last_capture:
+            raise TelemetryError(
+                f"capture at t={now} after t={self.last_capture}: time must not go backwards"
+            )
+        self.last_capture = now
+        limit = self.retention
+        for family in self._families.values():
+            for _, child in family.children():
+                history = child.history
+                if isinstance(child, Histogram):
+                    history.append((now, child.count, child.sum))
+                else:
+                    history.append((now, child.value))
+                while len(history) > limit:
+                    history.popleft()
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+
+class _NullGauge(Gauge):
+    """Shared no-op gauge."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def add(self, delta: float) -> None:
+        """No-op."""
+
+
+class _NullHistogram(Histogram):
+    """Shared no-op histogram."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+class _NullCounterFamily(CounterFamily):
+    """Counter family whose every child is the shared no-op counter."""
+
+    def __init__(self) -> None:
+        super().__init__("null", "no-op")
+        self._child = _NullCounter()
+
+    def labels(self, *values: str, **named: str) -> Counter:
+        """The shared no-op child, whatever the labels."""
+        return self._child
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """No-op."""
+
+
+class _NullGaugeFamily(GaugeFamily):
+    """Gauge family whose every child is the shared no-op gauge."""
+
+    def __init__(self) -> None:
+        super().__init__("null", "no-op")
+        self._child = _NullGauge()
+
+    def labels(self, *values: str, **named: str) -> Gauge:
+        """The shared no-op child, whatever the labels."""
+        return self._child
+
+    def set(self, value: float, **labels: str) -> None:
+        """No-op."""
+
+
+class _NullHistogramFamily(HistogramFamily):
+    """Histogram family whose every child is the shared no-op histogram."""
+
+    def __init__(self) -> None:
+        super().__init__("null", "no-op")
+        self._child = _NullHistogram(self.buckets)
+
+    def labels(self, *values: str, **named: str) -> Histogram:
+        """The shared no-op child, whatever the labels."""
+        return self._child
+
+    def observe(self, value: float, **labels: str) -> None:
+        """No-op."""
+
+
+class NullRegistry(MetricRegistry):
+    """The zero-overhead default: hands out shared no-op instruments.
+
+    Registration calls succeed (so instrumented code is written once,
+    unconditionally) but record nothing, hold no per-name state, and
+    :meth:`capture` is a no-op.  ``enabled`` is ``False`` so samplers can
+    skip whole collection passes.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(retention=2)
+        self._null_counter = _NullCounterFamily()
+        self._null_gauge = _NullGaugeFamily()
+        self._null_histogram = _NullHistogramFamily()
+
+    def counter(
+        self,
+        name: str,
+        help: str,
+        *,
+        unit: str = "",
+        labels: tuple[str, ...] = (),
+        volatile: bool = False,
+    ) -> CounterFamily:
+        """The shared no-op counter family."""
+        return self._null_counter
+
+    def gauge(
+        self,
+        name: str,
+        help: str,
+        *,
+        unit: str = "",
+        labels: tuple[str, ...] = (),
+        volatile: bool = False,
+    ) -> GaugeFamily:
+        """The shared no-op gauge family."""
+        return self._null_gauge
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        *,
+        unit: str = "",
+        labels: tuple[str, ...] = (),
+        volatile: bool = False,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> HistogramFamily:
+        """The shared no-op histogram family."""
+        return self._null_histogram
+
+    def capture(self, now: float) -> None:
+        """No-op."""
+
+
+#: Shared default instance — NullRegistry is stateless, so one is enough.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,249 @@
+"""SLO error-budget accounting and multiwindow burn-rate alerts.
+
+Extends the static contract in :mod:`repro.metrics.sla` with *streaming*
+accounting.  The :class:`~repro.metrics.sla.Sla` defines the objective: a
+request is **good** when it completes within ``response_time_target``,
+**bad** otherwise (failed or slow), and ``availability_target`` is the
+required good fraction — so the *error budget* is ``1 -
+availability_target`` of all traffic.
+
+Burn rate is the classic SRE quantity: the bad fraction observed over a
+trailing window divided by the budget fraction.  Burn 1.0 means the budget
+is being consumed exactly at the sustainable rate; burn 14.4 exhausts a
+month-scale budget in hours.  :class:`SloTracker` evaluates one or more
+:class:`BurnWindow` rules, each the standard *multiwindow* pair — a long
+window (smooths noise) and a short confirmation window (stops alerting once
+the problem clears) that must **both** exceed the threshold — and records
+:class:`SloAlert` state transitions as deterministic, sim-timestamped
+events.
+
+Everything here is a pure function of the fed request outcomes and the
+capture times, so alert streams are byte-reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import TelemetryError
+from repro.metrics.sla import Sla
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multiwindow burn-rate alert rule."""
+
+    #: Rule name ("fast"/"slow" conventionally) — the alert's identity.
+    name: str
+    #: Long-window horizon, simulated seconds.
+    horizon: float
+    #: Burn-rate threshold both windows must exceed to fire.
+    threshold: float
+    #: Short confirmation window as a fraction of ``horizon`` (SRE workbook
+    #: convention: 1/12 of the long window; we default to 1/4 because sim
+    #: horizons are already short).
+    confirm_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TelemetryError("burn window name must be non-empty")
+        if self.horizon <= 0:
+            raise TelemetryError("burn window horizon must be positive")
+        if self.threshold <= 0:
+            raise TelemetryError("burn threshold must be positive")
+        if not 0 < self.confirm_fraction <= 1:
+            raise TelemetryError("confirm_fraction must be in (0, 1]")
+
+    @property
+    def confirm_horizon(self) -> float:
+        """The short confirmation window, simulated seconds."""
+        return self.horizon * self.confirm_fraction
+
+
+#: Default rules: a fast page (minute-scale, high burn) and a slow ticket
+#: (five-minute-scale, moderate burn) — thresholds from the SRE workbook's
+#: multiwindow table, horizons scaled to simulation durations.
+DEFAULT_BURN_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow(name="fast", horizon=60.0, threshold=14.4),
+    BurnWindow(name="slow", horizon=300.0, threshold=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One burn-rate alert state transition (firing or resolved)."""
+
+    time: float
+    service: str
+    window: str
+    state: str  # "firing" | "resolved"
+    burn_rate: float
+    threshold: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (embedded in snapshot JSONL lines)."""
+        return {
+            "time": self.time,
+            "service": self.service,
+            "window": self.window,
+            "state": self.state,
+            "burn_rate": self.burn_rate,
+            "threshold": self.threshold,
+        }
+
+
+class _ServiceBudget:
+    """Cumulative good/bad tallies plus their capture-point ring."""
+
+    __slots__ = ("good", "bad", "history")
+
+    def __init__(self, retention: int) -> None:
+        self.good = 0
+        self.bad = 0
+        #: Ring of ``(time, good, bad)`` cumulative capture points.
+        self.history: deque[tuple[float, int, int]] = deque(maxlen=retention)
+
+
+class SloTracker:
+    """Streaming error-budget accounting against one SLA.
+
+    Feed request outcomes with :meth:`record_request` (or pre-classified
+    counts with :meth:`record`), then call :meth:`capture` once per
+    sampling interval with the simulated time; capture evaluates every
+    burn window and returns the alert transitions it produced.
+    """
+
+    def __init__(
+        self,
+        sla: Sla | None = None,
+        *,
+        windows: tuple[BurnWindow, ...] = DEFAULT_BURN_WINDOWS,
+        retention: int = 240,
+    ) -> None:
+        self.sla = sla if sla is not None else Sla()
+        if not windows:
+            raise TelemetryError("SloTracker needs at least one burn window")
+        names = [w.name for w in windows]
+        if len(set(names)) != len(names):
+            raise TelemetryError(f"duplicate burn window names: {names}")
+        self.windows = tuple(windows)
+        self._retention = retention
+        self._services: dict[str, _ServiceBudget] = {}
+        #: ``(service, window) -> currently firing?``
+        self._firing: dict[tuple[str, str], bool] = {}
+        self._alerts: list[SloAlert] = []
+        #: Error budget fraction: the bad share the SLA tolerates.
+        self.budget = 1.0 - self.sla.availability_target
+        if self.budget <= 0:
+            # availability_target == 1.0: any bad request is over budget.
+            # Use an epsilon budget so burn rates stay finite.
+            self.budget = 1e-9
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def record(self, service: str, *, good: int = 0, bad: int = 0) -> None:
+        """Add pre-classified request outcomes for one service."""
+        if good < 0 or bad < 0:
+            raise TelemetryError("good/bad counts must be >= 0")
+        budget = self._services.get(service)
+        if budget is None:
+            budget = self._services[service] = _ServiceBudget(self._retention)
+        budget.good += good
+        budget.bad += bad
+
+    def is_good(self, *, succeeded: bool, response_time: float) -> bool:
+        """Classify one finished request against the SLA objective."""
+        return succeeded and response_time <= self.sla.response_time_target
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def capture(self, now: float) -> list[SloAlert]:
+        """Snapshot tallies at ``now`` and evaluate every burn window.
+
+        Returns the alert transitions (newly firing / newly resolved)
+        produced by this capture, in (service, window) order; they are also
+        appended to :meth:`alerts`.
+        """
+        transitions: list[SloAlert] = []
+        for service in sorted(self._services):
+            budget = self._services[service]
+            budget.history.append((now, budget.good, budget.bad))
+            for window in self.windows:
+                burn = self._burn_rate(budget, now, window.horizon)
+                confirm = self._burn_rate(budget, now, window.confirm_horizon)
+                firing = burn >= window.threshold and confirm >= window.threshold
+                key = (service, window.name)
+                was_firing = self._firing.get(key, False)
+                if firing != was_firing:
+                    self._firing[key] = firing
+                    alert = SloAlert(
+                        time=now,
+                        service=service,
+                        window=window.name,
+                        state="firing" if firing else "resolved",
+                        burn_rate=burn,
+                        threshold=window.threshold,
+                    )
+                    self._alerts.append(alert)
+                    transitions.append(alert)
+        return transitions
+
+    def _burn_rate(self, budget: _ServiceBudget, now: float, horizon: float) -> float:
+        """Bad fraction over the trailing ``horizon``, divided by the budget."""
+        base_good = base_bad = 0
+        cutoff = now - horizon
+        if cutoff > 0:
+            # Oldest capture point still inside the window; everything
+            # before it is the baseline we difference against.
+            for time, good, bad in budget.history:
+                if time > cutoff + 1e-9:
+                    break
+                base_good, base_bad = good, bad
+        delta_good = budget.good - base_good
+        delta_bad = budget.bad - base_bad
+        total = delta_good + delta_bad
+        if total == 0:
+            return 0.0
+        return (delta_bad / total) / self.budget
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def burn_rate(self, service: str, horizon: float, now: float) -> float:
+        """Current burn rate of one service over a trailing horizon."""
+        budget = self._services.get(service)
+        if budget is None:
+            return 0.0
+        return self._burn_rate(budget, now, horizon)
+
+    def budget_remaining(self, service: str) -> float:
+        """Whole-run error budget left, as a fraction (negative = blown)."""
+        budget = self._services.get(service)
+        if budget is None:
+            return 1.0
+        total = budget.good + budget.bad
+        if total == 0:
+            return 1.0
+        return 1.0 - (budget.bad / total) / self.budget
+
+    def services(self) -> list[str]:
+        """Services with recorded traffic, sorted."""
+        return sorted(self._services)
+
+    def totals(self, service: str) -> tuple[int, int]:
+        """Cumulative ``(good, bad)`` for one service (0, 0 if unseen)."""
+        budget = self._services.get(service)
+        if budget is None:
+            return (0, 0)
+        return (budget.good, budget.bad)
+
+    def alerts(self) -> tuple[SloAlert, ...]:
+        """Every alert transition recorded so far, in emission order."""
+        return tuple(self._alerts)
+
+    def firing(self) -> list[tuple[str, str]]:
+        """Currently firing ``(service, window)`` pairs, sorted."""
+        return sorted(key for key, state in self._firing.items() if state)

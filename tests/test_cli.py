@@ -179,3 +179,61 @@ class TestObservabilityCommands:
         assert payload["steps"] > 0
         assert any(name.startswith("actor:") for name in payload["phases"])
         assert payload["counters"].get("metrics.steps", 0) > 0
+
+
+class TestTelemetryCommands:
+    def test_run_metrics_out_writes_parseable_snapshot(self, capsys, tmp_path):
+        snap = tmp_path / "m.jsonl"
+        assert main(
+            [
+                "run", "cpu", "--burst", "low",
+                "--algorithms", "hybrid",
+                "--metrics-out", str(snap),
+            ]
+        ) == 0
+        assert "metric snapshot lines" in capsys.readouterr().err
+
+        from repro.telemetry import read_snapshot_jsonl
+
+        lines = read_snapshot_jsonl(snap)
+        assert lines, "expected metric lines from the probe run"
+        names = {line.get("name") for line in lines}
+        assert "sim_steps" in names
+        assert "requests_completed" in names
+
+    def test_run_openmetrics_out_writes_valid_exposition(self, tmp_path):
+        out = tmp_path / "m.om"
+        assert main(
+            [
+                "run", "cpu", "--burst", "low",
+                "--algorithms", "hybrid",
+                "--openmetrics-out", str(out),
+            ]
+        ) == 0
+
+        from repro.telemetry import parse_openmetrics
+
+        families = parse_openmetrics(out.read_text())
+        assert "sim_steps" in families
+        assert "request_response_seconds" in families
+
+    def test_run_metrics_out_splits_per_algorithm(self, tmp_path):
+        snap = tmp_path / "m.jsonl"
+        assert main(
+            [
+                "run", "cpu", "--burst", "low",
+                "--algorithms", "kubernetes", "hybrid",
+                "--metrics-out", str(snap),
+            ]
+        ) == 0
+        assert (tmp_path / "m.kubernetes.jsonl").exists()
+        assert (tmp_path / "m.hybrid.jsonl").exists()
+
+    def test_top_renders_frames(self, capsys):
+        assert main(
+            ["top", "cpu", "--burst", "low", "--duration", "60", "--interval", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "NODE" in out
+        assert "SERVICE" in out
+        assert out.count("SLO") >= 2  # one panel per frame

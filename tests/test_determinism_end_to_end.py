@@ -12,14 +12,27 @@ from repro.config import ClusterConfig, SimulationConfig
 from repro.core.hyscale_mem import HyScaleCpuMem
 from repro.experiments.configs import cpu_bound, make_policy
 from repro.experiments.runner import Simulation
+from repro.metrics.sla import Sla
 from repro.obs import NULL_TRACER, DecisionTracer, Tracer, spans_to_jsonl
 from repro.sim.rng import RngStreams
+from repro.telemetry import (
+    NULL_REGISTRY,
+    MetricRegistry,
+    SloTracker,
+    render_openmetrics,
+    snapshot_to_jsonl,
+)
 from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
 from repro.workloads.bitbrains import generate_bitbrains_trace
 
 
 def _fresh_simulation(
-    seed: int, *, random_placement: bool = False, tracer: Tracer = NULL_TRACER
+    seed: int,
+    *,
+    random_placement: bool = False,
+    tracer: Tracer = NULL_TRACER,
+    telemetry: MetricRegistry = NULL_REGISTRY,
+    slo: SloTracker | None = None,
 ) -> Simulation:
     """Build a small but busy experiment entirely from ``seed``."""
     config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=seed)
@@ -46,6 +59,8 @@ def _fresh_simulation(
         workload_label="determinism-probe",
         placement=placement,
         tracer=tracer,
+        telemetry=telemetry,
+        slo=slo,
     )
 
 
@@ -129,6 +144,42 @@ class TestEndToEndDeterminism:
             list(simulation.collector.timeline),
         )
         assert untraced == traced
+
+    def test_telemetry_exports_are_byte_identical_across_same_seed_runs(self):
+        """The telemetry exporters extend the byte-determinism contract:
+        same seed, same OpenMetrics document, same JSONL snapshot."""
+
+        def stream_once() -> tuple[str, str]:
+            registry = MetricRegistry()
+            slo = SloTracker(Sla(response_time_target=5.0, availability_target=0.95))
+            simulation = _fresh_simulation(seed=7, telemetry=registry, slo=slo)
+            simulation.run(90.0)
+            now = simulation.engine.clock.now
+            return (
+                render_openmetrics(registry),
+                snapshot_to_jsonl(registry, now=now, alerts=slo.alerts()),
+            )
+
+        first_om, first_snap = stream_once()
+        second_om, second_snap = stream_once()
+        assert "sim_steps_total" in first_om, "expected an instrumented run"
+        assert first_om == second_om
+        assert first_snap == second_snap
+
+    def test_telemetry_does_not_perturb_the_run(self):
+        """Instrumentation is observation only: a run with a recording
+        registry produces bit-identical results to a NULL_REGISTRY run."""
+        bare = _run_once(seed=7)
+        registry = MetricRegistry()
+        slo = SloTracker(Sla(response_time_target=5.0, availability_target=0.95))
+        simulation = _fresh_simulation(seed=7, telemetry=registry, slo=slo)
+        summary = simulation.run(90.0)
+        instrumented = (
+            summary.to_dict(),
+            list(simulation.collector.events.events()),
+            list(simulation.collector.timeline),
+        )
+        assert bare == instrumented
 
     def test_bitbrains_trace_is_a_pure_function_of_the_seed(self):
         trace_a = generate_bitbrains_trace(n_vms=8, duration=300.0, interval=30.0, seed=5)

@@ -249,6 +249,38 @@ class TestApi001:
 
 
 # ----------------------------------------------------------------------
+# OBS001 — no time/datetime imports inside the telemetry package
+# ----------------------------------------------------------------------
+class TestObs001:
+    TELEMETRY_PATH = "src/repro/telemetry/fixture.py"
+
+    def test_flags_import_time(self):
+        src = "import time\n"
+        assert "OBS001" in rules_of(lint_source(src, self.TELEMETRY_PATH))
+
+    def test_flags_from_time_import(self):
+        # Stronger than DET001: the import alone is a violation, even with
+        # no call anywhere in the file.
+        src = "from time import perf_counter\n"
+        assert "OBS001" in rules_of(lint_source(src, self.TELEMETRY_PATH))
+
+    def test_flags_import_datetime(self):
+        src = "import datetime as dt\n"
+        assert "OBS001" in rules_of(lint_source(src, self.TELEMETRY_PATH))
+
+    def test_other_imports_are_clean(self):
+        src = "from collections import deque\nimport json\n"
+        assert lint_source(src, self.TELEMETRY_PATH) == []
+
+    def test_rule_is_scoped_to_telemetry(self):
+        # Elsewhere in src/ a bare import is DET001's business (calls only),
+        # so the import by itself stays clean.
+        src = "import time\n"
+        assert "OBS001" not in rules_of(lint_source(src, SIM_PATH))
+        assert "OBS001" not in rules_of(lint_source(src, TESTS_PATH))
+
+
+# ----------------------------------------------------------------------
 # Suppression syntax
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -318,9 +350,9 @@ class TestEngine:
 
     def test_every_rule_has_id_and_summary(self):
         catalog = rule_catalog()
-        assert set(catalog) == {"DET001", "DET002", "DET003", "UNIT001", "API001"}
+        assert set(catalog) == {"DET001", "DET002", "DET003", "UNIT001", "API001", "OBS001"}
         assert all(summary for summary in catalog.values())
-        assert len(ALL_RULES) == 5
+        assert len(ALL_RULES) == 6
 
 
 class TestCli:

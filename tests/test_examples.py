@@ -15,7 +15,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 #: Scripts cheap enough to execute in the unit-test suite.
-FAST_EXAMPLES = ("quickstart.py",)
+FAST_EXAMPLES = ("quickstart.py", "slo_watchdog.py")
 
 
 def test_examples_exist():
@@ -29,6 +29,7 @@ def test_examples_exist():
         "chaos_day.py",
         "stateful_ledger.py",
         "capacity_planning.py",
+        "slo_watchdog.py",
     } <= names
 
 

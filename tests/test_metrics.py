@@ -186,3 +186,43 @@ class TestSerialization:
         payload = json.loads(self.make_summary().to_json())
         assert payload["algorithm"] == "hybrid"
         assert isinstance(payload["timeline"], list)
+
+
+class TestServicePercentiles:
+    def make_summary(self) -> RunSummary:
+        collector = MetricsCollector()
+        for rt in (1.0, 2.0, 3.0, 4.0, 5.0):
+            collector.record_request(finished_request("svc", rt=rt))
+        return RunSummary.from_collector(collector, algorithm="a", workload="w", duration=10.0)
+
+    def test_service_summary_carries_p50_and_p99(self):
+        (svc,) = self.make_summary().services
+        assert svc.p50_response_time == pytest.approx(3.0)
+        assert svc.p95_response_time >= svc.p50_response_time
+        assert svc.p99_response_time >= svc.p95_response_time
+
+    def test_from_dict_accepts_archived_summaries_without_percentiles(self):
+        # Summaries serialized before p50/p99 existed must still load.
+        payload = self.make_summary().to_dict()
+        for service in payload["services"]:
+            del service["p50_response_time"]
+            del service["p99_response_time"]
+        restored = RunSummary.from_dict(payload)
+        (svc,) = restored.services
+        assert svc.p50_response_time == 0.0
+        assert svc.p99_response_time == 0.0
+
+
+class TestSlaNoTraffic:
+    def test_zero_traffic_run_is_flagged(self):
+        report = evaluate_sla(MetricsCollector(), Sla())
+        assert report.no_traffic is True
+        # Still "perfect" numerically — the flag is what distinguishes
+        # "met the SLA" from "nothing happened".
+        assert report.availability == 1.0
+
+    def test_traffic_clears_the_flag(self):
+        collector = MetricsCollector()
+        collector.record_request(finished_request())
+        report = evaluate_sla(collector, Sla())
+        assert report.no_traffic is False
