@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint test bench bench-full profile telemetry-check reproduce examples clean
+.PHONY: install lint test test-simsan bench bench-full profile telemetry-check sanitize reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,6 +18,12 @@ lint:
 
 test: lint
 	pytest tests/
+
+# The sanitized lane: every Simulation built by the suite runs under the
+# recording SimSan sanitizer (docs/dev-tooling.md); any invariant
+# violation fails the owning test.
+test-simsan:
+	pytest tests/ --simsan
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
@@ -38,6 +44,12 @@ profile:
 # uploaded as a CI artifact next to the phase profile.
 telemetry-check:
 	PYTHONPATH=src python -m repro.telemetry.check --out BENCH_telemetry_snapshot.json
+
+# SimSan end-to-end probe (docs/dev-tooling.md): a fixed-seed scenario runs
+# bare and sanitized; the report proves zero violations, no perturbation,
+# and measures the sanitizer-off overhead.  Uploaded as a CI artifact.
+sanitize:
+	PYTHONPATH=src python -m repro.sanitizer.check --out BENCH_sanitizer_report.json
 
 reproduce:
 	hyscale-repro reproduce

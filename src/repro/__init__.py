@@ -51,6 +51,13 @@ from repro.metrics import (
     evaluate_sla,
 )
 from repro.obs import DecisionTracer, NullTracer, PhaseProfiler, Tracer
+from repro.sanitizer import (
+    NULL_SANITIZER,
+    NullSanitizer,
+    Sanitizer,
+    SanViolation,
+    SimSanitizer,
+)
 from repro.telemetry import (
     NULL_REGISTRY,
     MetricRegistry,
@@ -103,6 +110,12 @@ __all__ = [
     "NULL_REGISTRY",
     "RunTelemetry",
     "SloTracker",
+    # the simulation sanitizer
+    "Sanitizer",
+    "NullSanitizer",
+    "NULL_SANITIZER",
+    "SimSanitizer",
+    "SanViolation",
     # errors
     "ReproError",
 ]

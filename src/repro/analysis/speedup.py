@@ -40,11 +40,11 @@ def failure_reduction(candidate: RunSummary, baseline: RunSummary) -> float:
     """
     if candidate.total_requests == 0 or baseline.total_requests == 0:
         raise ExperimentError("both runs need traffic to compare failures")
-    candidate_rate = candidate.failed / candidate.total_requests
-    baseline_rate = baseline.failed / baseline.total_requests
-    if candidate_rate == 0:
-        return float("inf") if baseline_rate > 0 else 1.0
-    return baseline_rate / candidate_rate
+    candidate_ratio = candidate.failed / candidate.total_requests
+    baseline_ratio = baseline.failed / baseline.total_requests
+    if candidate_ratio == 0:
+        return float("inf") if baseline_ratio > 0 else 1.0
+    return baseline_ratio / candidate_ratio
 
 
 def speedup_matrix(summaries: dict[str, RunSummary], baseline: str = "kubernetes") -> dict[str, float]:

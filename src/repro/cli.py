@@ -16,6 +16,7 @@ Examples::
     hyscale-repro section3 --which network
     hyscale-repro trace --vms 50 --duration 600
     hyscale-repro lint                           # determinism & invariant linter
+    hyscale-repro sanitize                       # SimSan runtime-invariant probe
 """
 
 from __future__ import annotations
@@ -355,6 +356,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sanitizer.check import run_check
+
+    return run_check(Path(args.out))
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.suite import render_reproduction, reproduce_evaluation
 
@@ -528,6 +537,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--root", default=None, help="repository root for rule scoping")
     lint.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
     lint.set_defaults(func=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run the SimSan runtime-invariant probe (see docs/dev-tooling.md)",
+    )
+    sanitize.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_sanitizer_report.json",
+        help="machine-readable report path (default: %(default)s)",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize)
 
     trace = sub.add_parser("trace", help="print the synthetic Bitbrains aggregate (Figure 9)")
     trace.add_argument("--vms", type=int, default=100)

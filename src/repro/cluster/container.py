@@ -249,15 +249,15 @@ class Container:
             return 0.0
         return sum(r.disk_remaining for r in self.disk_phase_requests()) / dt
 
-    def advance_disk(self, granted_mbps: float, dt: float) -> None:
+    def advance_disk(self, granted_mb_per_s: float, dt: float) -> None:
         """Spend a disk grant (MB/s) on pending I/O, fair-share epochs."""
-        if granted_mbps < 0 or dt <= 0:
+        if granted_mb_per_s < 0 or dt <= 0:
             raise ContainerStateError("invalid disk grant")
         candidates = self.disk_phase_requests()
         if not candidates:
             self.disk_usage = 0.0
             return
-        budget = granted_mbps * dt  # MB served this step
+        budget = granted_mb_per_s * dt  # MB served this step
         served = 0.0
         while candidates and budget > 1e-12:
             window = candidates[: self.max_concurrency]

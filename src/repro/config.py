@@ -98,7 +98,7 @@ class OverheadModel:
 
     #: Bandwidth at which a new stateful replica pulls its state copy
     #: before serving, MB/s (added to its boot delay).
-    state_transfer_mbps: float = 100.0
+    state_transfer_mb_per_s: float = 100.0
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on out-of-range constants."""
@@ -130,8 +130,8 @@ class OverheadModel:
             raise ConfigError("migration_freeze must be >= 0")
         if self.state_sync_overhead < 0:
             raise ConfigError("state_sync_overhead must be >= 0")
-        if self.state_transfer_mbps <= 0:
-            raise ConfigError("state_transfer_mbps must be > 0")
+        if self.state_transfer_mb_per_s <= 0:
+            raise ConfigError("state_transfer_mb_per_s must be > 0")
 
 
 @dataclass(frozen=True)

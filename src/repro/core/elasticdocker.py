@@ -36,6 +36,7 @@ from repro.core.actions import MigrateReplica, ScalingAction, VerticalScale
 from repro.core.policy import AutoscalingPolicy, NodeLedger
 from repro.core.view import ClusterView, ReplicaView
 from repro.errors import PolicyError
+from repro.units import same_quantity
 
 
 class ElasticDockerPolicy(AutoscalingPolicy):
@@ -115,7 +116,9 @@ class ElasticDockerPolicy(AutoscalingPolicy):
         available = ledger.available(replica.node)
 
         if grow_cpu <= available.cpu + 1e-9 and grow_mem <= available.memory + 1e-9:
-            if wanted_cpu == replica.cpu_request and wanted_mem == replica.mem_limit:
+            if same_quantity(wanted_cpu, replica.cpu_request) and same_quantity(
+                wanted_mem, replica.mem_limit
+            ):
                 return []
             ledger.take(
                 replica.node,
@@ -132,8 +135,12 @@ class ElasticDockerPolicy(AutoscalingPolicy):
             return [
                 VerticalScale(
                     replica.container_id,
-                    cpu_request=wanted_cpu if wanted_cpu != replica.cpu_request else None,
-                    mem_limit=wanted_mem if wanted_mem != replica.mem_limit else None,
+                    cpu_request=wanted_cpu
+                    if not same_quantity(wanted_cpu, replica.cpu_request)
+                    else None,
+                    mem_limit=wanted_mem
+                    if not same_quantity(wanted_mem, replica.mem_limit)
+                    else None,
                     reason="elastic",
                 )
             ]
@@ -159,7 +166,9 @@ class ElasticDockerPolicy(AutoscalingPolicy):
             # Nowhere to go: grow as far as the current host allows.
             capped_cpu = replica.cpu_request + min(grow_cpu, available.cpu)
             capped_mem = replica.mem_limit + min(grow_mem, available.memory)
-            if capped_cpu == replica.cpu_request and capped_mem == replica.mem_limit:
+            if same_quantity(capped_cpu, replica.cpu_request) and same_quantity(
+                capped_mem, replica.mem_limit
+            ):
                 return []
             ledger.take(
                 replica.node,

@@ -27,6 +27,19 @@ OBS001      ``src/repro/telemetry`` must not import ``time`` or
             ``datetime`` at all — exporters promise byte-identical output
             for same-seed runs, so telemetry timestamps are exclusively
             the simulated clock values handed to ``capture()``.
+SAN001      No mutable class-level or default-argument containers in
+            ``cluster``/``platform``/``sim`` — shared mutable state leaks
+            between instances and runs, exactly the aliasing the runtime
+            sanitizer (SimSan) exists to catch.
+SAN002      No direct float ``==``/``!=`` on resource quantities outside
+            ``units.py`` — resource values come from arithmetic chains, so
+            exact comparison is brittle; use ``repro.units.same_quantity``.
+SAN003      No ``object.__setattr__`` on anything but ``self`` — mutating
+            another module's frozen dataclass breaks the immutability its
+            consumers (digests, ledgers, the sanitizer) rely on.
+UNIT002     Unit-suffix dataflow: a ``_mbps``/``_mb``/``_cores``-suffixed
+            name may not be assigned to, passed as, or combined with a
+            differently-suffixed name — convert through ``repro.units``.
 ==========  ==============================================================
 """
 
@@ -502,6 +515,338 @@ def _obs001_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[
 
 
 # ----------------------------------------------------------------------
+# SAN001 — mutable class-level / default-argument containers
+# ----------------------------------------------------------------------
+#: Call targets that build a fresh mutable container.
+_MUTABLE_FACTORIES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.OrderedDict",
+        "collections.Counter",
+    }
+)
+
+
+def _is_mutable_container_expr(node: ast.expr, aliases: dict[str, str]) -> bool:
+    """Statically certain that ``node`` builds a mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _canonical_call_name(node, aliases)
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _san001_applies(path: str) -> bool:
+    module = repro_module_path(path)
+    return module is not None and module.startswith(("cluster/", "platform/", "sim/"))
+
+
+def _san001_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[Violation]:
+    """SAN001: a mutable container in a class body is shared by every
+    instance, and one in a default argument is shared by every call — both
+    alias state across containers/nodes/runs, which is precisely the
+    cross-actor write sharing the runtime sanitizer treats as a race."""
+    out: list[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    value = stmt.value
+                if value is not None and _is_mutable_container_expr(value, aliases):
+                    out.append(
+                        _violation(
+                            path,
+                            stmt,
+                            "SAN001",
+                            f"mutable class-level container in {node.name}: shared by "
+                            "every instance; initialise it in __init__ (or use "
+                            "dataclasses.field(default_factory=...))",
+                        )
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults: list[ast.expr] = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_container_expr(default, aliases):
+                    out.append(
+                        _violation(
+                            path,
+                            default,
+                            "SAN001",
+                            f"mutable default argument in {node.name}(): shared across "
+                            "calls; default to None and build the container inside",
+                        )
+                    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN002 — float equality on resource quantities
+# ----------------------------------------------------------------------
+#: Bare names that denote a resource quantity outright.
+_RESOURCE_EXACT = frozenset({"cpu", "mem", "memory", "net", "network", "cores"})
+
+#: Name prefixes/suffixes that mark a resource-quantity variable.
+_RESOURCE_PREFIXES = ("cpu_", "mem_", "net_", "disk_")
+_RESOURCE_SUFFIXES = (
+    "_cpu",
+    "_mem",
+    "_memory",
+    "_net",
+    "_network",
+    "_cores",
+    "_mbps",
+    "_mbit",
+    "_mbits",
+    "_mb",
+    "_mib",
+    "_request",
+    "_limit",
+    "_usage",
+    "_quota",
+    "_capacity",
+    "_rate",
+    "_headroom",
+)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The final identifier of a ``Name``/``Attribute`` chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_resource_name(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return (
+        lowered in _RESOURCE_EXACT
+        or lowered.startswith(_RESOURCE_PREFIXES)
+        or lowered.endswith(_RESOURCE_SUFFIXES)
+    )
+
+
+def _san002_applies(path: str) -> bool:
+    module = repro_module_path(path)
+    return module is not None and module != "units.py"
+
+
+def _san002_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[Violation]:
+    """SAN002: resource quantities (cores, MiB, Mbit/s) are floats produced
+    by scaling/clamping arithmetic, so exact ``==``/``!=`` silently turns
+    into "almost never equal"; compare via ``repro.units.same_quantity``
+    (tolerance comparisons live in one audited place)."""
+    out: list[Violation] = []
+    _ = aliases
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_resource_name(left) or _is_resource_name(right):
+                shown = _terminal_name(left) if _is_resource_name(left) else _terminal_name(right)
+                out.append(
+                    _violation(
+                        path,
+                        node,
+                        "SAN002",
+                        f"float equality on resource quantity `{shown}`; use "
+                        "repro.units.same_quantity(a, b) (tolerance comparison)",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN003 — frozen-dataclass mutation outside the defining module
+# ----------------------------------------------------------------------
+def _san003_applies(path: str) -> bool:
+    return classify_path(path) == AREA_SRC
+
+
+def _san003_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[Violation]:
+    """SAN003: ``object.__setattr__`` is the only way to mutate a frozen
+    dataclass, and the only legitimate caller is the defining class's own
+    ``__post_init__`` (receiver ``self``).  Any other receiver is a foreign
+    module breaking an immutability contract — views, violation records,
+    and spans are hashed/compared on the assumption they never change."""
+    out: list[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _canonical_call_name(node, aliases) != "object.__setattr__":
+            continue
+        receiver = node.args[0] if node.args else None
+        if not (isinstance(receiver, ast.Name) and receiver.id == "self"):
+            out.append(
+                _violation(
+                    path,
+                    node,
+                    "SAN003",
+                    "object.__setattr__ on a foreign frozen instance; frozen "
+                    "dataclasses may only self-mutate in their own __post_init__ "
+                    "— build a new instance (dataclasses.replace) instead",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# UNIT002 — unit-suffix dataflow
+# ----------------------------------------------------------------------
+#: Trailing name segment -> unit class.  Different classes never mix
+#: without an explicit converter from ``repro.units``.
+_UNIT_SUFFIX_CLASSES = {
+    "mbps": "Mbit",
+    "mbit": "Mbit",
+    "mbits": "Mbit",
+    "mb": "MB",
+    "mib": "MiB",
+    "core": "cores",
+    "cores": "cores",
+    "shares": "shares",
+}
+
+#: Segments to skip while scanning for the unit token (``_mb_per_s``).
+_UNIT_NEUTRAL_SEGMENTS = frozenset({"per", "s", "sec", "secs", "second", "seconds"})
+
+
+def _unit_class_of_name(name: str) -> str | None:
+    """Unit class encoded in a name's trailing suffix, or ``None``."""
+    for segment in reversed(name.lower().split("_")):
+        if segment in _UNIT_NEUTRAL_SEGMENTS:
+            continue
+        return _UNIT_SUFFIX_CLASSES.get(segment)
+    return None
+
+
+def _unit_class_of_expr(node: ast.expr) -> str | None:
+    name = _terminal_name(node)
+    return None if name is None else _unit_class_of_name(name)
+
+
+def _local_function_params(tree: ast.Module) -> dict[str, list[str]]:
+    """Function/method name -> positional parameter names (sans self/cls)."""
+    params: dict[str, list[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
+            if names and names[0] in ("self", "cls"):
+                names = names[1:]
+            # First definition wins; overload collisions are rare and the
+            # check is advisory about names, not signatures.
+            params.setdefault(node.name, names)
+    return params
+
+
+def _unit002_applies(path: str) -> bool:
+    module = repro_module_path(path)
+    return module is not None and module != "units.py"
+
+
+def _unit002_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[Violation]:
+    """UNIT002: a unit suffix is a type the type checker cannot see — a
+    ``_mbps`` value flowing into a ``_mb`` slot is the MB-vs-Mbit bug class
+    the paper's bandwidth model cannot tolerate.  Mixed-suffix assignment,
+    argument passing, and +/-// arithmetic must route through a
+    ``repro.units`` converter."""
+    out: list[Violation] = []
+    _ = aliases
+    local_params = _local_function_params(tree)
+
+    def mismatch(a: str | None, b: str | None) -> bool:
+        return a is not None and b is not None and a != b
+
+    def flag(node: ast.AST, source: str, source_class: str, dest: str, dest_class: str) -> None:
+        out.append(
+            _violation(
+                path,
+                node,
+                "UNIT002",
+                f"unit-suffix mismatch: `{source}` carries {source_class} but flows "
+                f"into `{dest}` ({dest_class}); convert via repro.units",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value_class = _unit_class_of_expr(value)
+            for target in targets:
+                target_class = _unit_class_of_expr(target)
+                if mismatch(value_class, target_class):
+                    flag(
+                        node,
+                        str(_terminal_name(value)),
+                        str(value_class),
+                        str(_terminal_name(target)),
+                        str(target_class),
+                    )
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                param_class = _unit_class_of_name(keyword.arg)
+                arg_class = _unit_class_of_expr(keyword.value)
+                if mismatch(arg_class, param_class):
+                    flag(
+                        keyword.value,
+                        str(_terminal_name(keyword.value)),
+                        str(arg_class),
+                        keyword.arg,
+                        str(param_class),
+                    )
+            callee = _terminal_name(node.func)
+            param_names = local_params.get(callee or "")
+            if param_names:
+                for position, arg in enumerate(node.args):
+                    if position >= len(param_names) or isinstance(arg, ast.Starred):
+                        break
+                    param_class = _unit_class_of_name(param_names[position])
+                    arg_class = _unit_class_of_expr(arg)
+                    if mismatch(arg_class, param_class):
+                        flag(
+                            arg,
+                            str(_terminal_name(arg)),
+                            str(arg_class),
+                            f"{callee}(... {param_names[position]} ...)",
+                            str(param_class),
+                        )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub, ast.Div)):
+            left_class = _unit_class_of_expr(node.left)
+            right_class = _unit_class_of_expr(node.right)
+            if mismatch(left_class, right_class):
+                flag(
+                    node,
+                    str(_terminal_name(node.left)),
+                    str(left_class),
+                    str(_terminal_name(node.right)),
+                    str(right_class),
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
 # Catalogue
 # ----------------------------------------------------------------------
 ALL_RULES: tuple[Rule, ...] = (
@@ -511,6 +856,10 @@ ALL_RULES: tuple[Rule, ...] = (
     Rule("UNIT001", "no raw unit-conversion literals in cluster/netsim", _unit001_applies, _unit001_check),
     Rule("API001", "public src/repro defs carry complete annotations", _api001_applies, _api001_check),
     Rule("OBS001", "no time/datetime imports inside src/repro/telemetry", _obs001_applies, _obs001_check),
+    Rule("SAN001", "no mutable class-level/default-arg containers in cluster/platform/sim", _san001_applies, _san001_check),
+    Rule("SAN002", "no float ==/!= on resource quantities outside units.py", _san002_applies, _san002_check),
+    Rule("SAN003", "object.__setattr__ only on self (frozen-dataclass discipline)", _san003_applies, _san003_check),
+    Rule("UNIT002", "no mixed unit-suffix dataflow without a units converter", _unit002_applies, _unit002_check),
 )
 
 

@@ -68,7 +68,7 @@ class DockerClient:
             # A stateful replica cannot serve until it has pulled a copy of
             # the state from its peers (Section IV-B) — the first replica is
             # exempt (it *is* the state).
-            delay += service.spec.state_size_mb / self.cluster.overheads.state_transfer_mbps
+            delay += service.spec.state_size_mb / self.cluster.overheads.state_transfer_mb_per_s
         replica_index = service.next_replica_index()
         container = daemon.run(
             service_name,

@@ -70,3 +70,7 @@ class ObservabilityError(ReproError):
 
 class TelemetryError(ReproError):
     """Streaming-telemetry instruments or exporters were misused."""
+
+
+class SanitizerError(ReproError):
+    """The simulation sanitizer was misused (bad brackets, bad codec input)."""

@@ -27,6 +27,7 @@ from repro.core.policy import AutoscalingPolicy
 from repro.core.registry import resolve_policy
 from repro.dockersim.api import DockerClient
 from repro.errors import ExperimentError
+from repro.instrument import when_enabled
 from repro.metrics.collector import MetricsCollector, TimelinePoint
 from repro.metrics.summary import RunSummary
 from repro.obs.profiler import PhaseProfiler
@@ -37,6 +38,7 @@ from repro.platform.load_balancer import RoutingPolicy
 from repro.platform.monitor import Monitor
 from repro.platform.node_manager import NodeManager
 from repro.platform.registry import ServiceRegistry
+from repro.sanitizer.api import NULL_SANITIZER, Sanitizer
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
@@ -151,6 +153,10 @@ class Simulation:
     tracer: Tracer = NULL_TRACER
     #: Per-phase wall-time profiler, or ``None`` when profiling is off.
     profiler: PhaseProfiler | None = None
+    #: Invariant sanitizer (:data:`~repro.sanitizer.NULL_SANITIZER` unless
+    #: a recording :class:`~repro.sanitizer.SimSanitizer` was passed to
+    #: :meth:`build`).
+    sanitizer: Sanitizer = NULL_SANITIZER
     #: The run's instrument catalogue + sampling actor.  Always present;
     #: backed by :data:`~repro.telemetry.NULL_REGISTRY` (all no-ops) unless
     #: a recording registry was passed to :meth:`build`.
@@ -172,6 +178,7 @@ class Simulation:
         profiler: PhaseProfiler | None = None,
         telemetry: MetricRegistry = NULL_REGISTRY,
         slo: SloTracker | None = None,
+        sanitizer: Sanitizer = NULL_SANITIZER,
     ) -> "Simulation":
         """Assemble cluster, platform, and workload for one experiment.
 
@@ -186,6 +193,13 @@ class Simulation:
         simulated seconds, as an extra final engine phase named
         ``telemetry``).  ``slo`` optionally adds error-budget burn-rate
         tracking on top; it requires a recording registry.
+
+        ``sanitizer`` selects the invariant sanitizer: the default
+        :data:`~repro.sanitizer.NULL_SANITIZER` checks nothing at zero
+        cost; pass a :class:`~repro.sanitizer.SimSanitizer` to bracket
+        every engine step with conservation/aliasing/ordering audits
+        (observation only — a sanitized run is bit-identical to a bare
+        one).  Mutually exclusive with ``profiler``.
         """
         config.validate()
         policy = resolve_policy(policy, config)
@@ -199,9 +213,11 @@ class Simulation:
         if slo is not None and not telemetry.enabled:
             raise ExperimentError("SLO tracking needs a recording telemetry registry")
 
-        engine = Engine(dt=config.dt, profiler=profiler)
+        engine = Engine(dt=config.dt, profiler=profiler, sanitizer=sanitizer)
         rng = RngStreams(config.seed)
         cluster = Cluster.from_config(config.cluster, config.overheads)
+        if engine.sanitizer is not None:
+            sanitizer.bind(cluster=cluster)
         client = DockerClient(cluster)
         collector = MetricsCollector()
         hub = RunTelemetry(telemetry, slo=slo, sample_every=timeline_every, profiler=profiler)
@@ -228,6 +244,7 @@ class Simulation:
             name: NodeManager(daemon, window_horizon=max(30.0, config.monitor_period))
             for name, daemon in client.daemons.items()
         }
+        recording_hub = when_enabled(hub)
         monitor = Monitor(
             cluster,
             client,
@@ -237,7 +254,8 @@ class Simulation:
             collector,
             placement=placement or SpreadPlacement(),
             tracer=tracer,
-            telemetry=hub if telemetry.enabled else None,
+            telemetry=recording_hub,
+            sanitizer=sanitizer,
         )
 
         # Initial deployment: min_replicas per service, spread over the
@@ -281,11 +299,11 @@ class Simulation:
                 collector,
                 timeline_every,
                 profiler=profiler,
-                telemetry=hub if telemetry.enabled else None,
+                telemetry=recording_hub,
             ),
         )
         hub.bind(cluster=cluster, lb=lb, generator=generator)
-        if telemetry.enabled:
+        if recording_hub is not None:
             # Last phase: sample after the step has fully settled.  Not
             # registered at all under the null registry, so un-instrumented
             # runs keep the documented seven-phase order.
@@ -308,6 +326,7 @@ class Simulation:
             tracer=tracer,
             profiler=profiler,
             telemetry=hub,
+            sanitizer=sanitizer,
         )
 
     def run(self, duration: float) -> RunSummary:
@@ -339,6 +358,7 @@ def run_experiment(
     profiler: PhaseProfiler | None = None,
     telemetry: MetricRegistry = NULL_REGISTRY,
     slo: SloTracker | None = None,
+    sanitizer: Sanitizer = NULL_SANITIZER,
 ) -> RunSummary:
     """Convenience one-shot: build a :class:`Simulation` and run it."""
     simulation = Simulation.build(
@@ -353,5 +373,6 @@ def run_experiment(
         profiler=profiler,
         telemetry=telemetry,
         slo=slo,
+        sanitizer=sanitizer,
     )
     return simulation.run(duration)

@@ -60,6 +60,14 @@ class NetworkInterface:
         """True if the container has a shaping class on this NIC."""
         return self.iptables.has_rule(container_id)
 
+    def rate_of(self, container_id: str) -> float:
+        """Guaranteed HTB rate of the container's class, Mbit/s.
+
+        The tc-side view of the container's ``net_rate`` allocation; the
+        sanitizer cross-checks the two stay in sync through reshapes.
+        """
+        return self.qdisc.get_class(self.iptables.class_of(container_id)).rate
+
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------

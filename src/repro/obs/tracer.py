@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 from repro.errors import ObservabilityError
+from repro.instrument import NullInstrument
 from repro.obs.spans import ActionRecord, DecisionSpan, LedgerStep, MetricSample
 
 
@@ -83,12 +84,14 @@ class Tracer(Protocol):
         ...  # pragma: no cover - protocol stub
 
 
-class NullTracer:
-    """The zero-overhead default: every hook is a no-op."""
+class NullTracer(NullInstrument):
+    """The zero-overhead default: every hook is a no-op.
+
+    ``enabled``/statelessness come from the shared
+    :class:`~repro.instrument.NullInstrument` discipline.
+    """
 
     __slots__ = ()
-
-    enabled = False
 
     def begin_tick(
         self, *, now: float, policy: str, digest: str, services: int, nodes: int, replicas: int

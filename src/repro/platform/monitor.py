@@ -49,8 +49,10 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.events import EventKind, ScalingEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.platform.node_manager import NodeManager
+from repro.sanitizer.api import NULL_SANITIZER, Sanitizer
 from repro.sim.clock import SimClock
 from repro.telemetry.hub import RunTelemetry
+from repro.units import same_quantity
 
 
 @dataclass
@@ -88,6 +90,7 @@ class Monitor:
         placement: PlacementStrategy | None = None,
         tracer: Tracer = NULL_TRACER,
         telemetry: RunTelemetry | None = None,
+        sanitizer: Sanitizer = NULL_SANITIZER,
     ):
         self.cluster = cluster
         self.client = client
@@ -99,6 +102,7 @@ class Monitor:
         self.log = MonitorLog()
         self.tracer = tracer
         self.telemetry = telemetry
+        self.sanitizer = sanitizer
         policy.set_tracer(tracer)
         self._next_tick = config.monitor_period
 
@@ -142,6 +146,10 @@ class Monitor:
         """One full monitor round: view -> decide -> apply."""
         self.log.ticks += 1
         view = self.build_view(now)
+        if self.sanitizer.enabled:
+            # Audit the snapshot before the policy plans against it: the
+            # view's allocation vectors seed the NodeLedger balances.
+            self.sanitizer.check_view(now=now, view=view)
         tracing = self.tracer.enabled
         applied_before = self.log.actions_applied
         failed_before = self.log.actions_failed
@@ -319,11 +327,11 @@ class Monitor:
         manager.apply_vertical(action.container_id, cpu_request=cpu, mem_limit=mem, net_rate=net)
         self.collector.record_vertical()
         changes = []
-        if cpu is not None and cpu != before[0]:
+        if cpu is not None and not same_quantity(cpu, before[0]):
             changes.append(f"cpu {before[0]:.2f}->{cpu:.2f}")
-        if mem is not None and mem != before[1]:
+        if mem is not None and not same_quantity(mem, before[1]):
             changes.append(f"mem {before[1]:.0f}->{mem:.0f}")
-        if net is not None and net != before[2]:
+        if net is not None and not same_quantity(net, before[2]):
             changes.append(f"net {before[2]:.0f}->{net:.0f}")
         self.collector.events.record(
             ScalingEvent(

@@ -1,0 +1,168 @@
+"""Self-contained sanitizer validation scenario (``make sanitize``).
+
+Runs one short, fixed-seed experiment three times — bare, sanitized, and
+sanitized again — then checks the SimSan contract end to end:
+
+1. the sanitized run reports **zero** invariant violations (conservation,
+   ledger consistency, tick aliasing, time monotonicity, event ordering),
+2. the sanitized run's summary is **identical** to the bare run's — the
+   sanitizer observes, it never perturbs,
+3. two same-seed sanitized runs agree with each other (determinism holds
+   under instrumentation),
+4. the violation codec round-trips a synthetic record through the
+   ``repro.san/1`` JSONL schema,
+5. the sanitizer-off path costs nothing measurable: the bare run is timed
+   against the sanitized run and the overhead ratio is recorded.
+
+Writes a machine-readable report (default ``BENCH_sanitizer_report.json``
+— uploaded as a CI artifact next to ``BENCH_telemetry_snapshot.json``).
+Exits non-zero on any failed check.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.sanitizer.check --out BENCH_sanitizer_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# A *reference* to the profiler's timer (never a module-level wall-clock
+# call): timing here measures harness overhead, not simulated behaviour.
+from repro.obs.profiler import DEFAULT_TIMER
+from repro.sanitizer.export import (
+    parse_san_line,
+    render_san_report,
+    violation_to_json_line,
+)
+from repro.sanitizer.records import SanViolation, violation_from_dict, violation_to_dict
+from repro.sanitizer.simsan import SimSanitizer
+
+#: Simulated duration of the probe scenario (seconds).
+CHECK_DURATION = 120.0
+
+
+def _run_once(seed: int, sanitizer: SimSanitizer | None = None) -> dict:
+    """One probe run (optionally sanitized); returns summary + timing."""
+    # Imported here: the check scenario needs the full experiment stack,
+    # but `repro.sanitizer` itself must stay importable without it.
+    from repro.cluster.microservice import MicroserviceSpec
+    from repro.config import ClusterConfig, SimulationConfig
+    from repro.experiments.runner import Simulation
+    from repro.sanitizer.api import NULL_SANITIZER
+    from repro.workloads import CPU_BOUND, MIXED, HighBurstLoad, ServiceLoad
+
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=seed)
+    specs = [
+        MicroserviceSpec(name="frontend", max_replicas=6),
+        MicroserviceSpec(name="backend", max_replicas=6),
+    ]
+    loads = [
+        ServiceLoad("frontend", MIXED, HighBurstLoad(base=6.0, peak=30.0)),
+        ServiceLoad("backend", CPU_BOUND, HighBurstLoad(base=4.0, peak=18.0)),
+    ]
+    simulation = Simulation.build(
+        config=config,
+        specs=specs,
+        loads=loads,
+        policy="hybrid",
+        workload_label="sanitizer-check",
+        sanitizer=sanitizer if sanitizer is not None else NULL_SANITIZER,
+    )
+    started = DEFAULT_TIMER()
+    summary = simulation.run(CHECK_DURATION)
+    elapsed = DEFAULT_TIMER() - started
+    return {
+        "summary": summary,
+        "seconds": elapsed,
+        "steps": simulation.engine.clock.step,
+        "pending": simulation.engine.events.next_due(),
+    }
+
+
+def _codec_roundtrip() -> bool:
+    """A synthetic violation must survive dict and JSONL round-trips."""
+    violation = SanViolation(
+        now=12.5,
+        step=25,
+        check="conservation",
+        subject="node-1",
+        message="cpu allocated 9.000 cores exceeds capacity 8.000 cores",
+        detail="containers: frontend-0, backend-2",
+    )
+    if violation_from_dict(violation_to_dict(violation)) != violation:
+        return False
+    if parse_san_line(violation_to_json_line(violation)) != violation:
+        return False
+    # The renderer must mention the subject and the check section.
+    rendered = render_san_report((violation,))
+    return "node-1" in rendered and "[conservation]" in rendered
+
+
+def run_check(out: Path) -> int:
+    """Run the probes, validate, write the report; returns exit code."""
+    bare = _run_once(seed=0)
+    sanitizer = SimSanitizer()
+    sanitized = _run_once(seed=0, sanitizer=sanitizer)
+    second_sanitizer = SimSanitizer()
+    sanitized_again = _run_once(seed=0, sanitizer=second_sanitizer)
+
+    checks: dict[str, bool] = {}
+    checks["zero_violations"] = len(sanitizer.violations()) == 0
+    checks["steps_bracketed"] = sanitizer.steps_checked == sanitized["steps"] > 0
+    checks["sanitizer_does_not_perturb"] = (
+        sanitized["summary"] == bare["summary"] and sanitized["pending"] == bare["pending"]
+    )
+    checks["sanitized_run_deterministic"] = (
+        sanitized["summary"] == sanitized_again["summary"]
+        and len(second_sanitizer.violations()) == 0
+    )
+    checks["codec_roundtrips"] = _codec_roundtrip()
+
+    off_seconds = bare["seconds"]
+    on_seconds = sanitized["seconds"]
+    overhead_ratio = (on_seconds / off_seconds) if off_seconds > 0 else float("inf")
+
+    report = {
+        "schema": "repro.san-check/1",
+        "duration": CHECK_DURATION,
+        "steps_checked": sanitizer.steps_checked,
+        "violations": len(sanitizer.violations()),
+        "off_seconds": round(off_seconds, 6),
+        "on_seconds": round(on_seconds, 6),
+        "overhead_ratio": round(overhead_ratio, 4),
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    for name, passed in sorted(checks.items()):
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+    if sanitizer.violations():
+        print(render_san_report(sanitizer.violations()), end="")
+    print(
+        f"sanitize: {sanitizer.steps_checked} steps checked, "
+        f"{len(sanitizer.violations())} violation(s), "
+        f"overhead x{report['overhead_ratio']} -> {out}"
+    )
+    return 0 if report["ok"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.sanitizer.check``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_sanitizer_report.json"),
+        help="report path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    return run_check(args.out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Sanitizer-violation persistence: JSONL out, records back in.
+
+Same canonical encoding as the decision-trace codec
+(:mod:`repro.obs.export`): one record per line, keys sorted, compact
+separators, a ``schema`` tag on every line.  A violation file is a pure
+function of the violations, so two same-seed runs export byte-identical
+files — and a clean run exports the empty string.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import SanitizerError
+from repro.sanitizer.records import SanViolation, violation_from_dict, violation_to_dict
+
+#: Schema tag embedded in every line; bump when the record shape changes.
+SAN_SCHEMA = "repro.san/1"
+
+
+def violation_to_json_line(violation: SanViolation) -> str:
+    """One violation as its canonical single-line JSON encoding (no newline)."""
+    payload = violation_to_dict(violation)
+    payload["schema"] = SAN_SCHEMA
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def violations_to_jsonl(violations: Iterable[SanViolation]) -> str:
+    """A whole report as JSONL text (trailing newline when non-empty)."""
+    lines = [violation_to_json_line(v) for v in violations]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_san_jsonl(violations: Sequence[SanViolation], path: str | Path) -> int:
+    """Write a violation file; returns the number of records written."""
+    Path(path).write_text(violations_to_jsonl(violations), encoding="utf-8")
+    return len(violations)
+
+
+def parse_san_line(line: str) -> SanViolation:
+    """Parse one JSONL line back into a violation record."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SanitizerError(f"violation line is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise SanitizerError("violation line must be a JSON object")
+    schema = payload.pop("schema", SAN_SCHEMA)
+    if schema != SAN_SCHEMA:
+        raise SanitizerError(f"unsupported sanitizer schema {schema!r} (want {SAN_SCHEMA!r})")
+    return violation_from_dict(payload)
+
+
+def read_san_jsonl(path: str | Path) -> tuple[SanViolation, ...]:
+    """Read a JSONL violation file back into records."""
+    out: list[SanViolation] = []
+    for lineno, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            out.append(parse_san_line(line))
+        except SanitizerError as exc:
+            raise SanitizerError(f"{path}:{lineno}: {exc}") from None
+    return tuple(out)
+
+
+def render_san_report(violations: Sequence[SanViolation]) -> str:
+    """Human "explain"-style rendering of a violation report.
+
+    Groups by check, in catalogue order, each violation on one line with
+    its sim timestamp, step, and subject — the same narrative style as
+    ``repro.obs.explain`` renders decision traces.
+    """
+    if not violations:
+        return "SimSan: no invariant violations.\n"
+    lines = [f"SimSan: {len(violations)} invariant violation(s)"]
+    by_check: dict[str, list[SanViolation]] = {}
+    for violation in violations:
+        by_check.setdefault(violation.check, []).append(violation)
+    for check in sorted(by_check):
+        group = by_check[check]
+        lines.append(f"\n[{check}] {len(group)} violation(s)")
+        for v in group:
+            lines.append(f"  t={v.now:g} step={v.step} {v.subject}: {v.message}")
+            if v.detail:
+                lines.append(f"      {v.detail}")
+    return "\n".join(lines) + "\n"

@@ -20,7 +20,9 @@ from __future__ import annotations
 from typing import Callable, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
+from repro.instrument import when_enabled
 from repro.obs.profiler import PhaseProfiler
+from repro.sanitizer.api import Sanitizer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue, ScheduledEvent
 
@@ -60,12 +62,29 @@ class Engine:
         individually; when ``None`` (the default) the hot loop contains no
         timing calls at all.  Profiler timings never feed back into the
         simulation — they only populate reports.
+    sanitizer:
+        Optional :class:`~repro.sanitizer.Sanitizer`.  A recording
+        sanitizer brackets every step (baseline snapshot, per-actor
+        write-set diff, post-events conservation audit); ``None`` or a
+        disabled sanitizer keeps the exact unsanitized hot loop.  Mutually
+        exclusive with ``profiler`` — sanitized steps are not
+        representative timings.
     """
 
-    def __init__(self, dt: float = 0.5, profiler: PhaseProfiler | None = None):
+    def __init__(
+        self,
+        dt: float = 0.5,
+        profiler: PhaseProfiler | None = None,
+        sanitizer: Sanitizer | None = None,
+    ):
         self.clock = SimClock(dt=dt)
         self.events = EventQueue()
         self.profiler = profiler
+        self.sanitizer = when_enabled(sanitizer)
+        if self.profiler is not None and self.sanitizer is not None:
+            raise SimulationError(
+                "engine cannot run with both a profiler and a recording sanitizer"
+            )
         self._actors: list[tuple[str, SimActor]] = []
         self._running = False
         self._step_counter: StepCounter | None = None
@@ -118,6 +137,8 @@ class Engine:
         try:
             if self.profiler is not None:
                 self._step_profiled(self.profiler)
+            elif self.sanitizer is not None:
+                self._step_sanitized(self.sanitizer)
             else:
                 self.clock.advance()
                 for _, actor in self._actors:
@@ -142,6 +163,21 @@ class Engine:
         start = timer()
         fired = self.events.fire_due(self.clock.now)
         profiler.observe("events", timer() - start)
+        if self._step_counter is not None:
+            self._step_counter.inc()
+            if fired and self._event_counter is not None:
+                self._event_counter.inc(fired)
+
+    def _step_sanitized(self, sanitizer: Sanitizer) -> None:
+        """One step bracketed by sanitizer checks (observation only)."""
+        self.clock.advance()
+        now = self.clock.now
+        sanitizer.begin_step(now=now, step=self.clock.step)
+        for name, actor in self._actors:
+            actor.on_step(self.clock)
+            sanitizer.after_actor(name=name, now=now)
+        fired = self.events.fire_due(now)
+        sanitizer.end_step(now=now, next_due=self.events.next_due())
         if self._step_counter is not None:
             self._step_counter.inc()
             if fired and self._event_counter is not None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import TelemetryError
+from repro.instrument import NullInstrument
 from repro.telemetry.instruments import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -240,16 +241,15 @@ class _NullHistogramFamily(HistogramFamily):
         """No-op."""
 
 
-class NullRegistry(MetricRegistry):
+class NullRegistry(NullInstrument, MetricRegistry):
     """The zero-overhead default: hands out shared no-op instruments.
 
     Registration calls succeed (so instrumented code is written once,
     unconditionally) but record nothing, hold no per-name state, and
-    :meth:`capture` is a no-op.  ``enabled`` is ``False`` so samplers can
-    skip whole collection passes.
+    :meth:`capture` is a no-op.  ``enabled`` comes from the shared
+    :class:`~repro.instrument.NullInstrument` discipline (``False``), so
+    samplers can skip whole collection passes.
     """
-
-    enabled = False
 
     def __init__(self) -> None:
         super().__init__(retention=2)

@@ -67,6 +67,22 @@ def mbits_to_mbytes(mbits: float) -> float:
     return mbits / BITS_PER_BYTE
 
 
+#: Relative tolerance for comparing resource quantities (cores, MiB, Mbit/s).
+QUANTITY_TOLERANCE = 1e-9
+
+
+def same_quantity(a: float, b: float, tolerance: float = QUANTITY_TOLERANCE) -> bool:
+    """True when two resource quantities are equal within tolerance.
+
+    Resource values (CPU cores, MiB, Mbit/s) are floats produced by
+    arithmetic chains — scaling multipliers, headroom clamps, fair-share
+    divisions — so direct ``==``/``!=`` comparisons are brittle (and the
+    ``SAN002`` lint rule forbids them outside this module).  Tolerance
+    scales with magnitude: ``|a - b| <= tolerance * max(1, |a|, |b|)``.
+    """
+    return abs(a - b) <= tolerance * max(1.0, abs(a), abs(b))
+
+
 def percent(fraction: float) -> float:
     """Render a 0..1 fraction as a percentage value."""
     return fraction * 100.0

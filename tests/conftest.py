@@ -20,6 +20,53 @@ from repro.core.view import ClusterView, NodeView, ReplicaView, ServiceView
 _ids = itertools.count(1)
 
 
+# ----------------------------------------------------------------------
+# The --simsan lane: run the whole suite under the recording sanitizer
+# ----------------------------------------------------------------------
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--simsan",
+        action="store_true",
+        default=False,
+        help="inject a recording SimSanitizer into every Simulation.build "
+        "call and fail any test whose runs violate a simulation invariant",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _simsan_lane(request: pytest.FixtureRequest, monkeypatch: pytest.MonkeyPatch):
+    """Under ``--simsan``, audit every simulation the test builds.
+
+    Tests that pass their own recording sanitizer (or a profiler, which
+    is mutually exclusive with sanitizing) are left alone; everything
+    else gets a fresh :class:`~repro.sanitizer.SimSanitizer`, and the
+    test fails if any of its runs recorded a violation.
+    """
+    if not request.config.getoption("--simsan"):
+        yield
+        return
+
+    from repro.experiments.runner import Simulation
+    from repro.sanitizer import SimSanitizer, render_san_report
+
+    recorders: list[SimSanitizer] = []
+    original = Simulation.build.__func__
+
+    def build(cls, **kwargs):
+        supplied = kwargs.get("sanitizer")
+        if kwargs.get("profiler") is None and not getattr(supplied, "enabled", False):
+            recorder = SimSanitizer()
+            kwargs["sanitizer"] = recorder
+            recorders.append(recorder)
+        return original(cls, **kwargs)
+
+    monkeypatch.setattr(Simulation, "build", classmethod(build))
+    yield
+    violations = tuple(v for recorder in recorders for v in recorder.violations())
+    if violations:
+        pytest.fail("--simsan: " + render_san_report(violations), pytrace=False)
+
+
 @pytest.fixture
 def overheads() -> OverheadModel:
     """An overhead model with every overhead switched off — tests of

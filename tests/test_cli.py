@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import WORKLOADS, build_parser, main
@@ -237,3 +239,16 @@ class TestTelemetryCommands:
         assert "NODE" in out
         assert "SERVICE" in out
         assert out.count("SLO") >= 2  # one panel per frame
+
+    def test_sanitize_parser_defaults(self):
+        args = build_parser().parse_args(["sanitize"])
+        assert args.out == "BENCH_sanitizer_report.json"
+
+    def test_sanitize_writes_report_and_passes(self, capsys, tmp_path):
+        out = tmp_path / "san_report.json"
+        assert main(["sanitize", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.san-check/1"
+        assert report["ok"] is True
+        assert report["violations"] == 0
+        assert "PASS" in capsys.readouterr().out

@@ -14,6 +14,7 @@ from repro.experiments.configs import cpu_bound, make_policy
 from repro.experiments.runner import Simulation
 from repro.metrics.sla import Sla
 from repro.obs import NULL_TRACER, DecisionTracer, Tracer, spans_to_jsonl
+from repro.sanitizer import NULL_SANITIZER, Sanitizer, SimSanitizer
 from repro.sim.rng import RngStreams
 from repro.telemetry import (
     NULL_REGISTRY,
@@ -33,6 +34,7 @@ def _fresh_simulation(
     tracer: Tracer = NULL_TRACER,
     telemetry: MetricRegistry = NULL_REGISTRY,
     slo: SloTracker | None = None,
+    sanitizer: Sanitizer = NULL_SANITIZER,
 ) -> Simulation:
     """Build a small but busy experiment entirely from ``seed``."""
     config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=seed)
@@ -61,6 +63,7 @@ def _fresh_simulation(
         tracer=tracer,
         telemetry=telemetry,
         slo=slo,
+        sanitizer=sanitizer,
     )
 
 
@@ -180,6 +183,40 @@ class TestEndToEndDeterminism:
             list(simulation.collector.timeline),
         )
         assert bare == instrumented
+
+    def test_null_sanitizer_run_is_bit_identical_to_the_bare_run(self, request):
+        """``NULL_SANITIZER`` is the default: passing it explicitly keeps
+        the exact unsanitized hot loop (``engine.sanitizer is None``), so
+        the run is the bare run, bit for bit."""
+        bare = _run_once(seed=7)
+        simulation = _fresh_simulation(seed=7, sanitizer=NULL_SANITIZER)
+        if not request.config.getoption("--simsan"):
+            # The --simsan lane swaps a recorder in for the null sanitizer;
+            # the bit-identity below must hold either way.
+            assert simulation.engine.sanitizer is None
+        summary = simulation.run(90.0)
+        nulled = (
+            summary.to_dict(),
+            list(simulation.collector.events.events()),
+            list(simulation.collector.timeline),
+        )
+        assert bare == nulled
+
+    def test_sanitizer_does_not_perturb_the_run(self):
+        """SimSan is observation only: a sanitized run produces bit-identical
+        results to the bare run — and a healthy run has no violations."""
+        bare = _run_once(seed=7)
+        sanitizer = SimSanitizer()
+        simulation = _fresh_simulation(seed=7, sanitizer=sanitizer)
+        summary = simulation.run(90.0)
+        sanitized = (
+            summary.to_dict(),
+            list(simulation.collector.events.events()),
+            list(simulation.collector.timeline),
+        )
+        assert bare == sanitized
+        assert sanitizer.violations() == ()
+        assert sanitizer.steps_checked == simulation.engine.clock.step
 
     def test_bitbrains_trace_is_a_pure_function_of_the_seed(self):
         trace_a = generate_bitbrains_trace(n_vms=8, duration=300.0, interval=30.0, seed=5)

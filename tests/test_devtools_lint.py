@@ -281,6 +281,174 @@ class TestObs001:
 
 
 # ----------------------------------------------------------------------
+# SAN001 — mutable class-level / default-argument containers
+# ----------------------------------------------------------------------
+class TestSan001:
+    def test_flags_class_level_list_literal(self):
+        src = "class Cache:\n    entries = []\n"
+        assert "SAN001" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_flags_class_level_dict_call(self):
+        src = "class Registry:\n    by_name: dict = dict()\n"
+        assert "SAN001" in rules_of(lint_source(src, SIM_PATH))
+
+    def test_flags_class_level_defaultdict(self):
+        src = "import collections\n\nclass Index:\n    rows = collections.defaultdict(list)\n"
+        assert "SAN001" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_flags_mutable_default_argument(self):
+        src = "def collect(into: list = []) -> list:\n    return into\n"
+        assert "SAN001" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_default_factory_field_is_clean(self):
+        src = (
+            "import dataclasses\n\n"
+            "@dataclasses.dataclass\n"
+            "class Holder:\n"
+            "    xs: list = dataclasses.field(default_factory=list)\n"
+        )
+        assert "SAN001" not in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_immutable_defaults_and_init_state_are_clean(self):
+        src = (
+            "class Node:\n"
+            "    KINDS = (\"cpu\", \"memory\")\n\n"
+            "    def __init__(self) -> None:\n"
+            "        self.children: list = []\n"
+        )
+        assert "SAN001" not in rules_of(lint_source(src, SIM_PATH))
+
+    def test_rule_is_scoped_to_cluster_platform_sim(self):
+        src = "class Cache:\n    entries = []\n"
+        assert "SAN001" not in rules_of(lint_source(src, CORE_PATH))
+        assert "SAN001" not in rules_of(lint_source(src, TESTS_PATH))
+
+
+# ----------------------------------------------------------------------
+# SAN002 — float equality on resource quantities
+# ----------------------------------------------------------------------
+class TestSan002:
+    def test_flags_equality_on_suffixed_name(self):
+        src = "def same(cpu_request: float, other: float) -> bool:\n    return cpu_request == other\n"
+        assert "SAN002" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_inequality_on_attribute(self):
+        src = "def moved(a: object, b: object) -> bool:\n    return a.net_rate != b.net_rate\n"
+        assert "SAN002" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_flags_bare_resource_name(self):
+        src = "def full(cpu: float, cap: float) -> bool:\n    return cpu == cap\n"
+        assert "SAN002" in rules_of(lint_source(src, NETSIM_PATH))
+
+    def test_same_quantity_helper_is_clean(self):
+        src = (
+            "from repro.units import same_quantity\n\n"
+            "def same(cpu_request: float, other: float) -> bool:\n"
+            "    return same_quantity(cpu_request, other)\n"
+        )
+        assert "SAN002" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_non_resource_names_are_clean(self):
+        src = "def match(name: str, other: str) -> bool:\n    return name == other\n"
+        assert "SAN002" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_ordering_comparisons_are_clean(self):
+        src = "def over(cpu_request: float, cap: float) -> bool:\n    return cpu_request > cap\n"
+        assert "SAN002" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_units_module_and_tests_are_exempt(self):
+        src = "def same(cpu_request: float, other: float) -> bool:\n    return cpu_request == other\n"
+        assert "SAN002" not in rules_of(lint_source(src, "src/repro/units.py"))
+        assert "SAN002" not in rules_of(lint_source(src, TESTS_PATH))
+
+
+# ----------------------------------------------------------------------
+# SAN003 — frozen-dataclass mutation outside the defining module
+# ----------------------------------------------------------------------
+class TestSan003:
+    def test_flags_setattr_on_foreign_instance(self):
+        src = "def poke(view: object) -> None:\n    object.__setattr__(view, \"cpu\", 1.0)\n"
+        assert "SAN003" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_post_init_self_mutation_is_clean(self):
+        src = (
+            "class Frozen:\n"
+            "    def __post_init__(self) -> None:\n"
+            "        object.__setattr__(self, \"total\", 3.0)\n"
+        )
+        assert "SAN003" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_plain_setattr_builtin_is_clean(self):
+        src = "def poke(view: object) -> None:\n    setattr(view, \"label\", \"x\")\n"
+        assert "SAN003" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_tests_area_is_exempt(self):
+        src = "def poke(view: object) -> None:\n    object.__setattr__(view, \"cpu\", 1.0)\n"
+        assert "SAN003" not in rules_of(lint_source(src, TESTS_PATH))
+
+
+# ----------------------------------------------------------------------
+# UNIT002 — unit-suffix dataflow
+# ----------------------------------------------------------------------
+class TestUnit002:
+    def test_flags_cross_unit_assignment(self):
+        src = "def f(size_mb: float) -> float:\n    rate_mbps = size_mb\n    return rate_mbps\n"
+        assert "UNIT002" in rules_of(lint_source(src, NETSIM_PATH))
+
+    def test_flags_cross_unit_keyword_argument(self):
+        src = "def f(send: object, size_mb: float) -> None:\n    send(rate_mbps=size_mb)\n"
+        assert "UNIT002" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_cross_unit_positional_to_local_function(self):
+        src = (
+            "def push(rate_mbps: float) -> None:\n    pass\n\n"
+            "def go(size_mb: float) -> None:\n    push(size_mb)\n"
+        )
+        assert "UNIT002" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_flags_cross_unit_arithmetic(self):
+        src = "def f(size_mb: float, rate_mbps: float) -> float:\n    return size_mb + rate_mbps\n"
+        assert "UNIT002" in rules_of(lint_source(src, CORE_PATH))
+
+    def test_flags_cores_vs_shares(self):
+        src = "def f(cpu_cores: float) -> float:\n    cpu_shares = cpu_cores\n    return cpu_shares\n"
+        assert "UNIT002" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_same_unit_flow_is_clean(self):
+        src = (
+            "def f(size_mb: float, extra_mb: float) -> float:\n"
+            "    total_mb = size_mb\n"
+            "    return total_mb + extra_mb\n"
+        )
+        assert "UNIT002" not in rules_of(lint_source(src, NETSIM_PATH))
+
+    def test_per_second_segments_are_neutral(self):
+        src = (
+            "def f(burst_mb: float) -> float:\n"
+            "    budget_mb_per_s = burst_mb\n"
+            "    return budget_mb_per_s\n"
+        )
+        assert "UNIT002" not in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_converted_values_are_clean(self):
+        src = (
+            "from repro.units import mb_to_mbit\n\n"
+            "def f(size_mb: float) -> float:\n"
+            "    rate_mbits = mb_to_mbit(size_mb)\n"
+            "    return rate_mbits\n"
+        )
+        assert "UNIT002" not in rules_of(lint_source(src, NETSIM_PATH))
+
+    def test_unsuffixed_names_are_clean(self):
+        src = "def f(amount: float) -> float:\n    rate_mbps = amount\n    return rate_mbps\n"
+        assert "UNIT002" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_units_module_is_exempt(self):
+        src = "def f(size_mb: float) -> float:\n    rate_mbps = size_mb\n    return rate_mbps\n"
+        assert "UNIT002" not in rules_of(lint_source(src, "src/repro/units.py"))
+
+
+# ----------------------------------------------------------------------
 # Suppression syntax
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -350,9 +518,20 @@ class TestEngine:
 
     def test_every_rule_has_id_and_summary(self):
         catalog = rule_catalog()
-        assert set(catalog) == {"DET001", "DET002", "DET003", "UNIT001", "API001", "OBS001"}
+        assert set(catalog) == {
+            "DET001",
+            "DET002",
+            "DET003",
+            "UNIT001",
+            "UNIT002",
+            "API001",
+            "OBS001",
+            "SAN001",
+            "SAN002",
+            "SAN003",
+        }
         assert all(summary for summary in catalog.values())
-        assert len(ALL_RULES) == 6
+        assert len(ALL_RULES) == 10
 
 
 class TestCli:

@@ -19,6 +19,7 @@ PUBLIC_MODULES = (
     "repro.platform",
     "repro.core",
     "repro.obs",
+    "repro.sanitizer",
     "repro.telemetry",
     "repro.workloads",
     "repro.metrics",
