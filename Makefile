@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint test test-simsan bench bench-full profile telemetry-check sanitize reproduce examples clean
+.PHONY: install lint test test-simsan bench bench-full profile telemetry-check sanitize sweep-check reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -50,6 +50,13 @@ telemetry-check:
 # and measures the sanitizer-off overhead.  Uploaded as a CI artifact.
 sanitize:
 	PYTHONPATH=src python -m repro.sanitizer.check --out BENCH_sanitizer_report.json
+
+# Parallel-sweep end-to-end probe (docs/parallel.md): asserts a probe sweep
+# is byte-identical serial vs parallel, exercises the shard cache
+# (cold/warm/version-invalidation), and times the serial-vs-parallel
+# speedup.  Uploaded as a CI artifact.
+sweep-check:
+	PYTHONPATH=src python -m repro.parallel.check --out BENCH_sweep_parallel.json --jobs 2
 
 reproduce:
 	hyscale-repro reproduce

@@ -40,7 +40,8 @@ from repro.core import (
     resolve_policy,
 )
 from repro.errors import ReproError
-from repro.experiments.runner import Simulation, run_experiment
+from repro.experiments.runner import Simulation, run_experiment  # lint: disable=API002(back-compat re-export of the deprecated shim)
+from repro.experiments.spec import RunSpec, SweepSpec
 from repro.metrics import (
     MetricsCollector,
     RunSummary,
@@ -51,6 +52,7 @@ from repro.metrics import (
     evaluate_sla,
 )
 from repro.obs import DecisionTracer, NullTracer, PhaseProfiler, Tracer
+from repro.parallel import ShardCache, ShardError, SweepExecutor, SweepResult
 from repro.sanitizer import (
     NULL_SANITIZER,
     NullSanitizer,
@@ -91,6 +93,13 @@ __all__ = [
     # running experiments
     "Simulation",
     "run_experiment",
+    "RunSpec",
+    "SweepSpec",
+    # parallel sweeps
+    "SweepExecutor",
+    "SweepResult",
+    "ShardCache",
+    "ShardError",
     # metrics
     "MetricsCollector",
     "RunSummary",

@@ -1,6 +1,6 @@
 """Cross-run analysis: speedups, crossovers, and multi-run comparison."""
 
-from repro.analysis.compare import ComparisonReport, compare_runs
+from repro.analysis.compare import ComparisonReport, compare_runs, compare_sweep
 from repro.analysis.stats import SeedAggregate, multi_seed, ordering_holds
 from repro.analysis.timeline import allocation_efficiency, render_timeline, sparkline
 from repro.analysis.speedup import (
@@ -17,6 +17,7 @@ __all__ = [
     "crossover_replicas",
     "ComparisonReport",
     "compare_runs",
+    "compare_sweep",
     "sparkline",
     "render_timeline",
     "allocation_efficiency",

@@ -8,11 +8,15 @@ reductions, availability floor) plus a printable table.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.speedup import failure_reduction, response_speedup
 from repro.errors import ExperimentError
 from repro.experiments.report import comparison_table
 from repro.metrics.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.parallel.result import SweepResult
 
 
 @dataclass(frozen=True)
@@ -66,3 +70,18 @@ def compare_runs(workload: str, summaries: dict[str, RunSummary], baseline: str 
     if len(labels) > 1:
         raise ExperimentError(f"runs come from different workloads: {sorted(labels)}")
     return ComparisonReport(workload=workload, summaries=dict(summaries), baseline=baseline)
+
+
+def compare_sweep(result: SweepResult, baseline: str = "kubernetes") -> dict[str, ComparisonReport]:
+    """One :class:`ComparisonReport` per workload label of a sweep result.
+
+    Groups the shards of a :class:`~repro.parallel.SweepResult` by workload
+    label and compares the algorithms within each group.  A group that does
+    not contain ``baseline`` (e.g. an extensions-only sweep) falls back to
+    its first algorithm in shard order, so the report still renders.
+    """
+    reports: dict[str, ComparisonReport] = {}
+    for label, runs in result.by_label().items():
+        group_baseline = baseline if baseline in runs else next(iter(runs))
+        reports[label] = compare_runs(label, runs, baseline=group_baseline)
+    return reports

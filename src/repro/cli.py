@@ -12,7 +12,7 @@ Examples::
     hyscale-repro run cpu --algorithms hybrid --trace-out t.jsonl
     hyscale-repro explain t.jsonl --actions-only # why did each action fire?
     hyscale-repro profile --workload cpu --json BENCH_phase_profile.json
-    hyscale-repro reproduce                      # the whole evaluation matrix
+    hyscale-repro reproduce --jobs 4 --cache-dir .sweep-cache  # parallel + resumable
     hyscale-repro section3 --which network
     hyscale-repro trace --vms 50 --duration 600
     hyscale-repro lint                           # determinism & invariant linter
@@ -25,8 +25,13 @@ import argparse
 import sys
 
 from repro.analysis.compare import compare_runs
-from repro.experiments import bitbrains, cpu_bound, disk_bound, memory_bound, mixed, network_bound
-from repro.experiments.configs import ALGORITHMS, BURSTS, EXTENSION_ALGORITHMS, ExperimentSpec
+from repro.experiments.configs import (
+    ALGORITHMS,
+    BURSTS,
+    EXTENSION_ALGORITHMS,
+    WORKLOAD_FACTORIES,
+    ExperimentSpec,
+)
 from repro.experiments.report import (
     memory_table,
     scaling_curve_table,
@@ -37,17 +42,12 @@ from repro.experiments.section3 import (
     memory_scaling_table,
     network_scaling_curve,
 )
+from repro.experiments.spec import SEED_MODES, RunSpec
 from repro.workloads.bitbrains import generate_bitbrains_trace
 
-#: Workload name -> (factory, takes_burst)
-WORKLOADS = {
-    "cpu": (cpu_bound, True),
-    "memory": (memory_bound, True),
-    "mixed": (mixed, True),
-    "network": (network_bound, True),
-    "disk": (disk_bound, True),
-    "bitbrains": (bitbrains, False),
-}
+#: Workload name -> (factory, takes_burst); the single registry shared with
+#: :meth:`SweepSpec.from_grid` (kept under its historic CLI name).
+WORKLOADS = WORKLOAD_FACTORIES
 
 #: Every runnable algorithm: the paper's four plus extensions.
 ALL_POLICY_NAMES = ALGORITHMS + EXTENSION_ALGORITHMS
@@ -76,6 +76,14 @@ def _trace_path(base: str, algorithm: str, multiple: bool) -> str:
     return f"{root}.{algorithm}.{ext}"
 
 
+def _run_progress(shard: RunSpec, status: str) -> None:
+    """Shard progress for ``run``/sweep paths, mirroring the serial banner."""
+    if status == "running":
+        print(f"running {shard.label} under {shard.policy} ...", file=sys.stderr)
+    elif status == "cached":
+        print(f"running {shard.label} under {shard.policy} ... (cached)", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _build_spec(args.workload, args.burst, args.seed)
     summaries = {}
@@ -84,9 +92,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     wants_metrics = bool(args.metrics_out or args.openmetrics_out)
     needs_simulation = args.costs or args.events > 0 or args.trace_out or wants_metrics
     multiple = len(args.algorithms) > 1
-    for algorithm in args.algorithms:
-        print(f"running {spec.label} under {algorithm} ...", file=sys.stderr)
-        if needs_simulation:
+    if needs_simulation:
+        # Observation plumbing (traces, cost ledgers, live registries)
+        # needs the Simulation object in-process, so this path stays
+        # serial; the plain comparison path below fans out.
+        for algorithm in args.algorithms:
+            print(f"running {spec.label} under {algorithm} ...", file=sys.stderr)
             from repro.experiments.runner import Simulation
             from repro.obs import NULL_TRACER, DecisionTracer, write_trace_jsonl
 
@@ -141,8 +152,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 cost_reports[algorithm] = evaluate_costs(simulation.collector, sla)
             if args.events > 0:
                 event_logs[algorithm] = simulation.collector.events
-        else:
-            summaries[algorithm] = spec.run(algorithm)
+    else:
+        sweep = spec.to_sweep(tuple(args.algorithms), seed_mode=args.seed_mode)
+        result = sweep.run(
+            parallel=args.jobs, cache_dir=args.cache_dir, progress=_run_progress
+        )
+        summaries = dict(zip(args.algorithms, result.summaries))
     # When the requested baseline was not among the runs (e.g. a single
     # non-baseline algorithm), fall back to the first run so the table
     # still renders.
@@ -372,6 +387,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         seed=args.seed,
         figures=figures,
         progress=lambda msg: print(f"running {msg} ...", file=sys.stderr),
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     print(render_reproduction(result))
     return 0
@@ -442,6 +459,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream telemetry during the run and write the final OpenMetrics "
         "exposition text (per-algorithm suffix when several algorithms run)",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the sweep (default 1; results are "
+        "byte-identical for any N)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed shard cache; completed runs are reused "
+        "on the next invocation (resumable sweeps)",
+    )
+    run.add_argument(
+        "--seed-mode",
+        choices=SEED_MODES,
+        default="shared",
+        help="'shared' replays the identical arrival sequence under every "
+        "algorithm (the paper's method, default); 'per_shard' derives an "
+        "independent stream per (workload, algorithm) shard",
+    )
     run.set_defaults(func=_cmd_run)
 
     top = sub.add_parser(
@@ -510,6 +550,21 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=("fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b", "fig10"),
         help="restrict to specific figures (default: all)",
+    )
+    rep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the evaluation matrix (default 1; "
+        "results are byte-identical for any N)",
+    )
+    rep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed shard cache; an interrupted reproduction "
+        "resumes from the completed shards",
     )
     rep.set_defaults(func=_cmd_reproduce)
 

@@ -12,7 +12,13 @@ from repro.experiments.configs import (
     mixed,
     network_bound,
 )
-from repro.experiments.runner import Simulation, run_experiment
+from repro.experiments.runner import Simulation, run_experiment  # lint: disable=API002(back-compat re-export of the deprecated shim)
+from repro.experiments.spec import (
+    SWEEP_SCHEMA,
+    RunSpec,
+    SweepSpec,
+    derive_shard_seed,
+)
 from repro.experiments.suite import (
     ReproductionResult,
     render_reproduction,
@@ -23,6 +29,10 @@ __all__ = [
     "ExperimentSpec",
     "Simulation",
     "run_experiment",
+    "RunSpec",
+    "SweepSpec",
+    "derive_shard_seed",
+    "SWEEP_SCHEMA",
     "make_policy",
     "cpu_bound",
     "memory_bound",

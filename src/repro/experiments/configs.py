@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.cluster.microservice import MicroserviceSpec
 from repro.config import ClusterConfig, SimulationConfig
@@ -29,7 +30,7 @@ from repro.core.registry import (
     resolve_policy,
 )
 from repro.errors import ExperimentError
-from repro.experiments.runner import run_experiment
+from repro.experiments.spec import SEED_MODES, RunSpec, SweepSpec, derive_shard_seed
 from repro.metrics.summary import RunSummary
 from repro.workloads.bitbrains import bitbrains_service_loads, generate_bitbrains_trace
 from repro.workloads.generator import ServiceLoad
@@ -50,6 +51,7 @@ __all__ = [
     "ALGORITHMS",
     "EXTENSION_ALGORITHMS",
     "BURSTS",
+    "WORKLOAD_FACTORIES",
     "ExperimentSpec",
     "Scale",
     "full_scale",
@@ -110,20 +112,97 @@ class ExperimentSpec:
     loads: tuple[ServiceLoad, ...]
     duration: float
 
+    def to_run_spec(
+        self,
+        policy: str,
+        *,
+        seed: int | None = None,
+        duration: float | None = None,
+    ) -> RunSpec:
+        """This cell as a canonical :class:`~repro.experiments.spec.RunSpec`.
+
+        ``seed`` defaults to the cell's own config seed (the "shared"
+        derivation); ``duration`` defaults to the cell's full duration.
+        """
+        return RunSpec(
+            label=self.label,
+            policy=policy,
+            seed=self.config.seed if seed is None else seed,
+            duration=self.duration if duration is None else duration,
+            config=self.config,
+            fleet=self.specs,
+            loads=self.loads,
+        )
+
+    def to_sweep(
+        self,
+        algorithms: tuple[str, ...] = ALGORITHMS,
+        *,
+        seed_mode: str = "per_shard",
+    ) -> SweepSpec:
+        """This cell fanned out over ``algorithms`` as a sweep.
+
+        ``seed_mode`` follows the spec codec's documented derivations:
+        ``"per_shard"`` draws an independent seed per algorithm from this
+        cell's base seed via :func:`~repro.experiments.spec.derive_shard_seed`;
+        ``"shared"`` replays the identical arrival sequence under every
+        algorithm (the paper's like-for-like method, and the historic
+        ``run_all`` behaviour).
+        """
+        if seed_mode not in SEED_MODES:
+            raise ExperimentError(f"seed_mode must be one of {SEED_MODES}, got {seed_mode!r}")
+        base = self.config.seed
+        shards = tuple(
+            self.to_run_spec(
+                name,
+                seed=base
+                if seed_mode == "shared"
+                else derive_shard_seed(base, f"{self.label}/{name}"),
+            )
+            for name in algorithms
+        )
+        return SweepSpec(shards=shards, seed_mode=seed_mode)
+
     def run(self, policy: AutoscalingPolicy | str) -> RunSummary:
-        """Run this experiment under one algorithm (object or name)."""
-        return run_experiment(
+        """Run this experiment under one algorithm (object or name).
+
+        Registered names route through the canonical spec layer; policy
+        *objects* cannot be serialised into a spec, so they are wired
+        directly into a :class:`~repro.experiments.runner.Simulation`.
+        """
+        if isinstance(policy, str):
+            return self.to_run_spec(policy).run()
+        from repro.experiments.runner import Simulation
+
+        simulation = Simulation.build(
             config=self.config,
             specs=list(self.specs),
             loads=list(self.loads),
             policy=resolve_policy(policy, self.config),
-            duration=self.duration,
             workload_label=self.label,
         )
+        return simulation.run(self.duration)
 
-    def run_all(self, algorithms: tuple[str, ...] = ALGORITHMS) -> dict[str, RunSummary]:
-        """Run the same workload under every algorithm (the paper's method)."""
-        return {name: self.run(name) for name in algorithms}
+    def run_all(
+        self,
+        algorithms: tuple[str, ...] = ALGORITHMS,
+        *,
+        seed_mode: str = "per_shard",
+        parallel: int = 1,
+        cache_dir: str | None = None,
+    ) -> dict[str, RunSummary]:
+        """Run the same workload under every algorithm, keyed by name.
+
+        Each algorithm now gets its own derived seed by default (the old
+        behaviour silently replayed one seed everywhere; pass
+        ``seed_mode="shared"`` for that bit-compatible like-for-like
+        replay).  ``parallel``/``cache_dir`` are forwarded to
+        :meth:`~repro.experiments.spec.SweepSpec.run`.
+        """
+        result = self.to_sweep(algorithms, seed_mode=seed_mode).run(
+            parallel=parallel, cache_dir=cache_dir
+        )
+        return dict(zip(algorithms, result.summaries))
 
 
 # ----------------------------------------------------------------------
@@ -290,3 +369,16 @@ def bitbrains(seed: int = 0) -> ExperimentSpec:
         loads=tuple(loads),
         duration=scale.duration,
     )
+
+
+#: Workload name -> (factory, takes_burst).  The single registry behind the
+#: CLI's ``run`` verb and :meth:`SweepSpec.from_grid` — one spelling of the
+#: evaluation matrix instead of three.
+WORKLOAD_FACTORIES: dict[str, tuple[Callable[..., ExperimentSpec], bool]] = {
+    "cpu": (cpu_bound, True),
+    "memory": (memory_bound, True),
+    "mixed": (mixed, True),
+    "network": (network_bound, True),
+    "disk": (disk_bound, True),
+    "bitbrains": (bitbrains, False),
+}

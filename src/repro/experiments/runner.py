@@ -17,6 +17,7 @@ auditable and deterministic.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
@@ -360,7 +361,45 @@ def run_experiment(
     slo: SloTracker | None = None,
     sanitizer: Sanitizer = NULL_SANITIZER,
 ) -> RunSummary:
-    """Convenience one-shot: build a :class:`Simulation` and run it."""
+    """Deprecated one-shot: build a :class:`Simulation` and run it.
+
+    This signature is the old spelling of what
+    :class:`repro.experiments.spec.RunSpec` now describes canonically;
+    it survives as a thin shim that forwards *exactly* (same defaults,
+    same semantics, pinned in tests).  Prefer::
+
+        RunSpec(label=..., policy="hybrid", seed=..., duration=...,
+                config=..., fleet=..., loads=...).run()
+
+    Registered policy names route through the spec layer; policy
+    *objects* cannot be canonicalised and keep the direct build path.
+    """
+    warnings.warn(
+        "run_experiment() is deprecated; describe the run with a "
+        "repro.experiments.spec.RunSpec and call .run() (see docs/parallel.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if isinstance(policy, str):
+        from repro.experiments.spec import RunSpec
+
+        return RunSpec(
+            label=workload_label,
+            policy=policy,
+            seed=config.seed,
+            duration=duration,
+            config=config,
+            fleet=tuple(specs),
+            loads=tuple(loads),
+            routing=routing,
+        ).run(
+            placement=placement,
+            tracer=tracer,
+            profiler=profiler,
+            telemetry=telemetry,
+            slo=slo,
+            sanitizer=sanitizer,
+        )
     simulation = Simulation.build(
         config=config,
         specs=specs,

@@ -17,6 +17,7 @@ from typing import Callable
 from repro.analysis.speedup import response_speedup
 from repro.experiments.configs import bitbrains, cpu_bound, mixed, network_bound
 from repro.experiments.report import comparison_table, scaling_curve_table
+from repro.experiments.spec import RunSpec, SweepSpec
 from repro.experiments.section3 import (
     ScalingPoint,
     cpu_scaling_curve,
@@ -71,23 +72,46 @@ def reproduce_evaluation(
     seed: int = 0,
     figures: tuple[str, ...] | None = None,
     progress: Callable[[str], None] | None = None,
+    *,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> ReproductionResult:
-    """Run the paper's evaluation matrix (or a subset of figure ids)."""
+    """Run the paper's evaluation matrix (or a subset of figure ids).
+
+    The matrix is assembled into one :class:`SweepSpec` (seed mode
+    ``"shared"`` — the paper replays the identical arrival sequence under
+    every algorithm) and executed by the parallel sweep executor:
+    ``jobs`` worker processes, optionally resumable via the
+    content-addressed shard cache at ``cache_dir``.  Results are
+    byte-identical for any ``jobs``.
+    """
     selected = figures or tuple(FIGURES)
     unknown = set(selected) - set(FIGURES)
     if unknown:
         raise KeyError(f"unknown figure ids: {sorted(unknown)}; known: {sorted(FIGURES)}")
 
-    results: dict[str, dict[str, RunSummary]] = {}
+    shards: list[RunSpec] = []
+    figure_of: dict[str, str] = {}
     for figure in selected:
         factory, algorithms = FIGURES[figure]
         spec = factory(seed)
-        runs = {}
         for algorithm in algorithms:
-            if progress:
-                progress(f"{figure}: {spec.label} under {algorithm}")
-            runs[algorithm] = spec.run(algorithm)
-        results[figure] = runs
+            shard = spec.to_run_spec(algorithm)
+            shards.append(shard)
+            figure_of[shard.key] = figure
+
+    def _report(shard: RunSpec, status: str) -> None:
+        if progress is None or status == "done":
+            return
+        suffix = " (cached)" if status == "cached" else ""
+        progress(f"{figure_of[shard.key]}: {shard.label} under {shard.policy}{suffix}")
+
+    sweep = SweepSpec(shards=tuple(shards), seed_mode="shared")
+    outcome = sweep.run(parallel=jobs, cache_dir=cache_dir, progress=_report)
+
+    results: dict[str, dict[str, RunSummary]] = {figure: {} for figure in selected}
+    for shard, summary in outcome.shards():
+        results[figure_of[shard.key]][shard.policy] = summary
 
     if progress:
         progress("fig2: CPU horizontal scaling curve")

@@ -1,0 +1,36 @@
+"""Parallel sweep execution: process pools, shard caching, resumability.
+
+The executor shards a :class:`~repro.experiments.spec.SweepSpec` into
+independent ``(workload, burst, algorithm, seed)`` runs, executes them on
+a :class:`concurrent.futures.ProcessPoolExecutor`, and merges results in
+spec order — so a parallel sweep is byte-identical to a serial one.  The
+content-addressed :class:`ShardCache` (key = sha256 of the canonical
+``repro.sweep/1`` RunSpec JSON + code-version tag) makes interrupted
+sweeps resumable: only the missing shards re-run.
+
+Quickstart::
+
+    from repro import SweepSpec
+
+    sweep = SweepSpec.from_grid(("cpu", "network"), algorithms=("kubernetes", "hybrid"))
+    result = sweep.run(parallel=4, cache_dir=".sweep-cache")
+    for spec, summary in result.shards():
+        print(spec.key, summary.as_row())
+
+See ``docs/parallel.md`` for the executor model, the determinism
+contract, and the cache keying rules.
+"""
+
+from repro.parallel.cache import CODE_VERSION, ShardCache
+from repro.parallel.executor import ShardError, SweepExecutor
+from repro.parallel.result import SweepResult
+from repro.parallel.worker import run_shard_payload
+
+__all__ = [
+    "SweepExecutor",
+    "SweepResult",
+    "ShardCache",
+    "ShardError",
+    "CODE_VERSION",
+    "run_shard_payload",
+]

@@ -1,0 +1,112 @@
+"""Content-addressed shard cache: what makes sweeps resumable.
+
+A shard's cache key is ``sha256(canonical RunSpec JSON + "\\n" +
+code-version tag)``.  The spec JSON captures everything that determines
+the result (config, fleet, loads, policy name, seed, duration, routing);
+the code-version tag invalidates every entry when the simulator's
+behaviour changes.  Nothing else may enter the key — observation knobs
+never affect results, so they never affect keys.
+
+Entries are single JSON files named ``<key>.json`` under the cache root,
+written atomically (temp file + ``os.replace``) so an interrupted sweep
+never leaves a torn entry behind — re-running with the same ``--cache-dir``
+skips every completed shard and executes only the missing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.spec import RunSpec
+
+#: Behaviour tag mixed into every cache key.  Bump whenever a change could
+#: alter any run's results (engine semantics, overhead model, policies,
+#: codec shape) — stale entries then miss instead of lying.
+CODE_VERSION = "hyscale-repro/1.0.0"
+
+#: Schema tag of the cache-entry file format.
+CACHE_SCHEMA = "repro.sweep-cache/1"
+
+
+class ShardCache:
+    """Filesystem cache of completed shard results.
+
+    Purely advisory: a load miss (absent, torn, schema-mismatched, or
+    written by another code version) simply means the shard runs again.
+    """
+
+    def __init__(self, root: str | Path, *, code_version: str = CODE_VERSION):
+        self.root = Path(root)
+        self.code_version = code_version
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, spec: "RunSpec") -> str:
+        """The shard's content address (hex sha256)."""
+        material = spec.canonical_json() + "\n" + self.code_version
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, spec: "RunSpec") -> Path:
+        """Where the shard's entry lives (whether or not it exists yet)."""
+        return self.root / f"{self.key_for(spec)}.json"
+
+    def load(self, spec: "RunSpec", *, need_telemetry: bool = False) -> dict | None:
+        """Return the cached worker envelope for ``spec``, or ``None``.
+
+        An entry recorded without telemetry does not satisfy a request
+        *with* telemetry (and is treated as a miss so the shard re-runs
+        and re-stores with the snapshot included).
+        """
+        path = self.path_for(spec)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not self._entry_valid(entry, spec):
+            self.misses += 1
+            return None
+        if need_telemetry and entry.get("telemetry") is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return {"ok": True, "summary": entry["summary"], "telemetry": entry.get("telemetry")}
+
+    def store(self, spec: "RunSpec", result: dict) -> Path:
+        """Persist a successful worker envelope for ``spec`` atomically."""
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "code_version": self.code_version,
+            "key": self.key_for(spec),
+            "spec": spec.to_dict(),
+            "summary": result["summary"],
+            "telemetry": result.get("telemetry"),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def _entry_valid(self, entry: Any, spec: "RunSpec") -> bool:
+        if not isinstance(entry, dict):
+            return False
+        if entry.get("schema") != CACHE_SCHEMA:
+            return False
+        if entry.get("code_version") != self.code_version:
+            return False
+        # Paranoia against sha collisions and hand-edited files: the stored
+        # spec must match the requested one byte-for-byte.
+        stored = entry.get("spec")
+        if stored is None:
+            return False
+        canonical = json.dumps(stored, sort_keys=True, separators=(",", ":"))
+        return canonical == spec.canonical_json() and "summary" in entry

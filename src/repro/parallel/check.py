@@ -1,0 +1,158 @@
+"""Self-contained sweep-executor validation (``make sweep-check``).
+
+Builds a small 2-workload x 2-burst x 2-algorithm sweep and checks the
+parallel contract end to end:
+
+1. a ``--jobs N`` run is **byte-identical** to the serial run — same
+   summaries, same canonical result JSON, same merged telemetry snapshot,
+2. a second run against the same ``--cache-dir`` is satisfied entirely
+   from the shard cache and still byte-identical,
+3. bumping the cache's code-version tag invalidates every entry (the
+   resumability key includes simulator behaviour, not just inputs),
+4. wall-clock speedup of parallel over serial is measured and recorded;
+   the ``>= 2x at 4 jobs`` acceptance threshold is only *asserted* when
+   the host actually has >= 4 CPUs (on smaller hosts the measurement is
+   still recorded, with ``speedup_ok: null``).
+
+Writes a machine-readable report (default ``BENCH_sweep_parallel.json``
+— uploaded as a CI artifact next to the other BENCH files).  Exits
+non-zero on any failed check.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.parallel.check --out BENCH_sweep_parallel.json --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+# A *reference* to the profiler's timer (never a module-level wall-clock
+# call): timing here measures harness speedup, not simulated behaviour.
+from repro.experiments.spec import SweepSpec
+from repro.obs.profiler import DEFAULT_TIMER
+
+#: Simulated seconds per shard in the identity probe (small on purpose).
+CHECK_DURATION = 60.0
+
+#: Simulated seconds per shard in the timing probe (large enough that the
+#: pool's fork/IPC overhead does not swamp the speedup signal).
+BENCH_DURATION = 240.0
+
+#: Wall-clock speedup the acceptance criterion demands at >= 4 CPUs.
+SPEEDUP_THRESHOLD = 2.0
+
+
+def _probe_sweep(duration: float) -> SweepSpec:
+    return SweepSpec.from_grid(
+        ("cpu", "network"),
+        bursts=("low", "high"),
+        algorithms=("kubernetes", "hybrid"),
+        duration=duration,
+    )
+
+
+def run_check(out: Path, jobs: int, bench_jobs: int) -> int:
+    """Run the probes, validate, write the report; returns exit code."""
+    from repro.parallel.cache import ShardCache
+
+    sweep = _probe_sweep(CHECK_DURATION)
+    checks: dict[str, bool] = {}
+
+    serial = sweep.run(parallel=1, telemetry=True)
+    parallel = sweep.run(parallel=jobs, telemetry=True)
+    checks["parallel_summaries_identical"] = parallel.summaries == serial.summaries
+    checks["parallel_json_identical"] = parallel.to_json() == serial.to_json()
+    checks["parallel_telemetry_identical"] = (
+        parallel.telemetry_lines() == serial.telemetry_lines()
+    )
+
+    with tempfile.TemporaryDirectory(prefix="sweep-cache-") as tmp:
+        first = sweep.run(parallel=jobs, cache_dir=tmp, telemetry=True)
+        second = sweep.run(parallel=jobs, cache_dir=tmp, telemetry=True)
+        checks["cache_cold_run_misses"] = first.cache_hits == 0
+        checks["cache_warm_run_all_hits"] = second.cache_hits == len(sweep)
+        # Identity of *results*: the cached-provenance flags rightly differ
+        # between the cold and warm runs, everything else must not.
+        cold_doc, warm_doc = first.to_dict(), second.to_dict()
+        cold_doc.pop("cached"), warm_doc.pop("cached")
+        checks["cache_result_identical"] = warm_doc == cold_doc
+        bumped = ShardCache(tmp, code_version="sweep-check/other-version")
+        stale = all(
+            bumped.load(shard, need_telemetry=True) is None for shard in sweep.shards
+        )
+        checks["cache_code_version_invalidates"] = stale
+
+    cpu_count = os.cpu_count() or 1
+    bench = _probe_sweep(BENCH_DURATION)
+    started = DEFAULT_TIMER()
+    bench.run(parallel=1)
+    serial_seconds = DEFAULT_TIMER() - started
+    started = DEFAULT_TIMER()
+    bench.run(parallel=bench_jobs)
+    parallel_seconds = DEFAULT_TIMER() - started
+    speedup = (serial_seconds / parallel_seconds) if parallel_seconds > 0 else float("inf")
+    # Speedup is only a hard gate where the hardware can deliver it.
+    speedup_ok: bool | None = None
+    if cpu_count >= 4 and bench_jobs >= 4:
+        speedup_ok = speedup >= SPEEDUP_THRESHOLD
+        checks["speedup_at_least_2x"] = speedup_ok
+
+    report = {
+        "schema": "repro.sweep-check/1",
+        "shards": len(sweep),
+        "jobs": jobs,
+        "bench_jobs": bench_jobs,
+        "cpu_count": cpu_count,
+        "check_duration": CHECK_DURATION,
+        "bench_duration": BENCH_DURATION,
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "speedup": round(speedup, 4),
+        "speedup_ok": speedup_ok,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    for name, passed in sorted(checks.items()):
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+    print(
+        f"sweep-check: {len(sweep)} shards, {jobs} jobs identical to serial, "
+        f"x{report['speedup']} at {bench_jobs} jobs on {cpu_count} CPU(s) -> {out}"
+    )
+    return 0 if report["ok"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.parallel.check``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_sweep_parallel.json"),
+        help="report path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes for the identity probe (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--bench-jobs",
+        type=int,
+        default=4,
+        help="worker processes for the timing probe (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    return run_check(args.out, args.jobs, args.bench_jobs)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

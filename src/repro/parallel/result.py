@@ -1,0 +1,148 @@
+"""Merged sweep results, in shard order.
+
+A :class:`SweepResult` pairs the sweep's spec with one
+:class:`~repro.metrics.summary.RunSummary` per shard (same order), which
+shards came from the cache, and — when telemetry was collected — each
+shard's canonical metric-snapshot lines.  Because the executor merges in
+spec order regardless of completion order, everything here (including
+:meth:`to_json`) is byte-identical between serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ExperimentError
+from repro.experiments.spec import SWEEP_SCHEMA, RunSpec, SweepSpec
+from repro.metrics.summary import RunSummary
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one sweep produced, merged deterministically."""
+
+    sweep: SweepSpec
+    summaries: tuple[RunSummary, ...]
+    #: Per shard: ``True`` when the result came from the shard cache.
+    cached: tuple[bool, ...] = ()
+    #: Per shard: canonical telemetry snapshot lines (empty tuple when the
+    #: sweep ran without telemetry collection).
+    telemetry: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.summaries) != len(self.sweep.shards):
+            raise ExperimentError(
+                f"sweep has {len(self.sweep.shards)} shards but {len(self.summaries)} summaries"
+            )
+        if not self.cached:
+            object.__setattr__(self, "cached", tuple(False for _ in self.summaries))
+        if len(self.cached) != len(self.summaries):
+            raise ExperimentError("cached flags must match the shard count")
+        if self.telemetry and len(self.telemetry) != len(self.summaries):
+            raise ExperimentError("telemetry snapshots must match the shard count")
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many shards were satisfied from the cache."""
+        return sum(1 for hit in self.cached if hit)
+
+    def shards(self) -> tuple[tuple[RunSpec, RunSummary], ...]:
+        """``(spec, summary)`` pairs in execution order."""
+        return tuple(zip(self.sweep.shards, self.summaries))
+
+    def by_key(self) -> dict[str, RunSummary]:
+        """Summaries keyed by :attr:`RunSpec.key` (always unique)."""
+        return {spec.key: summary for spec, summary in self.shards()}
+
+    def by_label(self) -> dict[str, dict[str, RunSummary]]:
+        """Summaries grouped ``workload label -> algorithm -> summary``.
+
+        The grouping the comparison tables want; raises if one label ran
+        the same algorithm twice (e.g. a multi-seed sweep — use
+        :meth:`by_key` there, the grouping would be ambiguous).
+        """
+        grouped: dict[str, dict[str, RunSummary]] = {}
+        for spec, summary in self.shards():
+            per_label = grouped.setdefault(spec.label, {})
+            if spec.policy in per_label:
+                raise ExperimentError(
+                    f"label {spec.label!r} ran {spec.policy!r} more than once; "
+                    "group by_key() for multi-seed sweeps"
+                )
+            per_label[spec.policy] = summary
+        return grouped
+
+    def by_policy(self) -> dict[str, RunSummary]:
+        """Summaries keyed by algorithm, for single-workload sweeps."""
+        grouped = self.by_label()
+        if len(grouped) != 1:
+            raise ExperimentError(
+                f"by_policy() needs a single-workload sweep, got labels {sorted(grouped)}"
+            )
+        return next(iter(grouped.values()))
+
+    # -- telemetry -----------------------------------------------------
+    def telemetry_lines(self) -> list[str]:
+        """The sweep-level snapshot: every shard's lines, shard-stamped.
+
+        Each per-shard line is re-encoded canonically with an extra
+        ``"shard": <key>`` field (the telemetry parser tolerates extra
+        keys), concatenated in shard order.
+        """
+        merged: list[str] = []
+        for spec, lines in zip(self.sweep.shards, self.telemetry):
+            for line in lines:
+                payload = json.loads(line)
+                payload["shard"] = spec.key
+                merged.append(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+        return merged
+
+    def write_telemetry_jsonl(self, path: str | Path) -> int:
+        """Write the merged sweep snapshot; returns the line count."""
+        lines = self.telemetry_lines()
+        Path(path).write_text("\n".join(lines) + "\n" if lines else "", encoding="utf-8")
+        return len(lines)
+
+    # -- codec ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """This result as a ``repro.sweep/1`` document."""
+        return {
+            "schema": SWEEP_SCHEMA,
+            "kind": "sweep_result",
+            "sweep": self.sweep.to_dict(),
+            "summaries": [summary.to_dict() for summary in self.summaries],
+            "cached": list(self.cached),
+            "telemetry": [list(lines) for lines in self.telemetry],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """Decode a ``repro.sweep/1`` result document."""
+        schema = data.get("schema")
+        if schema != SWEEP_SCHEMA:
+            raise ExperimentError(f"unsupported spec schema {schema!r} (want {SWEEP_SCHEMA!r})")
+        if data.get("kind") != "sweep_result":
+            raise ExperimentError(f"expected a sweep_result document, got {data.get('kind')!r}")
+        return cls(
+            sweep=SweepSpec.from_dict(data["sweep"]),
+            summaries=tuple(RunSummary.from_dict(s) for s in data["summaries"]),
+            cached=tuple(bool(flag) for flag in data.get("cached", ())),
+            telemetry=tuple(tuple(lines) for lines in data.get("telemetry", ())),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted, compact) encoding — byte-identical across
+        serial and parallel executions of the same sweep."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+

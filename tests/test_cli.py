@@ -29,6 +29,21 @@ class TestParser:
         # The paper's five workloads plus the disk extension.
         assert set(WORKLOADS) == {"cpu", "memory", "mixed", "network", "disk", "bitbrains"}
 
+    def test_run_parallel_flag_defaults(self):
+        args = build_parser().parse_args(["run", "cpu"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.seed_mode == "shared"  # the paper's like-for-like replay
+
+    def test_reproduce_parallel_flag_defaults(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_run_rejects_unknown_seed_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "cpu", "--seed-mode", "lucky"])
+
 
 class TestCommands:
     def test_trace_command(self, capsys):
@@ -73,12 +88,49 @@ class TestCommands:
         assert "scaling events: hybrid" in out
         assert "decision mix:" in out
 
+    def test_run_parallel_jobs_match_serial(self, capsys, tmp_path):
+        serial_dump = tmp_path / "serial.json"
+        parallel_dump = tmp_path / "parallel.json"
+        base = ["run", "cpu", "--burst", "low", "--algorithms", "kubernetes", "hybrid"]
+        assert main(base + ["--json", str(serial_dump)]) == 0
+        assert main(base + ["--jobs", "2", "--json", str(parallel_dump)]) == 0
+        capsys.readouterr()
+        assert parallel_dump.read_text() == serial_dump.read_text()
+
+    def test_run_cache_dir_resumes(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = [
+            "run", "cpu", "--burst", "low", "--algorithms", "hybrid",
+            "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "(cached)" not in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "(cached)" in second.err
+        assert second.out == first.out  # same table from the cached shard
+
     def test_reproduce_single_figure(self, capsys):
         assert main(["reproduce", "--figures", "fig6b"]) == 0
         out = capsys.readouterr().out
         assert "fig6b" in out
         assert "Figure 2" in out  # section III curves always included
         assert "vs kubernetes" in out
+
+    def test_reproduce_with_jobs_and_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        argv = [
+            "reproduce", "--figures", "fig6a", "--jobs", "2",
+            "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "fig6a" in first.out
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "(cached)" in second.err
+        assert second.out == first.out
 
     def test_reproduce_rejects_unknown_figure(self):
         with pytest.raises(SystemExit):

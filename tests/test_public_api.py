@@ -25,6 +25,7 @@ PUBLIC_MODULES = (
     "repro.metrics",
     "repro.experiments",
     "repro.analysis",
+    "repro.parallel",
 )
 
 
@@ -85,6 +86,22 @@ def test_top_level_covers_the_decision_surface():
         "DecisionTracer",
         "PhaseProfiler",
         "resolve_policy",
+    ):
+        assert name in repro.__all__, f"repro.__all__ missing {name!r}"
+        assert hasattr(repro, name)
+
+
+def test_top_level_covers_the_sweep_surface():
+    """The run/sweep description and execution types are one import away."""
+    import repro
+
+    for name in (
+        "RunSpec",
+        "SweepSpec",
+        "SweepExecutor",
+        "SweepResult",
+        "ShardCache",
+        "ShardError",
     ):
         assert name in repro.__all__, f"repro.__all__ missing {name!r}"
         assert hasattr(repro, name)
