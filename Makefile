@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint test test-simsan bench bench-full profile telemetry-check sanitize sweep-check reproduce examples clean
+.PHONY: install lint analyze test test-simsan bench bench-full profile telemetry-check sanitize sweep-check reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,7 +16,15 @@ lint:
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed; skipping (pip install -e .[dev])"; fi
 
-test: lint
+# FlowLint (docs/dev-tooling.md): interprocedural call-graph & effect
+# analysis over src/repro — hot-path allocation rules, parallel-safety
+# rules, and the ranked repro.flow/1 allocation inventory.  Fails on any
+# violation not covered by .flowlint-baseline.json; the JSON report is
+# uploaded as a CI artifact.
+analyze:
+	PYTHONPATH=src python -m repro.devtools.flow --report BENCH_static_analysis.json
+
+test: lint analyze
 	pytest tests/
 
 # The sanitized lane: every Simulation built by the suite runs under the

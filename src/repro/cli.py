@@ -16,6 +16,7 @@ Examples::
     hyscale-repro section3 --which network
     hyscale-repro trace --vms 50 --duration 600
     hyscale-repro lint                           # determinism & invariant linter
+    hyscale-repro analyze                        # FlowLint interprocedural analysis
     hyscale-repro sanitize                       # SimSan runtime-invariant probe
 """
 
@@ -368,7 +369,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--root", args.root]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.flow:
+        argv += ["--flow"]
     return lint_main(argv)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.flow.analyze import main as analyze_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.root is not None:
+        argv += ["--root", args.root]
+    if args.report is not None:
+        argv += ["--report", args.report]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline"]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return analyze_main(argv)
 
 
 def _cmd_sanitize(args: argparse.Namespace) -> int:
@@ -591,7 +613,47 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--root", default=None, help="repository root for rule scoping")
     lint.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    lint.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural FlowLint rules (see `analyze`)",
+    )
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run FlowLint: interprocedural call-graph, hot-path, and "
+        "parallel-safety analysis (rules in docs/dev-tooling.md)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument("--root", default=None, help="repository root for logical paths")
+    analyze.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="also write the canonical repro.flow/1 JSON report to FILE",
+    )
+    analyze.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file (default: <root>/.flowlint-baseline.json when present)",
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true", help="print the flow rule catalogue"
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     sanitize = sub.add_parser(
         "sanitize",

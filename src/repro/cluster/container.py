@@ -27,6 +27,11 @@ from repro.workloads.requests import FailureReason, Request, RequestState
 _container_seq = itertools.count(1)
 
 
+def _fallback_container_id(service: str, replica_index: int) -> str:
+    """Mint a process-global fallback id (ad-hoc containers only)."""
+    return f"{service}.r{replica_index}.c{next(_container_seq)}"
+
+
 class ContainerState(enum.Enum):
     """Container lifecycle, matching the simulated daemon's view."""
 
@@ -67,7 +72,7 @@ class Container:
         # Simulation paths pass an id allocated by the run's Cluster so that
         # ids are a pure function of the run (the process-global fallback is
         # only for ad-hoc containers built in tests and microbenchmarks).
-        self.container_id = container_id or f"{service}.r{replica_index}.c{next(_container_seq)}"
+        self.container_id = container_id or _fallback_container_id(service, replica_index)
         self.service = service
         self.replica_index = replica_index
         self.created_at = created_at

@@ -87,7 +87,9 @@ class ElasticDockerPolicy(AutoscalingPolicy):
     def _adjust(self, replica: ReplicaView, ledger: NodeLedger, now: float) -> list[ScalingAction]:
         cpu_util = replica.cpu_utilization
         mem_util = replica.mem_utilization
-        if self.tracer.enabled:
+        # Resolved once: this runs per replica per step (HOT003).
+        tracing = self.tracer.enabled
+        if tracing:
             for metric, util in (("cpu", cpu_util), ("memory", mem_util)):
                 verdict = (
                     "grow" if util > self.high_watermark
@@ -128,7 +130,7 @@ class ElasticDockerPolicy(AutoscalingPolicy):
             shrink_mem = max(0.0, replica.mem_limit - wanted_mem)
             if shrink_cpu > 0 or shrink_mem > 0:
                 ledger.release(replica.node, ResourceVector(cpu=shrink_cpu, memory=shrink_mem))
-            if self.tracer.enabled:
+            if tracing:
                 self._record_adjust(
                     replica, "elastic", cpu_util, mem_util, wanted_cpu, wanted_mem
                 )
@@ -177,7 +179,7 @@ class ElasticDockerPolicy(AutoscalingPolicy):
                     memory=capped_mem - replica.mem_limit,
                 ),
             )
-            if self.tracer.enabled:
+            if tracing:
                 self._record_adjust(
                     replica, "elastic-capped", cpu_util, mem_util, capped_cpu, capped_mem
                 )
@@ -200,7 +202,7 @@ class ElasticDockerPolicy(AutoscalingPolicy):
             ledger.available(target)
         )
         ledger.plan_placement(target, replica.service, landing)
-        if self.tracer.enabled:
+        if tracing:
             self.tracer.record_action(
                 kind="migrate-replica", service=replica.service,
                 target=replica.container_id, reason="elastic-migrate", metric="cpu",

@@ -50,6 +50,20 @@ from repro.errors import PolicyError
 EPSILON = 1e-6
 
 
+# Sort keys used inside the per-step decide path are module-level so the
+# hot loop does not construct a fresh function object every step (HOT001).
+def _by_container_id(replica: ReplicaView) -> str:
+    return replica.container_id
+
+
+def _by_cpu_utilization(replica: ReplicaView) -> float:
+    return replica.cpu_utilization
+
+
+def _by_cpu_utilization_desc(replica: ReplicaView) -> float:
+    return -replica.cpu_utilization
+
+
 class HyScaleCpu(AutoscalingPolicy):
     """Hybrid vertical+horizontal scaling driven by CPU usage."""
 
@@ -168,7 +182,7 @@ class HyScaleCpu(AutoscalingPolicy):
 
         excess = service.replica_count - service.max_replicas
         if excess > 0:
-            victims = sorted(service.replicas, key=lambda r: r.container_id, reverse=True)[:excess]
+            victims = sorted(service.replicas, key=_by_container_id, reverse=True)[:excess]
             for victim in victims:
                 actions.append(RemoveReplica(victim.container_id, reason="max-replicas"))
                 removed.add(victim.container_id)
@@ -196,7 +210,7 @@ class HyScaleCpu(AutoscalingPolicy):
         target = service.target_utilization
         # Idlest replicas first: they have the most to give back and are the
         # natural removal candidates.
-        replicas = sorted(service.measurable_replicas(), key=lambda r: r.cpu_utilization)
+        replicas = sorted(service.measurable_replicas(), key=_by_cpu_utilization)
         live = service.replica_count
 
         for replica in replicas:
@@ -257,7 +271,7 @@ class HyScaleCpu(AutoscalingPolicy):
         target = service.target_utilization
         acquired_total = 0.0
         # Busiest replicas first: they are closest to starving.
-        replicas = sorted(service.measurable_replicas(), key=lambda r: -r.cpu_utilization)
+        replicas = sorted(service.measurable_replicas(), key=_by_cpu_utilization_desc)
 
         for replica in replicas:
             required = self.required_cpus(replica, target)

@@ -32,6 +32,16 @@ from repro.core.view import ClusterView, ReplicaView, ServiceView
 from repro.errors import PolicyError
 
 
+# Module-level sort keys: the decide path runs every step and must not
+# construct a fresh function object per call (HOT001).
+def _by_combined_utilization(replica: ReplicaView) -> float:
+    return replica.cpu_utilization + replica.mem_utilization
+
+
+def _by_combined_utilization_desc(replica: ReplicaView) -> float:
+    return -(replica.cpu_utilization + replica.mem_utilization)
+
+
 class HyScaleCpuMem(HyScaleCpu):
     """Hybrid scaling on CPU *and* memory with mutual removal conditions."""
 
@@ -164,7 +174,7 @@ class HyScaleCpuMem(HyScaleCpu):
         target = service.target_utilization
         replicas = sorted(
             service.measurable_replicas(),
-            key=lambda r: r.cpu_utilization + r.mem_utilization,
+            key=_by_combined_utilization,
         )
         live = service.replica_count
 
@@ -254,7 +264,7 @@ class HyScaleCpuMem(HyScaleCpu):
         acquired_mem = 0.0
         replicas = sorted(
             service.measurable_replicas(),
-            key=lambda r: -(r.cpu_utilization + r.mem_utilization),
+            key=_by_combined_utilization_desc,
         )
 
         for replica in replicas:

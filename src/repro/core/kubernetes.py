@@ -29,6 +29,12 @@ from repro.core.view import ClusterView, ReplicaView, ServiceView
 from repro.errors import PolicyError
 
 
+# Module-level sort key: victim selection runs on the per-step reconcile
+# path and must not construct a fresh function object per call (HOT001).
+def _by_container_id(replica: ReplicaView) -> str:
+    return replica.container_id
+
+
 class KubernetesHpa(AutoscalingPolicy):
     """Horizontal-only, threshold-driven scaling on one utilization metric."""
 
@@ -176,5 +182,5 @@ class KubernetesHpa(AutoscalingPolicy):
 
     def _scale_in_victims(self, service: ServiceView, count: int) -> list[ReplicaView]:
         """Newest replicas die first (Kubernetes' default victim order)."""
-        ordered = sorted(service.replicas, key=lambda r: r.container_id, reverse=True)
+        ordered = sorted(service.replicas, key=_by_container_id, reverse=True)
         return ordered[:count]

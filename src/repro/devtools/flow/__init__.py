@@ -1,0 +1,61 @@
+"""FlowLint: interprocedural call-graph & effect analysis over ``src/repro``.
+
+Where :mod:`repro.devtools.rules` checks one statement at a time, this
+subpackage reasons about the *whole program*:
+
+* :mod:`~repro.devtools.flow.callgraph` parses every module under
+  ``src/repro`` into a module-resolved call graph — ``self`` dispatch,
+  attribute-type inference from ``__init__``/dataclass fields, import
+  aliasing, and a class-hierarchy fallback that resolves duck-typed
+  protocol calls (``actor.on_step(...)`` reaches every actor).
+* :mod:`~repro.devtools.flow.reachability` computes which functions can
+  execute inside :meth:`Engine.step` (the hot path), inside
+  :func:`run_shard_payload` (the process-pool worker), and inside the
+  sweep merge.
+* :mod:`~repro.devtools.flow.effects` summarises each function's effects:
+  allocations (literals, comprehensions, closures, string formatting),
+  O(n) list membership, repeated deep attribute chains, global /
+  ``os.environ`` writes, and unordered set iteration.
+* :mod:`~repro.devtools.flow.rules` turns those summaries into the
+  HOT / PAR / interprocedural-UNIT rule families, and
+  :mod:`~repro.devtools.flow.baseline` applies the reasoned-suppression
+  baseline (``.flowlint-baseline.json``).
+* :mod:`~repro.devtools.flow.report` encodes the canonical
+  ``repro.flow/1`` JSON report, including the ranked hot-path allocation
+  inventory that is the work-list for the vectorization effort
+  (ROADMAP item 1).
+
+Entry points: ``hyscale-repro analyze``, ``hyscale-repro lint --flow``,
+``python -m repro.devtools.flow``, and ``make analyze``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.flow.analyze import FlowAnalysis, analyze_paths, default_baseline, main
+from repro.devtools.flow.baseline import Baseline, BaselineEntry, load_baseline
+from repro.devtools.flow.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.devtools.flow.effects import AllocationSite, EffectSummary, effects_of
+from repro.devtools.flow.reachability import Roots, discover_roots, reachable_from
+from repro.devtools.flow.report import FLOW_SCHEMA, FlowReport, render_flow_json
+
+__all__ = [
+    "FLOW_SCHEMA",
+    "AllocationSite",
+    "Baseline",
+    "BaselineEntry",
+    "CallGraph",
+    "EffectSummary",
+    "FlowAnalysis",
+    "FlowReport",
+    "FunctionInfo",
+    "Roots",
+    "analyze_paths",
+    "build_call_graph",
+    "default_baseline",
+    "discover_roots",
+    "effects_of",
+    "load_baseline",
+    "main",
+    "reachable_from",
+    "render_flow_json",
+]

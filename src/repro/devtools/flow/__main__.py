@@ -1,0 +1,10 @@
+"""``python -m repro.devtools.flow`` — run the FlowLint analyzer."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.devtools.flow.analyze import main
+
+if __name__ == "__main__":
+    sys.exit(main())

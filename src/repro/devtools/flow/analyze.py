@@ -1,0 +1,252 @@
+"""FlowLint driver: build graph → reach → effects → rules → baseline → report.
+
+Usage::
+
+    python -m repro.devtools.flow                       # analyze src/repro
+    python -m repro.devtools.flow --format json         # repro.flow/1 on stdout
+    python -m repro.devtools.flow --report BENCH_static_analysis.json
+    python -m repro.devtools.flow --write-baseline      # accept current findings
+    hyscale-repro analyze                               # same engine, main CLI
+    hyscale-repro lint --flow                           # per-file + flow rules
+
+Exit status: 0 clean, 1 unbaselined findings (or baseline-audit failures),
+2 usage error (bad paths, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.flow.baseline import (
+    BASELINE_FILENAME,
+    EMPTY_BASELINE,
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.devtools.flow.callgraph import CallGraph, build_call_graph, read_sources
+from repro.devtools.flow.effects import EffectSummary, effects_of
+from repro.devtools.flow.reachability import Roots, discover_roots, reachable_from
+from repro.devtools.flow.report import FlowReport, build_inventory, render_flow_json
+from repro.devtools.flow.rules import (
+    FlowContext,
+    FlowViolation,
+    flow_rule_catalog,
+    run_flow_rules,
+)
+from repro.devtools.lint import render_report
+from repro.devtools.violations import Violation
+
+#: Paths analyzed when the CLI is invoked without arguments.
+DEFAULT_ANALYZE_PATHS = ("src/repro",)
+
+
+@dataclass(frozen=True)
+class FlowAnalysis:
+    """One full analyzer run over a source tree."""
+
+    graph: CallGraph
+    roots: Roots
+    effects: dict[str, EffectSummary]
+    report: FlowReport
+
+    @property
+    def unbaselined(self) -> tuple[FlowViolation, ...]:
+        """Findings not covered by the baseline."""
+        return self.report.unbaselined
+
+    @property
+    def violations(self) -> list[Violation]:
+        """Unbaselined findings plus baseline-audit failures, renderable."""
+        out = [fv.to_violation() for fv in self.report.unbaselined]
+        out.extend(self.report.baseline_audit)
+        return sorted(out)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing unbaselined remains and the baseline is sound."""
+        return not self.report.unbaselined and not self.report.baseline_audit
+
+
+def analyze_sources(
+    sources: Sequence[tuple[str, str]], baseline: Baseline = EMPTY_BASELINE
+) -> FlowAnalysis:
+    """Analyze in-memory ``(logical_path, source)`` pairs (test seam)."""
+    graph = build_call_graph(sources)
+    roots = discover_roots(graph)
+    effects = {
+        qualname: effects_of(fn) for qualname, fn in sorted(graph.functions.items())
+    }
+    ctx = FlowContext(
+        graph=graph,
+        roots=roots,
+        step_reachable=reachable_from(graph, roots.step),
+        worker_reachable=reachable_from(graph, roots.worker),
+        merge_reachable=reachable_from(graph, roots.merge),
+        effects=effects,
+    )
+    findings = run_flow_rules(ctx)
+    unbaselined, suppressed, audit = apply_baseline(findings, baseline)
+    report = FlowReport(
+        graph=graph,
+        roots=roots,
+        step_reachable=ctx.step_reachable,
+        worker_reachable=ctx.worker_reachable,
+        merge_reachable=ctx.merge_reachable,
+        inventory=build_inventory(ctx.step_reachable, effects),
+        unbaselined=tuple(unbaselined),
+        suppressed=tuple(suppressed),
+        baseline_audit=tuple(audit),
+    )
+    return FlowAnalysis(graph=graph, roots=roots, effects=effects, report=report)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+    baseline: Baseline = EMPTY_BASELINE,
+) -> FlowAnalysis:
+    """Analyze files/directories rooted at ``root`` (default: CWD)."""
+    root_path = Path(root) if root is not None else Path.cwd()
+    resolved = [
+        Path(root_path, p) if not Path(p).is_absolute() else Path(p) for p in paths
+    ]
+    return analyze_sources(read_sources(resolved, root_path), baseline)
+
+
+def default_baseline(root_path: Path) -> Baseline:
+    """Load ``.flowlint-baseline.json`` at the root when present."""
+    candidate = root_path / BASELINE_FILENAME
+    if candidate.is_file():
+        return load_baseline(candidate)
+    return EMPTY_BASELINE
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="FlowLint: interprocedural hot-path & parallel-safety analysis.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_ANALYZE_PATHS),
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_ANALYZE_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root used to derive logical paths (default: CWD)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write the canonical repro.flow/1 JSON report to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: <root>/{BASELINE_FILENAME} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the flow rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, summary in sorted(flow_rule_catalog().items()):
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    root_path = Path(args.root) if args.root is not None else Path.cwd()
+    requested = [
+        Path(root_path, p) if not Path(p).is_absolute() else Path(p) for p in args.paths
+    ]
+    missing = [str(p) for p in requested if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.baseline is not None:
+            baseline = load_baseline(Path(args.baseline))
+        else:
+            baseline = default_baseline(root_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    analysis = analyze_paths(args.paths, root=args.root, baseline=baseline)
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline is not None else root_path / BASELINE_FILENAME
+        entries = {
+            BaselineEntry(rule=e.rule, function=e.function, reason=e.reason)
+            for e in baseline.entries
+            if any(
+                (fv.rule, fv.function) == (e.rule, e.function)
+                for fv in (*analysis.report.unbaselined, *analysis.report.suppressed)
+            )
+        }
+        entries.update(
+            BaselineEntry(rule=fv.rule, function=fv.function, reason="TODO: justify")
+            for fv in analysis.report.unbaselined
+        )
+        target.write_text(render_baseline(sorted(entries)), encoding="utf-8")
+        print(f"wrote {len(entries)} baseline entr(ies) to {target}")
+        return 0
+
+    if args.report is not None:
+        Path(args.report).write_text(render_flow_json(analysis.report), encoding="utf-8")
+
+    if args.format == "json":
+        print(render_flow_json(analysis.report), end="")
+    else:
+        report = analysis.report
+        print(
+            f"flow: {len(analysis.graph.functions)} functions, "
+            f"{analysis.graph.edge_count} edges; "
+            f"step-reachable={len(report.step_reachable)} "
+            f"worker-reachable={len(report.worker_reachable)} "
+            f"merge-reachable={len(report.merge_reachable)}"
+        )
+        print(
+            f"hot-path inventory: {len(report.inventory)} allocation site(s); "
+            f"suppressed={len(report.suppressed)}"
+        )
+        violations = analysis.violations
+        if violations:
+            print(render_report(violations, len(analysis.graph.modules)))
+        else:
+            print(
+                f"clean: {len(analysis.graph.modules)} module(s) analyzed, "
+                "0 unbaselined violations"
+            )
+    return 0 if analysis.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Reasoned-suppression baseline for FlowLint findings.
+
+Some findings are *inherent*: the metrics actor genuinely accumulates a
+dict per step, the policy registry genuinely is a module-level dict.
+Those are acknowledged in ``.flowlint-baseline.json`` — keyed by
+``(rule, function qualname)`` so line churn never invalidates an entry —
+and every entry must carry a human-written reason.
+
+The baseline is deliberately hostile to rot:
+
+* an entry whose ``(rule, function)`` matches **zero** current findings
+  is *stale* and becomes a ``BASE001`` violation (delete the entry);
+* an entry without a non-empty reason is malformed and becomes a
+  ``BASE002`` violation;
+* a file that fails to parse or has the wrong ``schema`` is a usage
+  error (exit 2), not a silent no-op.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.devtools.flow.rules import FlowViolation
+from repro.devtools.violations import Violation
+
+#: Schema tag of the baseline file.
+BASELINE_SCHEMA = "repro.flowlint-baseline/1"
+
+#: Conventional baseline filename at the repo root.
+BASELINE_FILENAME = ".flowlint-baseline.json"
+
+#: Emitted when a baseline entry matches zero current findings.
+STALE_ENTRY = "BASE001"
+
+#: Emitted when a baseline entry has no reason.
+MISSING_REASON = "BASE002"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One suppressed ``(rule, function)`` pair with its justification."""
+
+    rule: str
+    function: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The parsed baseline file."""
+
+    path: str
+    entries: tuple[BaselineEntry, ...]
+
+    def keys(self) -> frozenset[tuple[str, str]]:
+        """The suppressed ``(rule, function)`` pairs."""
+        return frozenset((e.rule, e.function) for e in self.entries)
+
+
+EMPTY_BASELINE = Baseline(path="", entries=())
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse a baseline file; raise :class:`BaselineError` when invalid."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"{path}: unreadable baseline: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+            if isinstance(payload, dict)
+            else f"{path}: baseline must be a JSON object"
+        )
+    raw_entries = payload.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"{path}: `entries` must be a list")
+    entries: list[BaselineEntry] = []
+    for raw in raw_entries:
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: every entry must be an object")
+        rule = raw.get("rule")
+        function = raw.get("function")
+        if not isinstance(rule, str) or not isinstance(function, str):
+            raise BaselineError(f"{path}: entries need string `rule` and `function`")
+        reason = raw.get("reason", "")
+        entries.append(
+            BaselineEntry(
+                rule=rule,
+                function=function,
+                reason=reason if isinstance(reason, str) else "",
+            )
+        )
+    return Baseline(path=str(path), entries=tuple(sorted(entries)))
+
+
+def apply_baseline(
+    findings: list[FlowViolation], baseline: Baseline
+) -> tuple[list[FlowViolation], list[FlowViolation], list[Violation]]:
+    """Split findings into (unbaselined, suppressed) and audit the baseline.
+
+    The third element holds the baseline's own violations: stale entries
+    (``BASE001``) and entries without a reason (``BASE002``).
+    """
+    keys = baseline.keys()
+    unbaselined: list[FlowViolation] = []
+    suppressed: list[FlowViolation] = []
+    matched: set[tuple[str, str]] = set()
+    for finding in findings:
+        key = (finding.rule, finding.function)
+        if key in keys:
+            suppressed.append(finding)
+            matched.add(key)
+        else:
+            unbaselined.append(finding)
+
+    audit: list[Violation] = []
+    for entry in baseline.entries:
+        if (entry.rule, entry.function) not in matched:
+            audit.append(
+                Violation(
+                    path=baseline.path or BASELINE_FILENAME,
+                    line=1,
+                    col=1,
+                    rule=STALE_ENTRY,
+                    message=(
+                        f"stale baseline entry ({entry.rule}, {entry.function}) "
+                        "matches no current finding; delete it"
+                    ),
+                )
+            )
+        if not entry.reason.strip():
+            audit.append(
+                Violation(
+                    path=baseline.path or BASELINE_FILENAME,
+                    line=1,
+                    col=1,
+                    rule=MISSING_REASON,
+                    message=(
+                        f"baseline entry ({entry.rule}, {entry.function}) has "
+                        "no reason; every suppression must be justified"
+                    ),
+                )
+            )
+    return unbaselined, suppressed, sorted(audit)
+
+
+def render_baseline(entries: list[BaselineEntry]) -> str:
+    """Serialize entries to the canonical baseline file text."""
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {"rule": e.rule, "function": e.function, "reason": e.reason}
+            for e in sorted(entries)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,94 @@
+"""Reachability over the call graph.
+
+Three root sets matter to the rule families:
+
+* **step roots** — ``Engine.step`` plus every actor ``on_step`` method:
+  everything reachable from them executes once per simulated step and is
+  the hot path the HOT rules police (and the vectorization work-list the
+  report ranks).
+* **worker roots** — ``run_shard_payload``: everything reachable runs
+  inside a ``ProcessPoolExecutor`` worker, where module-global mutation
+  is silently per-process (PAR001/PAR002).
+* **merge roots** — the sweep merge (``SweepExecutor._merge`` and the
+  result-combination helpers): unordered iteration here reorders the
+  merged output across runs (PAR003).
+
+Reachability is a plain BFS over the resolved edges; the duck-typed
+fallback in the call graph is what lets ``actor.on_step(...)`` fan out to
+every registered actor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.devtools.flow.callgraph import CallGraph
+
+#: Qualified names whose presence makes a function a step root.
+STEP_ROOT_QUALNAMES = ("repro.sim.engine.Engine.step",)
+
+#: Method names that mark actor step entry points (duck-typed protocol).
+STEP_ROOT_METHOD_NAMES = ("on_step",)
+
+#: Worker-side entry point of the process-pool executor.
+WORKER_ROOT_QUALNAMES = ("repro.parallel.worker.run_shard_payload",)
+
+#: Functions that combine per-shard results into the merged sweep output.
+MERGE_ROOT_QUALNAMES = ("repro.parallel.executor.SweepExecutor._merge",)
+
+#: Every top-level function in these modules also merges shard results.
+MERGE_ROOT_MODULES = ("repro.parallel.result",)
+
+
+@dataclass(frozen=True)
+class Roots:
+    """The three root sets, as sorted tuples of function qualnames."""
+
+    step: tuple[str, ...]
+    worker: tuple[str, ...]
+    merge: tuple[str, ...]
+
+
+def discover_roots(graph: CallGraph) -> Roots:
+    """Find the root sets that actually exist in this graph."""
+    step: set[str] = set()
+    for qualname in STEP_ROOT_QUALNAMES:
+        if qualname in graph.functions:
+            step.add(qualname)
+    for method in STEP_ROOT_METHOD_NAMES:
+        step.update(graph.functions_named(method))
+
+    worker = {q for q in WORKER_ROOT_QUALNAMES if q in graph.functions}
+
+    merge: set[str] = set()
+    for qualname in MERGE_ROOT_QUALNAMES:
+        if qualname in graph.functions:
+            merge.add(qualname)
+    for module in MERGE_ROOT_MODULES:
+        info = graph.modules.get(module)
+        if info is None:
+            continue
+        for fn in info.functions.values():
+            if fn.cls is None:
+                merge.add(fn.qualname)
+
+    return Roots(
+        step=tuple(sorted(step)),
+        worker=tuple(sorted(worker)),
+        merge=tuple(sorted(merge)),
+    )
+
+
+def reachable_from(graph: CallGraph, roots: tuple[str, ...]) -> frozenset[str]:
+    """Qualnames of every function reachable from ``roots`` (inclusive)."""
+    seen: set[str] = set()
+    queue: deque[str] = deque(q for q in roots if q in graph.functions)
+    seen.update(queue)
+    while queue:
+        current = queue.popleft()
+        for callee in graph.callees(current):
+            if callee not in seen:
+                seen.add(callee)
+                queue.append(callee)
+    return frozenset(seen)

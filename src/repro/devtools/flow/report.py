@@ -1,0 +1,167 @@
+"""Canonical ``repro.flow/1`` report codec.
+
+The report is the analyzer's durable artifact (written to
+``BENCH_static_analysis.json`` by ``make analyze`` and uploaded from CI).
+Its headline section is the **hot-path allocation inventory**: every
+allocation site reachable from ``Engine.step``, ranked by loop depth and
+position — the explicit work-list for the ROADMAP item-1 vectorization.
+
+Everything in the report is deterministically ordered and carries no
+timestamps or absolute paths, so repeated runs over the same tree are
+byte-identical (an acceptance criterion, and what makes the artifact
+diffable in CI).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.devtools.flow.callgraph import CallGraph
+from repro.devtools.flow.effects import EffectSummary
+from repro.devtools.flow.reachability import Roots
+from repro.devtools.flow.rules import FlowViolation, flow_rule_catalog
+from repro.devtools.rules import CATALOGUE_VERSION
+from repro.devtools.violations import Violation
+
+#: Schema tag of the flow report.
+FLOW_SCHEMA = "repro.flow/1"
+
+
+@dataclass(frozen=True, order=True)
+class InventoryEntry:
+    """One ranked allocation site on the step-reachable hot path."""
+
+    rank: int
+    function: str
+    path: str
+    line: int
+    col: int
+    kind: str
+    loop_depth: int
+    constant: bool
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON shape of one inventory row."""
+        return {
+            "rank": self.rank,
+            "function": self.function,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "loop_depth": self.loop_depth,
+            "constant": self.constant,
+        }
+
+
+def build_inventory(
+    step_reachable: frozenset[str], effects: dict[str, EffectSummary]
+) -> tuple[InventoryEntry, ...]:
+    """Rank every non-error-path allocation in step-reachable code.
+
+    Deeper loop nesting ranks first (it multiplies per-step cost by the
+    iteration count); ties break on path/line so the ranking is stable.
+    """
+    rows: list[tuple[int, str, int, int, str, str, bool]] = []
+    for qualname in sorted(step_reachable):
+        summary = effects.get(qualname)
+        if summary is None:
+            continue
+        for site in summary.allocations:
+            if site.error_path:
+                continue
+            rows.append(
+                (
+                    -site.loop_depth,
+                    summary.path,
+                    site.line,
+                    site.col,
+                    site.kind,
+                    qualname,
+                    site.constant,
+                )
+            )
+    rows.sort()
+    return tuple(
+        InventoryEntry(
+            rank=index + 1,
+            function=qualname,
+            path=path,
+            line=line,
+            col=col,
+            kind=kind,
+            loop_depth=-neg_depth,
+            constant=constant,
+        )
+        for index, (neg_depth, path, line, col, kind, qualname, constant) in enumerate(rows)
+    )
+
+
+def _flow_violation_dict(fv: FlowViolation) -> dict[str, object]:
+    return {
+        "path": fv.path,
+        "line": fv.line,
+        "col": fv.col,
+        "rule": fv.rule,
+        "function": fv.function,
+        "message": fv.message,
+    }
+
+
+@dataclass(frozen=True)
+class FlowReport:
+    """Everything the analyzer learned, ready for serialization."""
+
+    graph: CallGraph
+    roots: Roots
+    step_reachable: frozenset[str]
+    worker_reachable: frozenset[str]
+    merge_reachable: frozenset[str]
+    inventory: tuple[InventoryEntry, ...]
+    unbaselined: tuple[FlowViolation, ...]
+    suppressed: tuple[FlowViolation, ...]
+    baseline_audit: tuple[Violation, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        """The canonical ``repro.flow/1`` payload."""
+        by_rule: dict[str, int] = {}
+        for fv in self.unbaselined:
+            by_rule[fv.rule] = by_rule.get(fv.rule, 0) + 1
+        return {
+            "schema": FLOW_SCHEMA,
+            "catalogue_version": CATALOGUE_VERSION,
+            "rules": flow_rule_catalog(),
+            "graph": {
+                "modules": len(self.graph.modules),
+                "functions": len(self.graph.functions),
+                "edges": self.graph.edge_count,
+            },
+            "roots": {
+                "step": list(self.roots.step),
+                "worker": list(self.roots.worker),
+                "merge": list(self.roots.merge),
+            },
+            "reachable": {
+                "step": len(self.step_reachable),
+                "worker": len(self.worker_reachable),
+                "merge": len(self.merge_reachable),
+            },
+            "hot_path_inventory": [entry.to_dict() for entry in self.inventory],
+            "violations": {
+                "unbaselined": [_flow_violation_dict(fv) for fv in self.unbaselined],
+                "suppressed": [_flow_violation_dict(fv) for fv in self.suppressed],
+                "baseline_audit": [v.to_dict() for v in self.baseline_audit],
+            },
+            "summary": {
+                "unbaselined": len(self.unbaselined),
+                "suppressed": len(self.suppressed),
+                "baseline_audit": len(self.baseline_audit),
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+        }
+
+
+def render_flow_json(report: FlowReport) -> str:
+    """Serialize a report to its canonical byte-identical JSON text."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=False) + "\n"

@@ -1,0 +1,473 @@
+"""The FlowLint rule families: HOT, PAR, and interprocedural UNIT002.
+
+Each rule consumes the call graph, the reachability sets, and the
+per-function effect summaries, and emits :class:`FlowViolation` records
+(a :class:`~repro.devtools.violations.Violation` plus the qualname of the
+offending function — the key the baseline suppresses on).
+
+The HOT rules deliberately flag only the *mechanically fixable* subset of
+per-step costs — hoistable constant literals, per-step callable
+construction, O(n) list membership, repeated deep attribute resolution,
+and hot-path string formatting.  The complete allocation census (every
+comprehension and literal, fixable or inherent) goes into the ranked
+``repro.flow/1`` inventory instead, so "zero unbaselined violations" is
+an achievable bar while the vectorization work-list stays exhaustive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.devtools.flow.callgraph import CallGraph, FunctionInfo
+from repro.devtools.flow.effects import (
+    CLOSURE_KINDS,
+    CONSTANT_HOISTABLE,
+    FORMAT_KINDS,
+    EffectSummary,
+)
+from repro.devtools.flow.reachability import Roots
+from repro.devtools.rules import _terminal_name, _unit_class_of_name
+from repro.devtools.violations import Violation
+
+#: Attribute chains must be at least this deep to count for HOT003.
+HOT003_MIN_HOPS = 2
+#: ...and repeat at least this often inside one function.
+HOT003_MIN_COUNT = 4
+
+
+@dataclass(frozen=True, order=True)
+class FlowViolation:
+    """One flow finding, attributable to a specific function."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    function: str
+    message: str
+
+    def to_violation(self) -> Violation:
+        """The plain per-file violation record (for rendering)."""
+        return Violation(
+            path=self.path,
+            line=self.line,
+            col=self.col,
+            rule=self.rule,
+            message=f"{self.message} [{self.function}]",
+        )
+
+
+@dataclass
+class FlowContext:
+    """Everything a flow rule needs to run."""
+
+    graph: CallGraph
+    roots: Roots
+    step_reachable: frozenset[str]
+    worker_reachable: frozenset[str]
+    merge_reachable: frozenset[str]
+    effects: dict[str, EffectSummary] = field(default_factory=dict)
+
+    def function(self, qualname: str) -> FunctionInfo:
+        """The definition record for a qualname (must exist)."""
+        return self.graph.functions[qualname]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One interprocedural rule."""
+
+    id: str
+    summary: str
+    check: Callable[[FlowContext], list[FlowViolation]]
+
+
+def _fv(
+    fn: FunctionInfo, rule: str, line: int, col: int, message: str
+) -> FlowViolation:
+    return FlowViolation(
+        path=fn.path, line=line, col=col, rule=rule, function=fn.qualname, message=message
+    )
+
+
+# ----------------------------------------------------------------------
+# HOT001 — fixable per-step allocation (hoistable literal / closure)
+# ----------------------------------------------------------------------
+def _hot001_check(ctx: FlowContext) -> list[FlowViolation]:
+    """HOT001: a constant-only container literal or a capture-free
+    lambda/nested-``def`` inside step-reachable code allocates a fresh
+    object every simulated step for a value that never changes; hoist it
+    to module or ``__init__`` scope.  (Closures that capture locals are
+    not flagged — they cannot be hoisted without restructuring — but they
+    still appear in the hot-path inventory.)"""
+    out: list[FlowViolation] = []
+    for qualname in sorted(ctx.step_reachable):
+        summary = ctx.effects.get(qualname)
+        if summary is None:
+            continue
+        fn = ctx.function(qualname)
+        for site in summary.allocations:
+            if site.error_path:
+                continue
+            if site.kind in CONSTANT_HOISTABLE and site.constant:
+                out.append(
+                    _fv(
+                        fn,
+                        "HOT001",
+                        site.line,
+                        site.col,
+                        f"constant {site.kind} rebuilt in step-reachable code; "
+                        "hoist to module scope (allocates every Engine.step)",
+                    )
+                )
+            elif site.kind in CLOSURE_KINDS and not site.captures:
+                out.append(
+                    _fv(
+                        fn,
+                        "HOT001",
+                        site.line,
+                        site.col,
+                        f"{site.kind} constructed in step-reachable code; a fresh "
+                        "function object is allocated every Engine.step — hoist "
+                        "or bind once in __init__",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# HOT002 — O(n) list membership on the step path
+# ----------------------------------------------------------------------
+def _hot002_check(ctx: FlowContext) -> list[FlowViolation]:
+    """HOT002: ``x in [a, b, ...]`` / ``x in list(...)`` scans linearly on
+    every evaluation; in step-reachable code use a tuple of constants
+    (cheap, no alloc) or a precomputed ``frozenset`` for O(1) tests."""
+    out: list[FlowViolation] = []
+    for qualname in sorted(ctx.step_reachable):
+        summary = ctx.effects.get(qualname)
+        if summary is None:
+            continue
+        fn = ctx.function(qualname)
+        for site in summary.memberships:
+            out.append(
+                _fv(
+                    fn,
+                    "HOT002",
+                    site.line,
+                    site.col,
+                    f"O(n) membership test against {site.detail} in "
+                    "step-reachable code; use a frozenset or tuple constant",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# HOT003 — repeated deep attribute chains on the step path
+# ----------------------------------------------------------------------
+def _hot003_check(ctx: FlowContext) -> list[FlowViolation]:
+    """HOT003: resolving the same ``a.b.c`` chain many times in one
+    step-reachable function pays repeated dict lookups; read it into a
+    local once."""
+    out: list[FlowViolation] = []
+    for qualname in sorted(ctx.step_reachable):
+        summary = ctx.effects.get(qualname)
+        if summary is None:
+            continue
+        fn = ctx.function(qualname)
+        for chain in sorted(summary.attr_chains):
+            count, line, hops = summary.attr_chains[chain]
+            if hops >= HOT003_MIN_HOPS and count >= HOT003_MIN_COUNT:
+                out.append(
+                    _fv(
+                        fn,
+                        "HOT003",
+                        line,
+                        1,
+                        f"attribute chain `{chain}` resolved {count}x in a "
+                        "step-reachable function; bind it to a local",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# HOT004 — string formatting on the step path
+# ----------------------------------------------------------------------
+def _returns_str(fn: FunctionInfo) -> bool:
+    """The function's annotated job is building a string."""
+    returns = fn.node.returns
+    return isinstance(returns, ast.Name) and returns.id == "str"
+
+
+def _is_exception_method(ctx: FlowContext, qualname: str) -> bool:
+    """The function is a method of an Error/Exception class."""
+    cls = ctx.graph.class_of(qualname)
+    if cls is None:
+        return False
+    return any(b.rsplit(".", 1)[-1].endswith(("Error", "Exception")) for b in cls.bases)
+
+
+def _hot004_check(ctx: FlowContext) -> list[FlowViolation]:
+    """HOT004: f-strings / ``str.format`` / ``%``-formatting in
+    step-reachable code build a fresh string every step — the usual
+    offenders are lookup keys and labels; precompute or cache them.
+
+    Exempt by design: error paths, exception constructors, functions whose
+    annotated return type is ``str`` (their output *is* the string), and
+    keyword-argument payloads (``detail=f"..."`` on an event record only
+    formats when the event fires, and the text is the data)."""
+    out: list[FlowViolation] = []
+    for qualname in sorted(ctx.step_reachable):
+        summary = ctx.effects.get(qualname)
+        if summary is None:
+            continue
+        fn = ctx.function(qualname)
+        if _returns_str(fn) or _is_exception_method(ctx, qualname):
+            continue
+        for site in summary.allocations:
+            if site.kind in FORMAT_KINDS and not site.error_path and not site.payload:
+                out.append(
+                    _fv(
+                        fn,
+                        "HOT004",
+                        site.line,
+                        site.col,
+                        f"string formatting ({site.kind}) in step-reachable "
+                        "code; precompute or cache the formatted value",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# PAR001 — module-level mutable state reachable from workers
+# ----------------------------------------------------------------------
+def _par001_check(ctx: FlowContext) -> list[FlowViolation]:
+    """PAR001: a module-level mutable container referenced by
+    worker-reachable code is silently per-process under
+    ``ProcessPoolExecutor`` — writes made in a worker never reach the
+    parent, and fork/spawn start methods disagree about its contents."""
+    out: list[FlowViolation] = []
+    seen: set[tuple[str, str]] = set()
+    for qualname in sorted(ctx.worker_reachable):
+        fn = ctx.graph.functions.get(qualname)
+        if fn is None:
+            continue
+        module = ctx.graph.modules.get(fn.module)
+        if module is None or not module.module_mutables:
+            continue
+        mutable_lines = dict(module.module_mutables)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Name) and node.id in mutable_lines:
+                key = (node.id, fn.qualname)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    _fv(
+                        fn,
+                        "PAR001",
+                        mutable_lines[node.id],
+                        1,
+                        f"module-level mutable `{node.id}` referenced by "
+                        f"worker-reachable `{fn.name}`; per-process state "
+                        "diverges across pool workers — pass it through the "
+                        "shard payload instead",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# PAR002 — global / os.environ writes in worker-reachable code
+# ----------------------------------------------------------------------
+def _par002_check(ctx: FlowContext) -> list[FlowViolation]:
+    """PAR002: ``global`` rebinding or ``os.environ`` mutation inside
+    worker-reachable code mutates only that worker's process; the parent
+    and sibling shards never observe it, so results depend on pool
+    scheduling."""
+    out: list[FlowViolation] = []
+    for qualname in sorted(ctx.worker_reachable):
+        summary = ctx.effects.get(qualname)
+        if summary is None:
+            continue
+        fn = ctx.function(qualname)
+        for write in summary.global_writes:
+            out.append(
+                _fv(
+                    fn,
+                    "PAR002",
+                    write.line,
+                    write.col,
+                    f"write to process-global `{write.target}` in "
+                    "worker-reachable code; workers cannot share it — return "
+                    "the value through the shard result instead",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# PAR003 — unordered set iteration feeding merged sweep output
+# ----------------------------------------------------------------------
+def _par003_check(ctx: FlowContext) -> list[FlowViolation]:
+    """PAR003: iterating a ``set`` while combining shard results makes the
+    merged sweep output order depend on hash seeding and insertion
+    history; iterate ``sorted(...)`` so merged artifacts are
+    byte-identical across runs."""
+    out: list[FlowViolation] = []
+    for qualname in sorted(ctx.merge_reachable):
+        summary = ctx.effects.get(qualname)
+        if summary is None:
+            continue
+        fn = ctx.function(qualname)
+        for site in summary.set_iterations:
+            out.append(
+                _fv(
+                    fn,
+                    "PAR003",
+                    site.line,
+                    site.col,
+                    f"unordered set iteration ({site.context}) feeds merged "
+                    "sweep output; iterate sorted(...) for stable merges",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# UNIT002 (interprocedural) — unit suffixes across call boundaries
+# ----------------------------------------------------------------------
+def _callee_for_call(
+    ctx: FlowContext, caller: FunctionInfo, call: ast.Call
+) -> FunctionInfo | None:
+    """The unique resolved callee whose bare name matches this call site."""
+    name = _terminal_name(call.func)
+    if name is None:
+        return None
+    matches = [
+        q for q in ctx.graph.callees(caller.qualname) if q.rsplit(".", 1)[-1] == name
+    ]
+    if len(matches) != 1:
+        return None
+    return ctx.graph.functions.get(matches[0])
+
+
+def _positional_params(callee: FunctionInfo) -> tuple[str, ...]:
+    params = callee.params
+    if params and params[0] in ("self", "cls"):
+        return params[1:]
+    return params
+
+
+def _unit002_check(ctx: FlowContext) -> list[FlowViolation]:
+    """UNIT002 (interprocedural): a value whose name carries one unit
+    suffix crossing into a parameter (or out of a return) that carries a
+    different suffix is a unit bug the single-statement rule cannot see;
+    convert explicitly via ``repro.units``."""
+    out: list[FlowViolation] = []
+    for qualname in sorted(ctx.graph.functions):
+        fn = ctx.graph.functions[qualname]
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                callee = _callee_for_call(ctx, fn, node)
+                if callee is None:
+                    continue
+                callee_summary = ctx.effects.get(callee.qualname)
+                if callee_summary is None or not callee_summary.param_units:
+                    continue
+                params = _positional_params(callee)
+                for index, arg in enumerate(node.args):
+                    if isinstance(arg, ast.Starred) or index >= len(params):
+                        break
+                    expected = callee_summary.param_units.get(params[index])
+                    if expected is None:
+                        continue
+                    arg_name = _terminal_name(arg)
+                    actual = None if arg_name is None else _unit_class_of_name(arg_name)
+                    if actual is not None and actual != expected:
+                        out.append(
+                            _fv(
+                                fn,
+                                "UNIT002",
+                                node.lineno,
+                                node.col_offset + 1,
+                                f"`{arg_name}` ({actual}) passed to parameter "
+                                f"`{params[index]}` ({expected}) of "
+                                f"`{callee.name}`; convert via repro.units",
+                            )
+                        )
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    expected = callee_summary.param_units.get(keyword.arg)
+                    if expected is None:
+                        continue
+                    arg_name = _terminal_name(keyword.value)
+                    actual = None if arg_name is None else _unit_class_of_name(arg_name)
+                    if actual is not None and actual != expected:
+                        out.append(
+                            _fv(
+                                fn,
+                                "UNIT002",
+                                node.lineno,
+                                node.col_offset + 1,
+                                f"`{arg_name}` ({actual}) passed to parameter "
+                                f"`{keyword.arg}` ({expected}) of "
+                                f"`{callee.name}`; convert via repro.units",
+                            )
+                        )
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+                    continue
+                target_unit = _unit_class_of_name(node.targets[0].id)
+                if target_unit is None:
+                    continue
+                callee = _callee_for_call(ctx, fn, node.value)
+                if callee is None:
+                    continue
+                callee_summary = ctx.effects.get(callee.qualname)
+                return_unit = None if callee_summary is None else callee_summary.return_unit
+                if return_unit is not None and return_unit != target_unit:
+                    out.append(
+                        _fv(
+                            fn,
+                            "UNIT002",
+                            node.lineno,
+                            node.col_offset + 1,
+                            f"`{callee.name}` returns {return_unit} but is "
+                            f"assigned to `{node.targets[0].id}` "
+                            f"({target_unit}); convert via repro.units",
+                        )
+                    )
+    return out
+
+
+FLOW_RULES: tuple[FlowRule, ...] = (
+    FlowRule("HOT001", "fixable per-step allocation (hoistable literal / closure)", _hot001_check),
+    FlowRule("HOT002", "O(n) list membership on the step path", _hot002_check),
+    FlowRule("HOT003", "repeated deep attribute chains on the step path", _hot003_check),
+    FlowRule("HOT004", "string formatting on the step path", _hot004_check),
+    FlowRule("PAR001", "module-level mutable state reachable from workers", _par001_check),
+    FlowRule("PAR002", "global / os.environ writes in worker-reachable code", _par002_check),
+    FlowRule("PAR003", "unordered set iteration feeding merged sweep output", _par003_check),
+    FlowRule("UNIT002", "unit suffixes tracked across call boundaries", _unit002_check),
+)
+
+
+def flow_rule_catalog() -> dict[str, str]:
+    """Rule id -> summary for the flow catalogue."""
+    return {rule.id: rule.summary for rule in FLOW_RULES}
+
+
+def run_flow_rules(
+    ctx: FlowContext, rules: tuple[FlowRule, ...] = FLOW_RULES
+) -> list[FlowViolation]:
+    """Run the rule families and return sorted, deduplicated findings."""
+    out: set[FlowViolation] = set()
+    for rule in rules:
+        out.update(rule.check(ctx))
+    return sorted(out)

@@ -6,11 +6,13 @@ Usage::
     python -m repro.devtools.lint src/repro/sim   # lint a subtree
     python -m repro.devtools.lint --format json   # machine-readable output
     python -m repro.devtools.lint --list-rules    # the rule catalogue
+    python -m repro.devtools.lint --flow          # + interprocedural FlowLint
     hyscale-repro lint                            # same engine, via the main CLI
 
-Exit status is 0 when the tree is clean and 1 when any violation (including a
-malformed suppression) is found.  See ``docs/dev-tooling.md`` for the rule
-catalogue and the ``# lint: disable=RULE(reason)`` suppression syntax.
+Exit status: 0 when the tree is clean, 1 when any violation (including a
+malformed suppression) is found, 2 on usage errors (missing paths, malformed
+flow baseline).  See ``docs/dev-tooling.md`` for the rule catalogue and the
+``# lint: disable=RULE(reason)`` suppression syntax.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.devtools.rules import ALL_RULES, Rule, rule_catalog
+from repro.devtools.rules import ALL_RULES, CATALOGUE_VERSION, Rule, rule_catalog
 from repro.devtools.violations import PARSE_ERROR, Violation, parse_suppressions
 
 #: Paths linted when the CLI is invoked without arguments (repo-root relative).
@@ -132,6 +134,7 @@ def render_json(violations: Sequence[Violation], files_checked: int) -> str:
     """Machine-readable report (stable shape for CI consumers)."""
     return json.dumps(
         {
+            "catalogue_version": CATALOGUE_VERSION,
             "files_checked": files_checked,
             "violation_count": len(violations),
             "violations": [v.to_dict() for v in violations],
@@ -168,6 +171,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural FlowLint rules over src/repro "
+        "(same engine as `hyscale-repro analyze`)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -182,6 +191,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     violations, files_checked = lint_paths(args.paths, root=args.root)
+    if args.flow:
+        from repro.devtools.flow.analyze import (
+            DEFAULT_ANALYZE_PATHS,
+            analyze_paths,
+            default_baseline,
+        )
+        from repro.devtools.flow.baseline import BaselineError
+
+        root_path = Path(args.root) if args.root is not None else Path.cwd()
+        try:
+            baseline = default_baseline(root_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        analysis = analyze_paths(DEFAULT_ANALYZE_PATHS, root=args.root, baseline=baseline)
+        violations = sorted([*violations, *analysis.violations])
     if args.format == "json":
         print(render_json(violations, files_checked))
     else:

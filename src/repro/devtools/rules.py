@@ -897,6 +897,11 @@ def _unit002_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list
 # ----------------------------------------------------------------------
 # Catalogue
 # ----------------------------------------------------------------------
+#: Version of the combined rule catalogue (per-file + flow families).
+#: Bumped whenever a rule is added, removed, or changes meaning, so CI
+#: consumers of the JSON reports can detect incompatible rule sets.
+CATALOGUE_VERSION = "3"
+
 ALL_RULES: tuple[Rule, ...] = (
     Rule("DET001", "no wall-clock reads in simulator code", _det001_applies, _det001_check),
     Rule("DET002", "no private randomness outside sim/rng.py", _det002_applies, _det002_check),

@@ -23,6 +23,11 @@ from repro.netsim.iptables import IptablesTable
 from repro.netsim.tc import HtbQdisc
 
 
+def _htb_class_id(container_id: str) -> str:
+    """The ``tc`` class handle for a container (``1:<container>``)."""
+    return f"1:{container_id}"
+
+
 class NetworkInterface:
     """One machine's egress NIC: iptables marking + HTB + tx queues."""
 
@@ -41,7 +46,7 @@ class NetworkInterface:
     # ------------------------------------------------------------------
     def attach(self, container_id: str, rate: float, ceil: float | None = None) -> None:
         """Create an HTB class for the container and mark its traffic."""
-        class_id = f"1:{container_id}"
+        class_id = _htb_class_id(container_id)
         self.qdisc.add_class(class_id, rate, ceil)
         self.iptables.add_rule(container_id, class_id)
 

@@ -52,6 +52,14 @@ class FleetEvent:
     disk_capacity: float = 150.0
 
 
+def _fault_order(event: FleetEvent) -> tuple[float, str, str]:
+    """Due-event ordering: time, then kind/node so ties are deterministic.
+
+    Module-level because the injector sorts every step (HOT001).
+    """
+    return (event.at, event.kind, event.node)
+
+
 @dataclass
 class FaultLog:
     """What the injector actually did (inspected by tests)."""
@@ -110,7 +118,7 @@ class FaultInjector:
     def on_step(self, clock: SimClock) -> None:
         due = sorted(
             (e for e in self._pending if e.at <= clock.now),
-            key=lambda e: (e.at, e.kind, e.node),
+            key=_fault_order,
         )
         if not due:
             return

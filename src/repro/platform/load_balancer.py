@@ -38,6 +38,20 @@ class RoutingPolicy(enum.Enum):
     WEIGHTED_CPU = "weighted_cpu"  # favour replicas with larger CPU requests
 
 
+def _least_outstanding_key(container: Container) -> tuple[int, str]:
+    """Fewest in-flight requests first, container id breaking ties.
+
+    Module-level: ``_pick`` runs for every routed request every step, and a
+    per-call lambda would allocate a fresh function object (HOT001).
+    """
+    return (len(container.inflight), container.container_id)
+
+
+def _weighted_cpu_key(container: Container) -> tuple[float, str]:
+    """Largest CPU request per outstanding request wins, ids break ties."""
+    return (container.cpu_request / (len(container.inflight) + 1), container.container_id)
+
+
 class LoadBalancer:
     """Routes requests to replicas; failed routing becomes connection failures."""
 
@@ -111,13 +125,10 @@ class LoadBalancer:
             self._rr_counters[service] = counter + 1
             return replicas[counter % len(replicas)]
         if self.policy is RoutingPolicy.LEAST_OUTSTANDING:
-            return min(replicas, key=lambda c: (len(c.inflight), c.container_id))
+            return min(replicas, key=_least_outstanding_key)
         # WEIGHTED_CPU: deterministic weighted round-robin — pick the replica
         # with the largest CPU request per outstanding request.
-        return max(
-            replicas,
-            key=lambda c: (c.cpu_request / (len(c.inflight) + 1), c.container_id),
-        )
+        return max(replicas, key=_weighted_cpu_key)
 
     def distribution_overhead(self, n_replicas: int) -> float:
         """Service-time multiplier for a service fanned out to ``n`` replicas.

@@ -326,13 +326,6 @@ class Monitor:
         before = (container.cpu_request, container.mem_limit, container.net_rate)
         manager.apply_vertical(action.container_id, cpu_request=cpu, mem_limit=mem, net_rate=net)
         self.collector.record_vertical()
-        changes = []
-        if cpu is not None and not same_quantity(cpu, before[0]):
-            changes.append(f"cpu {before[0]:.2f}->{cpu:.2f}")
-        if mem is not None and not same_quantity(mem, before[1]):
-            changes.append(f"mem {before[1]:.0f}->{mem:.0f}")
-        if net is not None and not same_quantity(net, before[2]):
-            changes.append(f"net {before[2]:.0f}->{net:.0f}")
         self.collector.events.record(
             ScalingEvent(
                 time=now,
@@ -340,7 +333,7 @@ class Monitor:
                 service=container.service,
                 container_id=container.container_id,
                 reason=action.reason,
-                detail=", ".join(changes),
+                detail=_vertical_detail(before, cpu, mem, net),
             )
         )
 
@@ -398,3 +391,20 @@ class Monitor:
                 detail=f"from {node_name}",
             )
         )
+
+
+def _vertical_detail(
+    before: tuple[float, float, float],
+    cpu: float | None,
+    mem: float | None,
+    net: float | None,
+) -> str:
+    """Human-readable summary of what a vertical resize actually changed."""
+    changes = []
+    if cpu is not None and not same_quantity(cpu, before[0]):
+        changes.append(f"cpu {before[0]:.2f}->{cpu:.2f}")
+    if mem is not None and not same_quantity(mem, before[1]):
+        changes.append(f"mem {before[1]:.0f}->{mem:.0f}")
+    if net is not None and not same_quantity(net, before[2]):
+        changes.append(f"net {before[2]:.0f}->{net:.0f}")
+    return ", ".join(changes)

@@ -58,14 +58,19 @@ class ClientLoadGenerator:
         # Per-generator (i.e. per-run) id sequence: request ids shard the
         # balancer tier, so they must be a pure function of the run.
         self._request_seq = itertools.count(1)
+        # Streams are prefetched by name so the per-step arrival loop does
+        # no string formatting or registry lookups (HOT004).  stream() is
+        # cached by name, so draws are identical to lazy lookup.
+        self._streams = [
+            (load, rng.stream(f"arrivals/{load.service}")) for load in self.loads
+        ]
 
     def on_step(self, clock: SimClock) -> None:
         """Draw this step's arrivals for every service and emit them."""
         # Arrivals are stamped at the *start* of the step interval so a
         # request can begin service within the same step it arrives.
         t0 = clock.now - clock.dt
-        for load in self.loads:
-            stream = self._rng.stream(f"arrivals/{load.service}")
+        for load, stream in self._streams:
             mean = load.pattern.rate(t0) * clock.dt
             if mean <= 0:
                 continue

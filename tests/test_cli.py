@@ -304,3 +304,82 @@ class TestTelemetryCommands:
         assert report["ok"] is True
         assert report["violations"] == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestLintAndAnalyzeCommands:
+    """Exit-code contract (0 clean / 1 violations / 2 usage error),
+    the ``catalogue_version`` report field, and the ``analyze`` verb."""
+
+    #: Worker fixture: clean under the per-file rules, but its
+    #: ``os.environ`` write is a PAR002 for the interprocedural pass.
+    WORKER = (
+        "import os\n\n\n"
+        "def run_shard_payload(payload: dict) -> dict:\n"
+        '    os.environ["SEED"] = "1"\n'
+        "    return payload\n"
+    )
+
+    def _write(self, root, rel, source):
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return path
+
+    def test_lint_exit_zero_and_catalogue_version(self, tmp_path, capsys):
+        from repro.devtools.rules import CATALOGUE_VERSION
+
+        self._write(tmp_path, "src/repro/sim/ok.py", "X: int = 1\n")
+        assert main(["lint", "src", "--root", str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["catalogue_version"] == CATALOGUE_VERSION
+        assert payload["violation_count"] == 0
+
+    def test_lint_exit_one_on_violation(self, tmp_path, capsys):
+        self._write(
+            tmp_path,
+            "src/repro/cluster/bad.py",
+            "import numpy as np\n\ndef make() -> object:\n    return np.random.default_rng(0)\n",
+        )
+        assert main(["lint", "src", "--root", str(tmp_path)]) == 1
+        assert "DET002" in capsys.readouterr().out
+
+    def test_lint_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main(["lint", "no-such-dir", "--root", str(tmp_path)]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_lint_flow_flag_adds_interprocedural_rules(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/parallel/worker.py", self.WORKER)
+        assert main(["lint", "src", "--root", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "src", "--root", str(tmp_path), "--flow"]) == 1
+        assert "PAR002" in capsys.readouterr().out
+
+    def test_analyze_parser_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.format == "text"
+        assert args.report is None
+        assert args.baseline is None
+        assert args.write_baseline is False
+
+    def test_analyze_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/sim/ok.py", "X: int = 1\n")
+        assert main(["analyze", "src/repro", "--root", str(tmp_path)]) == 0
+        assert "0 unbaselined" in capsys.readouterr().out
+
+    def test_analyze_exit_one_on_findings(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/parallel/worker.py", self.WORKER)
+        assert main(["analyze", "src/repro", "--root", str(tmp_path)]) == 1
+        assert "PAR002" in capsys.readouterr().out
+
+    def test_analyze_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main(["analyze", "no-such-dir", "--root", str(tmp_path)]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_analyze_writes_flow_report(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/parallel/worker.py", self.WORKER)
+        report = tmp_path / "flow.json"
+        main(["analyze", "src/repro", "--root", str(tmp_path), "--report", str(report)])
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == "repro.flow/1"
+        assert payload["summary"]["unbaselined"] >= 1

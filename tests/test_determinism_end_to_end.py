@@ -9,6 +9,11 @@ exists to catch.
 
 from repro.cluster import MicroserviceSpec, RandomPlacement
 from repro.config import ClusterConfig, SimulationConfig
+from repro.core.hyscale import (
+    _by_container_id,
+    _by_cpu_utilization,
+    _by_cpu_utilization_desc,
+)
 from repro.core.hyscale_mem import HyScaleCpuMem
 from repro.experiments.configs import cpu_bound, make_policy
 from repro.experiments.runner import Simulation
@@ -25,6 +30,15 @@ from repro.telemetry import (
 )
 from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
 from repro.workloads.bitbrains import generate_bitbrains_trace
+from repro.workloads.generator import ClientLoadGenerator
+
+
+class _FakeReplica:
+    """Minimal stand-in with the two fields the sort keys read."""
+
+    def __init__(self, container_id: str, cpu_utilization: float):
+        self.container_id = container_id
+        self.cpu_utilization = cpu_utilization
 
 
 def _fresh_simulation(
@@ -217,6 +231,46 @@ class TestEndToEndDeterminism:
         assert bare == sanitized
         assert sanitizer.violations() == ()
         assert sanitizer.steps_checked == simulation.engine.clock.step
+
+    def test_hot_path_fixes_are_behaviourally_inert(self):
+        """The FlowLint HOT fixes (prefetched arrival streams, hoisted
+        sort keys, registration-time profiler labels) must be invisible:
+        each optimized formulation is pinned to the per-step formulation
+        it replaced, and the bit-identity tests above pin the summaries
+        themselves."""
+        # Prefetched arrival streams ARE the registry's cached streams, so
+        # the generator draws the identical sequence a per-step
+        # ``rng.stream(f"arrivals/{name}")`` lookup would have drawn.
+        streams = RngStreams(7)
+        loads = [
+            ServiceLoad(
+                service=f"svc-{i}",
+                profile=CPU_BOUND,
+                pattern=HighBurstLoad(base=4.0, peak=14.0, period=40.0, duty=0.4),
+            )
+            for i in range(2)
+        ]
+        generator = ClientLoadGenerator(loads, streams, sink=lambda request: None)
+        for load, stream in generator._streams:
+            assert stream is streams.stream(f"arrivals/{load.service}")
+
+        # Module-level sort keys order exactly as the lambdas they replaced.
+        replicas = [_FakeReplica("c3", 0.2), _FakeReplica("c1", 0.9), _FakeReplica("c2", 0.5)]
+        assert sorted(replicas, key=_by_container_id, reverse=True) == sorted(
+            replicas, key=lambda r: r.container_id, reverse=True
+        )
+        assert sorted(replicas, key=_by_cpu_utilization) == sorted(
+            replicas, key=lambda r: r.cpu_utilization
+        )
+        assert sorted(replicas, key=_by_cpu_utilization_desc) == sorted(
+            replicas, key=lambda r: -r.cpu_utilization
+        )
+
+        # Profiler phase labels minted at registration equal the strings
+        # the profiled loop used to format every step.
+        simulation = _fresh_simulation(seed=7)
+        engine = simulation.engine
+        assert engine._actor_labels == [f"actor:{name}" for name, _ in engine._actors]
 
     def test_bitbrains_trace_is_a_pure_function_of_the_seed(self):
         trace_a = generate_bitbrains_trace(n_vms=8, duration=300.0, interval=30.0, seed=5)

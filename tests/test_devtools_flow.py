@@ -1,0 +1,427 @@
+"""Tests for FlowLint (``repro.devtools.flow``).
+
+A small fixture package — engine, worker, merge, and unit-convert modules
+under synthetic ``src/repro/...`` logical paths — exercises the call
+graph, reachability, effect summaries, every rule family, the baseline
+audit, and the ``repro.flow/1`` report codec.  A meta-test then asserts
+the real tree analyzes clean (the CI gate, asserted in-process),
+mirroring ``test_devtools_lint.py``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.flow.analyze import (
+    analyze_paths,
+    analyze_sources,
+    default_baseline,
+    main,
+)
+from repro.devtools.flow.baseline import (
+    BASELINE_SCHEMA,
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+)
+from repro.devtools.flow.callgraph import build_call_graph
+from repro.devtools.flow.effects import effects_of
+from repro.devtools.flow.reachability import discover_roots, reachable_from
+from repro.devtools.flow.report import FLOW_SCHEMA, render_flow_json
+from repro.devtools.flow.rules import flow_rule_catalog
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# ----------------------------------------------------------------------
+# Fixture package: a miniature repro tree with deliberate violations
+# ----------------------------------------------------------------------
+ENGINE_SRC = """\
+class Helper:
+    def tick(self) -> None:
+        labels = ["a", "b"]
+        if labels[0] in ["a", "c"]:
+            del labels
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.helper = Helper()
+
+    def step(self) -> None:
+        self.helper.tick()
+"""
+
+ACTOR_SRC = """\
+class Probe:
+    def on_step(self, clock: object) -> None:
+        key = f"probe/{clock}"
+        del key
+"""
+
+WORKER_SRC = """\
+import os
+
+COUNTER = {}
+
+
+def run_shard_payload(payload: dict) -> dict:
+    COUNTER["runs"] = 1
+    os.environ["SEED"] = "1"
+    return payload
+"""
+
+EXECUTOR_SRC = """\
+class SweepExecutor:
+    def _merge(self, results: list) -> list:
+        seen = set(results)
+        out = []
+        for item in seen:
+            out.append(item)
+        return out
+"""
+
+RESULT_SRC = """\
+def combine(names: list) -> list:
+    return [n for n in set(names)]
+"""
+
+UNITS_SRC = """\
+def push(rate_mbps: float) -> None:
+    del rate_mbps
+
+
+def as_mbit(value_mbit: float) -> float:
+    return value_mbit
+
+
+def go(size_mb: float, total: float) -> None:
+    push(size_mb)
+    chunk_mb = as_mbit(total)
+    del chunk_mb
+"""
+
+FIXTURE_SOURCES = [
+    ("src/repro/sim/engine.py", ENGINE_SRC),
+    ("src/repro/sim/probe.py", ACTOR_SRC),
+    ("src/repro/parallel/worker.py", WORKER_SRC),
+    ("src/repro/parallel/executor.py", EXECUTOR_SRC),
+    ("src/repro/parallel/result.py", RESULT_SRC),
+    ("src/repro/netsim/convert.py", UNITS_SRC),
+]
+
+
+def fixture_analysis(baseline=None):
+    if baseline is None:
+        return analyze_sources(list(FIXTURE_SOURCES))
+    return analyze_sources(list(FIXTURE_SOURCES), baseline)
+
+
+def rules_of(analysis):
+    return sorted({fv.rule for fv in analysis.report.unbaselined})
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_collects_methods_and_functions(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        assert "repro.sim.engine.Engine.step" in graph.functions
+        assert "repro.parallel.worker.run_shard_payload" in graph.functions
+        fn = graph.functions["repro.sim.engine.Engine.step"]
+        assert fn.module == "repro.sim.engine"
+        assert fn.cls == "Engine"
+        assert fn.path == "src/repro/sim/engine.py"
+
+    def test_resolves_attribute_call_through_constructor_type(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        # ``self.helper = Helper()`` types the attribute, so
+        # ``self.helper.tick()`` resolves precisely.
+        assert "repro.sim.engine.Helper.tick" in graph.callees(
+            "repro.sim.engine.Engine.step"
+        )
+
+    def test_bare_name_call_resolves_to_local_function(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        assert "repro.netsim.convert.push" in graph.callees(
+            "repro.netsim.convert.go"
+        )
+
+    def test_module_mutables_are_indexed(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        module = graph.modules["repro.parallel.worker"]
+        assert [name for name, _ in module.module_mutables] == ["COUNTER"]
+
+
+# ----------------------------------------------------------------------
+# Reachability
+# ----------------------------------------------------------------------
+class TestReachability:
+    def test_step_roots_include_engine_step_and_on_step_actors(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        roots = discover_roots(graph)
+        assert "repro.sim.engine.Engine.step" in roots.step
+        assert "repro.sim.probe.Probe.on_step" in roots.step
+
+    def test_worker_and_merge_roots(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        roots = discover_roots(graph)
+        assert roots.worker == ("repro.parallel.worker.run_shard_payload",)
+        assert "repro.parallel.executor.SweepExecutor._merge" in roots.merge
+        assert "repro.parallel.result.combine" in roots.merge
+
+    def test_step_reachability_is_transitive(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        roots = discover_roots(graph)
+        reachable = reachable_from(graph, roots.step)
+        assert "repro.sim.engine.Helper.tick" in reachable
+        # The worker never runs inside a step.
+        assert "repro.parallel.worker.run_shard_payload" not in reachable
+
+
+# ----------------------------------------------------------------------
+# Effect summaries
+# ----------------------------------------------------------------------
+class TestEffects:
+    def _summary(self, qualname):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        return effects_of(graph.functions[qualname])
+
+    def test_constant_list_literal_is_a_hoistable_allocation(self):
+        summary = self._summary("repro.sim.engine.Helper.tick")
+        kinds = {(s.kind, s.constant) for s in summary.allocations}
+        assert ("list-literal", True) in kinds
+
+    def test_list_membership_is_recorded(self):
+        summary = self._summary("repro.sim.engine.Helper.tick")
+        assert [m.detail for m in summary.memberships] == ["list literal"]
+
+    def test_fstring_allocation_is_recorded(self):
+        summary = self._summary("repro.sim.probe.Probe.on_step")
+        assert "fstring" in {s.kind for s in summary.allocations}
+
+    def test_environ_write_is_a_global_write(self):
+        summary = self._summary("repro.parallel.worker.run_shard_payload")
+        assert "os.environ" in {w.target for w in summary.global_writes}
+
+    def test_set_iteration_is_recorded(self):
+        summary = self._summary("repro.parallel.executor.SweepExecutor._merge")
+        assert [s.context for s in summary.set_iterations] == ["for-loop"]
+
+    def test_unit_signature_from_suffixes(self):
+        summary = self._summary("repro.netsim.convert.push")
+        assert "rate_mbps" in summary.param_units
+        returning = self._summary("repro.netsim.convert.as_mbit")
+        assert returning.return_unit is not None
+
+
+# ----------------------------------------------------------------------
+# Rule families
+# ----------------------------------------------------------------------
+class TestFlowRules:
+    def test_fixture_trips_every_family(self):
+        analysis = fixture_analysis()
+        found = rules_of(analysis)
+        for rule in ("HOT001", "HOT002", "HOT004", "PAR001", "PAR002", "PAR003", "UNIT002"):
+            assert rule in found, f"{rule} missing from {found}"
+
+    def test_violations_name_the_offending_function(self):
+        analysis = fixture_analysis()
+        par002 = [fv for fv in analysis.report.unbaselined if fv.rule == "PAR002"]
+        assert par002
+        assert all(
+            fv.function == "repro.parallel.worker.run_shard_payload" for fv in par002
+        )
+
+    def test_unit002_crosses_the_call_boundary(self):
+        analysis = fixture_analysis()
+        unit = [fv for fv in analysis.report.unbaselined if fv.rule == "UNIT002"]
+        messages = " / ".join(fv.message for fv in unit)
+        assert "push" in messages  # param mismatch
+        assert "as_mbit" in messages  # return mismatch
+
+    def test_catalog_covers_all_families(self):
+        catalog = flow_rule_catalog()
+        assert set(catalog) == {
+            "HOT001",
+            "HOT002",
+            "HOT003",
+            "HOT004",
+            "PAR001",
+            "PAR002",
+            "PAR003",
+            "UNIT002",
+        }
+        assert all(summary for summary in catalog.values())
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def _baseline(self, *entries):
+        return Baseline(path=".flowlint-baseline.json", entries=tuple(entries))
+
+    def test_matching_entry_suppresses_the_finding(self):
+        baseline = self._baseline(
+            BaselineEntry(
+                rule="PAR002",
+                function="repro.parallel.worker.run_shard_payload",
+                reason="fixture: acknowledged seed plumbing",
+            )
+        )
+        analysis = fixture_analysis(baseline)
+        assert "PAR002" not in rules_of(analysis)
+        assert any(fv.rule == "PAR002" for fv in analysis.report.suppressed)
+        assert analysis.report.baseline_audit == ()
+
+    def test_stale_entry_is_base001(self):
+        baseline = self._baseline(
+            BaselineEntry(rule="HOT001", function="repro.no.such.fn", reason="gone")
+        )
+        analysis = fixture_analysis(baseline)
+        assert [v.rule for v in analysis.report.baseline_audit] == ["BASE001"]
+        assert not analysis.clean
+
+    def test_missing_reason_is_base002(self):
+        baseline = self._baseline(
+            BaselineEntry(
+                rule="PAR002",
+                function="repro.parallel.worker.run_shard_payload",
+                reason="  ",
+            )
+        )
+        analysis = fixture_analysis(baseline)
+        assert "BASE002" in [v.rule for v in analysis.report.baseline_audit]
+
+    def test_apply_baseline_partitions_findings(self):
+        analysis = fixture_analysis()
+        findings = list(analysis.report.unbaselined)
+        key = findings[0]
+        baseline = self._baseline(
+            BaselineEntry(rule=key.rule, function=key.function, reason="fixture")
+        )
+        unbaselined, suppressed, audit = apply_baseline(findings, baseline)
+        assert key not in unbaselined
+        assert key in suppressed
+        assert audit == []
+
+    def test_load_baseline_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"schema": "nope", "entries": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_load_baseline_rejects_unparseable_file(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_load_baseline_roundtrip(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "entries": [
+                        {"rule": "PAR001", "function": "repro.x.y", "reason": "why"}
+                    ],
+                }
+            )
+        )
+        baseline = load_baseline(path)
+        assert baseline.keys() == frozenset({("PAR001", "repro.x.y")})
+
+
+# ----------------------------------------------------------------------
+# Report codec
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_schema_and_sections(self):
+        payload = json.loads(render_flow_json(fixture_analysis().report))
+        assert payload["schema"] == FLOW_SCHEMA
+        assert payload["catalogue_version"]
+        assert set(payload["rules"]) == set(flow_rule_catalog())
+        assert payload["graph"]["functions"] > 0
+        assert payload["reachable"]["step"] >= 2
+
+    def test_inventory_ranks_step_reachable_allocations(self):
+        report = fixture_analysis().report
+        assert report.inventory
+        assert [e.rank for e in report.inventory] == list(
+            range(1, len(report.inventory) + 1)
+        )
+        # Only step-reachable functions contribute.
+        assert all("parallel" not in e.function for e in report.inventory)
+
+    def test_report_is_byte_identical_across_runs(self):
+        first = render_flow_json(fixture_analysis().report)
+        second = render_flow_json(fixture_analysis().report)
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# CLI (python -m repro.devtools.flow)
+# ----------------------------------------------------------------------
+class TestCli:
+    def _write_fixture_tree(self, root: Path) -> None:
+        for logical, source in FIXTURE_SOURCES:
+            path = root / logical
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        self._write_fixture_tree(tmp_path)
+        assert main(["src/repro", "--root", str(tmp_path)]) == 1
+        assert "PAR002" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main(["no-such-dir", "--root", str(tmp_path)]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_exit_two_on_malformed_baseline(self, tmp_path, capsys):
+        self._write_fixture_tree(tmp_path)
+        (tmp_path / ".flowlint-baseline.json").write_text("{not json")
+        assert main(["src/repro", "--root", str(tmp_path)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        self._write_fixture_tree(tmp_path)
+        assert main(["src/repro", "--root", str(tmp_path), "--write-baseline"]) == 0
+        capsys.readouterr()
+        # Entries are written without reasons ("TODO: justify" placeholders
+        # count as reasons), so the next run is clean.
+        assert main(["src/repro", "--root", str(tmp_path)]) == 0
+        assert "0 unbaselined" in capsys.readouterr().out
+
+    def test_report_flag_writes_canonical_json(self, tmp_path, capsys):
+        self._write_fixture_tree(tmp_path)
+        report_path = tmp_path / "flow.json"
+        main(["src/repro", "--root", str(tmp_path), "--report", str(report_path)])
+        capsys.readouterr()
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == FLOW_SCHEMA
+
+    def test_list_rules_flag(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in flow_rule_catalog():
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# The real tree must analyze clean (the CI gate, asserted in-process)
+# ----------------------------------------------------------------------
+class TestRepositoryAnalyzesClean:
+    def test_src_repro_analyzes_clean(self):
+        baseline = default_baseline(REPO_ROOT)
+        analysis = analyze_paths(["src/repro"], root=REPO_ROOT, baseline=baseline)
+        assert len(analysis.graph.functions) > 500  # the walker found the tree
+        assert len(analysis.report.inventory) >= 10  # the ranked work-list exists
+        assert analysis.clean, "\n" + "\n".join(
+            v.render() for v in analysis.violations
+        )
