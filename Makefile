@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint analyze test test-simsan bench bench-full profile telemetry-check sanitize sweep-check reproduce examples clean
+.PHONY: install lint analyze test test-simsan bench bench-full profile telemetry-check sanitize sweep-check engine-bench reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -65,6 +65,13 @@ sanitize:
 # speedup.  Uploaded as a CI artifact.
 sweep-check:
 	PYTHONPATH=src python -m repro.parallel.check --out BENCH_sweep_parallel.json --jobs 2
+
+# Engine-backend end-to-end probe (docs/engine.md): asserts every policy
+# is byte-identical on the array vs object engine at paper scale, then
+# measures steps/sec on both backends at 24/200/1,000 nodes (>= 5x at
+# 1,000 nodes is the acceptance gate).  Uploaded as a CI artifact.
+engine-bench:
+	PYTHONPATH=src python -m repro.engine_core.check --out BENCH_engine_scale.json
 
 reproduce:
 	hyscale-repro reproduce

@@ -25,6 +25,7 @@ See ``examples/`` for full scenarios and ``benchmarks/`` for the scripts
 that regenerate every figure in the paper.
 """
 
+from repro.cluster.grants import ResourceGrants
 from repro.config import ClusterConfig, OverheadModel, PAPER_CONFIG, SimulationConfig
 from repro.core import (
     AddReplica,
@@ -39,6 +40,7 @@ from repro.core import (
     VerticalScale,
     resolve_policy,
 )
+from repro.engine_core import ClusterState, register_backend, registered_backends, resolve_backend
 from repro.errors import ReproError
 from repro.experiments.runner import Simulation, run_experiment  # lint: disable=API002(back-compat re-export of the deprecated shim)
 from repro.experiments.spec import RunSpec, SweepSpec
@@ -95,6 +97,12 @@ __all__ = [
     "run_experiment",
     "RunSpec",
     "SweepSpec",
+    # engine backends
+    "ClusterState",
+    "ResourceGrants",
+    "resolve_backend",
+    "register_backend",
+    "registered_backends",
     # parallel sweeps
     "SweepExecutor",
     "SweepResult",

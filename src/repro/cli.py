@@ -43,6 +43,7 @@ from repro.experiments.section3 import (
     memory_scaling_table,
     network_scaling_curve,
 )
+from repro.engine_core.backend import registered_backends
 from repro.experiments.spec import SEED_MODES, RunSpec
 from repro.workloads.bitbrains import generate_bitbrains_trace
 
@@ -91,7 +92,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cost_reports = {}
     event_logs = {}
     wants_metrics = bool(args.metrics_out or args.openmetrics_out)
-    needs_simulation = args.costs or args.events > 0 or args.trace_out or wants_metrics
+    # A non-default engine backend rides the serial in-process path: the
+    # sweep executor's shard cache is keyed on results, which backends never
+    # change, so fanning out non-default engines would only launder cache
+    # entries produced by a different code path.
+    needs_simulation = (
+        args.costs or args.events > 0 or args.trace_out or wants_metrics
+        or args.engine != "object"
+    )
     multiple = len(args.algorithms) > 1
     if needs_simulation:
         # Observation plumbing (traces, cost ledgers, live registries)
@@ -117,6 +125,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 policy=algorithm,
                 workload_label=spec.label,
                 tracer=tracer,
+                backend=args.engine,
                 **({"telemetry": registry, "slo": slo} if registry is not None else {}),
             )
             summaries[algorithm] = simulation.run(spec.duration)
@@ -503,6 +512,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="'shared' replays the identical arrival sequence under every "
         "algorithm (the paper's method, default); 'per_shard' derives an "
         "independent stream per (workload, algorithm) shard",
+    )
+    run.add_argument(
+        "--engine",
+        choices=registered_backends(),
+        default="object",
+        help="engine backend: 'object' is the scalar reference engine, "
+        "'array' keeps container state in a struct-of-arrays store "
+        "(bit-identical results, faster at scale; see docs/engine.md)",
     )
     run.set_defaults(func=_cmd_run)
 

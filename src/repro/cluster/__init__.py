@@ -3,6 +3,7 @@
 from repro.cluster.cluster import Cluster
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.fairshare import weighted_fair_share
+from repro.cluster.grants import ResourceGrants
 from repro.cluster.microservice import Microservice, MicroserviceSpec
 from repro.cluster.node import Node
 from repro.cluster.placement import (
@@ -20,6 +21,7 @@ __all__ = [
     "Microservice",
     "MicroserviceSpec",
     "Node",
+    "ResourceGrants",
     "ResourceVector",
     "weighted_fair_share",
     "PlacementStrategy",

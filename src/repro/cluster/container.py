@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import enum
 import itertools
+import warnings
 
+from repro.cluster.grants import ResourceGrants
 from repro.config import OverheadModel
 from repro.errors import ContainerStateError
 from repro.units import cores_to_shares
@@ -142,7 +144,7 @@ class Container:
         """In-flight requests still in their compute phase (arrival order).
 
         Progress flows through a *sliding* thread-pool window (see
-        :meth:`advance_compute`), so short requests queued behind the first
+        :meth:`advance`), so short requests queued behind the first
         ``max_concurrency`` can still complete within one step; the window
         bounds simultaneous residency (memory), not per-step turnover.
         """
@@ -195,7 +197,24 @@ class Container:
             return node_capacity
         return min(background, node_capacity)
 
-    def advance_compute(self, granted_cores: float, dt: float, contention_factor: float) -> None:
+    def advance(self, grants: ResourceGrants, dt: float) -> None:
+        """Spend this step's resource grants on in-flight work.
+
+        The unified scheduling entry point: the node awards CPU, disk, and
+        network through one frozen :class:`ResourceGrants` value; only the
+        phases whose grants are present are advanced, so each scheduler
+        pass stays independent.  Replaces the ``advance_compute`` /
+        ``advance_disk`` / ``advance_network`` trio (kept below as
+        deprecated shims).
+        """
+        if grants.cpu is not None:
+            self._advance_compute(grants.cpu, dt, grants.contention)
+        if grants.disk is not None:
+            self._advance_disk(grants.disk, dt)
+        if grants.net is not None:
+            self._advance_network(grants.net, dt)
+
+    def _advance_compute(self, granted_cores: float, dt: float, contention_factor: float) -> None:
         """Spend a CPU grant on in-flight compute, processor-sharing style.
 
         Parameters
@@ -254,7 +273,7 @@ class Container:
             return 0.0
         return sum(r.disk_remaining for r in self.disk_phase_requests()) / dt
 
-    def advance_disk(self, granted_mb_per_s: float, dt: float) -> None:
+    def _advance_disk(self, granted_mb_per_s: float, dt: float) -> None:
         """Spend a disk grant (MB/s) on pending I/O, fair-share epochs."""
         if granted_mb_per_s < 0 or dt <= 0:
             raise ContainerStateError("invalid disk grant")
@@ -293,7 +312,7 @@ class Container:
             demand = min(demand, self._net_cpu_headroom / coefficient)
         return demand
 
-    def advance_network(self, granted_mbps: float, dt: float) -> None:
+    def _advance_network(self, granted_mbps: float, dt: float) -> None:
         """Spend a NIC grant on pending response payloads (fair split)."""
         if granted_mbps < 0 or dt <= 0:
             raise ContainerStateError("invalid network grant")
@@ -321,6 +340,40 @@ class Container:
         # Networking syscalls burn CPU proportional to bytes pushed; the
         # monitor sees it as CPU usage (it is, to `docker stats`).
         self.cpu_usage += self.net_usage * self.overheads.net_cpu_per_mbit
+
+    # ------------------------------------------------------------------
+    # Deprecated per-resource entry points (use ``advance``)
+    # ------------------------------------------------------------------
+    def advance_compute(self, granted_cores: float, dt: float, contention_factor: float) -> None:
+        """Deprecated: call :meth:`advance` with ``ResourceGrants(cpu=...)``."""
+        warnings.warn(
+            "Container.advance_compute() is deprecated; call "
+            "Container.advance(ResourceGrants(cpu=..., contention=...), dt) "
+            "(see docs/engine.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.advance(ResourceGrants(cpu=granted_cores, contention=contention_factor), dt)
+
+    def advance_disk(self, granted_mb_per_s: float, dt: float) -> None:
+        """Deprecated: call :meth:`advance` with ``ResourceGrants(disk=...)``."""
+        warnings.warn(
+            "Container.advance_disk() is deprecated; call "
+            "Container.advance(ResourceGrants(disk=...), dt) (see docs/engine.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.advance(ResourceGrants(disk=granted_mb_per_s), dt)
+
+    def advance_network(self, granted_mbps: float, dt: float) -> None:
+        """Deprecated: call :meth:`advance` with ``ResourceGrants(net=...)``."""
+        warnings.warn(
+            "Container.advance_network() is deprecated; call "
+            "Container.advance(ResourceGrants(net=...), dt) (see docs/engine.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.advance(ResourceGrants(net=granted_mbps), dt)
 
     # ------------------------------------------------------------------
     # Lifecycle

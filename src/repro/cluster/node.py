@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.cluster.container import Container
 from repro.cluster.disk import DiskDevice
+from repro.cluster.grants import ResourceGrants
 from repro.cluster.fairshare import weighted_fair_share
 from repro.cluster.resources import ResourceVector
 from repro.config import OverheadModel
@@ -82,6 +83,59 @@ class Node:
     def can_fit(self, request: ResourceVector) -> bool:
         """True if the requested allocation fits in current availability."""
         return request.fits_within(self.available())
+
+    def make_container(
+        self,
+        service: str,
+        replica_index: int,
+        *,
+        cpu_request: float,
+        mem_limit: float,
+        net_rate: float,
+        created_at: float = 0.0,
+        boot_delay: float = 0.0,
+        max_concurrency: int = 16,
+        disk_quota: float = 50.0,
+        container_id: str | None = None,
+    ) -> Container:
+        """Construct a container for this node (factory hook).
+
+        The daemon routes ``docker run`` through this so array-backed nodes
+        can mint :class:`~repro.engine_core.views.ContainerView` instances
+        bound to their slot in the state store instead of plain containers.
+        """
+        return Container(
+            service=service,
+            replica_index=replica_index,
+            cpu_request=cpu_request,
+            mem_limit=mem_limit,
+            net_rate=net_rate,
+            created_at=created_at,
+            boot_delay=boot_delay,
+            max_concurrency=max_concurrency,
+            disk_quota=disk_quota,
+            overheads=self.overheads,
+            container_id=container_id,
+        )
+
+    def maybe_oom_kills(self) -> bool:
+        """Cheap pre-check: could this node host an OOM-killed container?
+
+        The base node cannot answer without scanning, so it always says
+        yes; array-backed nodes keep a counter and answer in O(1), letting
+        the daemon's per-step reap skip the scan on healthy nodes.
+        """
+        return True
+
+    def stats_buffer(self, horizon: float) -> object | None:
+        """Frame-based stats recorder, or ``None`` for per-container windows.
+
+        The node manager asks its node for this once at construction: the
+        base node has no batched representation (the NM keeps classic
+        :class:`~repro.dockersim.stats.StatsWindow` histories); array-backed
+        nodes return a :class:`repro.engine_core.kernels.NodeStatsBuffer`.
+        """
+        return None
 
     def add_container(self, container: Container, *, enforce_capacity: bool = True) -> None:
         """Host a container, wiring up its NIC shaping class."""
@@ -175,7 +229,7 @@ class Node:
                 self.overheads.colocation_cap,
             )
         for container, granted in zip(containers, grants):
-            container.advance_compute(granted, dt, contention)
+            container.advance(ResourceGrants(cpu=granted, contention=contention), dt)
 
     def _schedule_disk(self, dt: float) -> None:
         """Fair-share the disk device over containers with pending I/O."""
@@ -187,7 +241,7 @@ class Node:
             return
         grants = self.disk.transfer(offered)
         for container in containers:
-            container.advance_disk(grants.get(container.container_id, 0.0), dt)
+            container.advance(ResourceGrants(disk=grants.get(container.container_id, 0.0)), dt)
 
     def _schedule_network(self, dt: float) -> None:
         """HTB shaping + tx-queue contention over all serving containers."""
@@ -199,7 +253,7 @@ class Node:
             return
         throughput = self.nic.transmit(offered)
         for container in containers:
-            container.advance_network(throughput.get(container.container_id, 0.0), dt)
+            container.advance(ResourceGrants(net=throughput.get(container.container_id, 0.0)), dt)
 
     def drain_finished(self) -> list[Request]:
         """Hand over and clear requests that finished on this node."""

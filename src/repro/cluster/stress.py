@@ -37,7 +37,7 @@ class CpuStressContainer(Container):
         """Always saturate: stress spins on every core it can get."""
         return node_capacity if self.is_serving else 0.0
 
-    def advance_compute(self, granted_cores: float, dt: float, contention_factor: float) -> None:
+    def _advance_compute(self, granted_cores: float, dt: float, contention_factor: float) -> None:
         """Burn the grant; there are no requests to progress."""
         self.cpu_usage = granted_cores
 
@@ -69,6 +69,6 @@ class NetStressContainer(Container):
         """Constant offered load regardless of grants (an iperf -u flood)."""
         return self.offered_mbps if self.is_serving else 0.0
 
-    def advance_network(self, granted_mbps: float, dt: float) -> None:
+    def _advance_network(self, granted_mbps: float, dt: float) -> None:
         """Track throughput; the flood itself never completes."""
         self.net_usage = granted_mbps

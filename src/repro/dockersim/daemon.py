@@ -50,9 +50,9 @@ class DockerDaemon:
         container_id: str | None = None,
     ) -> Container:
         """Create and host a container; it serves traffic once booted."""
-        container = Container(
-            service=service,
-            replica_index=replica_index,
+        container = self.node.make_container(
+            service,
+            replica_index,
             cpu_request=cpu_request,
             mem_limit=mem_limit,
             net_rate=net_rate,
@@ -60,7 +60,6 @@ class DockerDaemon:
             boot_delay=boot_delay,
             max_concurrency=max_concurrency,
             disk_quota=disk_quota,
-            overheads=self.node.overheads,
             container_id=container_id,
         )
         self.node.add_container(container, enforce_capacity=enforce_capacity)
@@ -148,6 +147,8 @@ class DockerDaemon:
 
     def reap_oom_kills(self, now: float) -> list[Container]:
         """Clear kernel-killed containers off the node; return the corpses."""
+        if not self.node.maybe_oom_kills():
+            return []
         reaped = []
         for container in list(self.node.containers.values()):
             if container.state.name == "OOM_KILLED":

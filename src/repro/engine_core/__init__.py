@@ -1,0 +1,45 @@
+"""Array-backed engine core: the ClusterState store, views, and kernels.
+
+The scalar engine steps every container as a Python object; that caps
+practical runs at tens of nodes.  This package keeps the *object API*
+(:class:`~repro.cluster.cluster.Cluster`, :class:`~repro.cluster.node.Node`,
+:class:`~repro.cluster.container.Container`) intact but re-homes the hot
+numeric state in a struct-of-arrays :class:`ClusterState` store:
+
+* :class:`ClusterState` — one growable column per hot field (allocations,
+  measured usage, CPU headroom), numpy-backed when numpy imports and plain
+  Python lists otherwise (dependency-optional);
+* :class:`ContainerView` / :class:`NodeView` — drop-in subclasses whose hot
+  fields are properties over store slots, so policies, SimSan, the tracer,
+  telemetry, and every existing test read and write the same API;
+* :mod:`~repro.engine_core.kernels` — batched per-step kernels for the top
+  PhaseProfiler phases (quiet-node scheduling, ``_MetricsActor`` sampling,
+  node-manager stats windows);
+* :mod:`~repro.engine_core.backend` — the ``"object" | "array"`` backend
+  registry threaded through ``Simulation.build`` / ``RunSpec`` /
+  ``hyscale-repro run --engine``.
+
+The array backend is bit-identical to the scalar path (asserted at paper
+scale for all registered policies by :mod:`repro.engine_core.check` and the
+scalar-vs-array test suite); the object backend stays the default.  See
+``docs/engine.md``.
+"""
+
+from repro.engine_core.backend import (
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.engine_core.cluster import ArrayCluster
+from repro.engine_core.store import ClusterState
+from repro.engine_core.views import ContainerView, NodeView
+
+__all__ = [
+    "ArrayCluster",
+    "ClusterState",
+    "ContainerView",
+    "NodeView",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+]

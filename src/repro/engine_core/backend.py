@@ -1,0 +1,80 @@
+"""The engine-backend registry: one place where backend names become clusters.
+
+Mirrors :mod:`repro.core.registry` (the policy-name registry): the CLI's
+``--engine`` flag, :meth:`Simulation.build`'s ``backend=`` knob, and
+:class:`~repro.experiments.spec.RunSpec` all resolve names here, and
+:func:`register_backend` lets extension code plug in alternative engines
+under their own names.
+
+A backend is simply the :class:`~repro.cluster.cluster.Cluster` class the
+simulation is wired over — everything else (daemons, node managers, the
+monitor, policies) is backend-agnostic because array clusters present the
+exact object API through views.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.engine_core.cluster import ArrayCluster
+from repro.errors import ExperimentError
+
+#: The default backend: the scalar object engine, byte-untouched.
+DEFAULT_BACKEND = "object"
+
+
+class _BackendRegistry:
+    """Name -> cluster-class table, populated with the built-ins.
+
+    The table lives on an instance (not a bare module dict) so the lookup
+    paths that run inside sweep workers carry no module-level mutable
+    state; like the policy registry, it is fully populated at import time
+    and only read afterwards, so every worker resolves identically.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, type[Cluster]] = {
+            "object": Cluster,
+            "array": ArrayCluster,
+        }
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def add(self, name: str, cluster_cls: type[Cluster], *, replace: bool) -> None:
+        if not name:
+            raise ExperimentError("backend name must be non-empty")
+        if not (isinstance(cluster_cls, type) and issubclass(cluster_cls, Cluster)):
+            raise ExperimentError(f"backend {name!r} must be a Cluster subclass")
+        if name in self._entries and not replace:
+            raise ExperimentError(f"backend {name!r} is already registered")
+        self._entries[name] = cluster_cls
+
+    def resolve(self, backend: str) -> type[Cluster]:
+        try:
+            return self._entries[backend]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown engine backend {backend!r}; known: {self.names()}"
+            ) from None
+
+
+_REGISTRY = _BackendRegistry()
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Every resolvable backend name, sorted."""
+    return _REGISTRY.names()
+
+
+def register_backend(name: str, cluster_cls: type[Cluster], *, replace: bool = False) -> None:
+    """Add an engine backend under ``name``.
+
+    Raises :class:`~repro.errors.ExperimentError` if the name is taken and
+    ``replace`` is not set, or if ``cluster_cls`` is not a ``Cluster``.
+    """
+    _REGISTRY.add(name, cluster_cls, replace=replace)
+
+
+def resolve_backend(backend: str) -> type[Cluster]:
+    """Coerce a backend name to its cluster class."""
+    return _REGISTRY.resolve(backend)

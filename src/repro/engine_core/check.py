@@ -1,0 +1,293 @@
+"""Self-contained engine-backend validation (``make engine-bench``).
+
+Checks the two halves of the engine-core contract end to end:
+
+1. **Parity** — at the paper's scale (24 worker nodes) every registered
+   autoscaling policy produces **byte-identical** results on the array
+   backend and the scalar object backend: same summary dict, same
+   scaling-event stream, same timeline, same decision-trace JSONL, same
+   telemetry exports.  This is asserted, not sampled: the array engine is
+   only allowed to be a faster spelling of the same simulation.
+2. **Scale** — a datacenter-shaped fleet (~50 containers per node, one
+   hot service under bursty load) is stepped on both backends at 24, 200
+   and 1,000 nodes; steps/sec and simulated-seconds-per-wall-second are
+   recorded for each, summaries are compared at every scale, and the
+   acceptance criterion — array >= 5x object steps/sec at 1,000 nodes
+   with >= 50,000 containers — is asserted.
+
+Writes a machine-readable report (default ``BENCH_engine_scale.json`` —
+uploaded as a CI artifact next to the other BENCH files).  Exits non-zero
+on any failed check.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.engine_core.check --out BENCH_engine_scale.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cluster import MicroserviceSpec
+from repro.cluster.node import Node
+from repro.cluster.placement import PlacementStrategy
+from repro.cluster.resources import ResourceVector
+from repro.config import ClusterConfig, SimulationConfig
+from repro.core.registry import registered_policies
+from repro.experiments.runner import Simulation
+from repro.metrics.sla import Sla
+from repro.obs import DecisionTracer, spans_to_jsonl
+# A *reference* to the profiler's timer (never a module-level wall-clock
+# call): timing here measures engine throughput, not simulated behaviour.
+from repro.obs.profiler import DEFAULT_TIMER
+from repro.telemetry import MetricRegistry, SloTracker, render_openmetrics, snapshot_to_jsonl
+from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
+
+#: Paper-scale parity probe: worker-node count and simulated duration.
+PARITY_NODES = 24
+PARITY_DURATION = 60.0
+
+#: Scale-bench fleet shape: (worker nodes, fill services, replicas each).
+SCALES = (
+    (24, 12, 100),
+    (200, 20, 500),
+    (1000, 100, 500),
+)
+
+#: Untimed sim-seconds before the measured window (boots finish at 2 s).
+WARMUP_DURATION = 5.0
+
+#: Timed sim-seconds per scale point (largest fleet gets the shortest
+#: window: the object engine's per-step cost grows with container count).
+BENCH_DURATIONS = {24: 60.0, 200: 30.0, 1000: 10.0}
+
+#: Acceptance criteria at the largest scale point.
+SPEEDUP_THRESHOLD = 5.0
+CONTAINER_FLOOR = 50_000
+
+
+class _RoundRobinPlacement(PlacementStrategy):
+    """O(1)-amortized placement for the scale bench.
+
+    The shipped strategies rank the full feasible set on every decision —
+    O(nodes x containers) per replica, which swamps a 50,000-replica
+    deployment.  The bench only needs *a* deterministic spread, so this
+    strategy walks the node list with a cursor and takes the first node
+    that fits.  Both backends use the same instance sequence, so the
+    placement stream is identical by construction.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self,
+        nodes: list[Node],
+        request: ResourceVector,
+        *,
+        exclude_service: str | None = None,
+    ) -> Node | None:
+        count = len(nodes)
+        for probe in range(count):
+            node = nodes[(self._cursor + probe) % count]
+            if node.can_fit(request):
+                self._cursor = (self._cursor + probe + 1) % count
+                return node
+        return None
+
+    def rank(self, candidates: list[Node], request: ResourceVector) -> Node:
+        return candidates[0]
+
+
+# ----------------------------------------------------------------------
+# Parity probe (the determinism contract between backends)
+# ----------------------------------------------------------------------
+def _parity_fingerprint(policy: str, backend: str) -> tuple:
+    """One fully observed run; returns every byte-comparable artefact."""
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=PARITY_NODES), seed=7)
+    specs = [
+        MicroserviceSpec(
+            name=f"svc-{i}", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, max_replicas=8
+        )
+        for i in range(2)
+    ]
+    loads = [
+        ServiceLoad(
+            service=spec.name,
+            profile=CPU_BOUND,
+            pattern=HighBurstLoad(base=4.0, peak=14.0, period=40.0, duty=0.4),
+        )
+        for spec in specs
+    ]
+    tracer = DecisionTracer()
+    registry = MetricRegistry()
+    slo = SloTracker(Sla(response_time_target=5.0, availability_target=0.95))
+    simulation = Simulation.build(
+        config=config,
+        specs=specs,
+        loads=loads,
+        policy=policy,
+        workload_label="engine-parity",
+        tracer=tracer,
+        telemetry=registry,
+        slo=slo,
+        backend=backend,
+    )
+    summary = simulation.run(PARITY_DURATION)
+    now = simulation.engine.clock.now
+    return (
+        summary.to_dict(),
+        list(simulation.collector.events.events()),
+        list(simulation.collector.timeline),
+        spans_to_jsonl(tracer.spans()),
+        render_openmetrics(registry),
+        snapshot_to_jsonl(registry, now=now, alerts=slo.alerts()),
+    )
+
+
+_ARTEFACTS = ("summary", "events", "timeline", "trace", "openmetrics", "snapshot")
+
+
+def _check_parity(checks: dict[str, bool]) -> list[str]:
+    """Every policy, both backends, byte-compared artefact by artefact."""
+    mismatches: list[str] = []
+    for policy in registered_policies():
+        reference = _parity_fingerprint(policy, "object")
+        candidate = _parity_fingerprint(policy, "array")
+        bad = [
+            name for name, ref, got in zip(_ARTEFACTS, reference, candidate) if ref != got
+        ]
+        checks[f"parity_{policy}"] = not bad
+        mismatches.extend(f"{policy}:{name}" for name in bad)
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# Scale bench (steps/sec at datacenter fleet sizes)
+# ----------------------------------------------------------------------
+def _scale_simulation(backend: str, nodes: int, fill_services: int, replicas: int) -> Simulation:
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=nodes), seed=7)
+    specs = [
+        MicroserviceSpec(
+            name="hot", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, max_replicas=16
+        )
+    ]
+    loads = [
+        ServiceLoad(
+            service="hot",
+            profile=CPU_BOUND,
+            pattern=HighBurstLoad(base=4.0, peak=14.0, period=40.0, duty=0.4),
+        )
+    ]
+    # ~50 quiet containers per node: sized so a node's worth fits in the
+    # default 4-core / 8 GiB capacity with headroom for the hot service.
+    for i in range(fill_services):
+        specs.append(
+            MicroserviceSpec(
+                name=f"fill-{i:03d}",
+                cpu_request=0.05,
+                mem_limit=128.0,
+                net_rate=1.0,
+                min_replicas=replicas,
+                max_replicas=replicas,
+            )
+        )
+    return Simulation.build(
+        config=config,
+        specs=specs,
+        loads=loads,
+        policy="hybrid",
+        workload_label="engine-scale",
+        placement=_RoundRobinPlacement(),
+        backend=backend,
+    )
+
+
+def _bench_scale(nodes: int, fill_services: int, replicas: int) -> dict:
+    duration = BENCH_DURATIONS[nodes]
+    point: dict = {"nodes": nodes, "bench_duration": duration}
+    summaries = {}
+    for backend in ("object", "array"):
+        simulation = _scale_simulation(backend, nodes, fill_services, replicas)
+        simulation.run(WARMUP_DURATION)
+        started = DEFAULT_TIMER()
+        summary = simulation.run(duration)
+        wall = DEFAULT_TIMER() - started
+        steps = duration / simulation.engine.clock.dt
+        containers = sum(len(n.containers) for n in simulation.cluster.nodes.values())
+        summaries[backend] = summary.to_dict()
+        point[backend] = {
+            "wall_seconds": round(wall, 6),
+            "steps_per_second": round(steps / wall, 4) if wall > 0 else None,
+            "sim_seconds_per_wall_second": round(duration / wall, 4) if wall > 0 else None,
+            "containers": containers,
+        }
+    point["speedup"] = (
+        round(point["array"]["steps_per_second"] / point["object"]["steps_per_second"], 4)
+        if point["object"]["steps_per_second"]
+        else None
+    )
+    point["summaries_identical"] = summaries["object"] == summaries["array"]
+    return point
+
+
+def run_check(out: Path) -> int:
+    """Run parity + scale probes, validate, write the report."""
+    checks: dict[str, bool] = {}
+
+    mismatches = _check_parity(checks)
+
+    scale_points = []
+    for nodes, fill_services, replicas in SCALES:
+        point = _bench_scale(nodes, fill_services, replicas)
+        checks[f"scale_{point['nodes']}_summaries_identical"] = point["summaries_identical"]
+        scale_points.append(point)
+
+    top = scale_points[-1]
+    checks["scale_1000_container_floor"] = top["array"]["containers"] >= CONTAINER_FLOOR
+    checks["scale_1000_speedup_at_least_5x"] = (
+        top["speedup"] is not None and top["speedup"] >= SPEEDUP_THRESHOLD
+    )
+
+    report = {
+        "schema": "repro.engine-check/1",
+        "parity_nodes": PARITY_NODES,
+        "parity_duration": PARITY_DURATION,
+        "policies": list(registered_policies()),
+        "parity_mismatches": mismatches,
+        "scales": scale_points,
+        "speedup_threshold": SPEEDUP_THRESHOLD,
+        "container_floor": CONTAINER_FLOOR,
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    for name, passed in sorted(checks.items()):
+        print(f"  {'PASS' if passed else 'FAIL'}  {name}")
+    print(
+        f"engine-bench: {len(registered_policies())} policies bit-identical at "
+        f"{PARITY_NODES} nodes, x{top['speedup']} at {top['nodes']} nodes "
+        f"({top['array']['containers']} containers) -> {out}"
+    )
+    return 0 if report["ok"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``python -m repro.engine_core.check``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_engine_scale.json"),
+        help="report path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    return run_check(args.out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""The array-backed cluster: object bookkeeping over a ClusterState store.
+
+:class:`ArrayCluster` is a drop-in :class:`~repro.cluster.cluster.Cluster`
+whose nodes are :class:`~repro.engine_core.views.NodeView` instances sharing
+one cluster-wide :class:`~repro.engine_core.store.ClusterState`.  Slots are
+cluster-scoped, so live migration between array nodes moves a view without
+copying state.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.config import OverheadModel
+from repro.engine_core.kernels import sample_metrics
+from repro.engine_core.store import ClusterState
+from repro.engine_core.views import NodeView
+from repro.workloads.requests import Request
+
+
+class ArrayCluster(Cluster):
+    """A cluster whose hot container state lives in one array store."""
+
+    def __init__(self, overheads: OverheadModel | None = None):
+        super().__init__(overheads)
+        self.state = ClusterState()
+        self._sorted_cache: list[Node] | None = None
+
+    def make_node(self, name: str, capacity: ResourceVector, *, disk_capacity: float) -> Node:
+        return NodeView(
+            name, capacity, self.overheads, disk_capacity=disk_capacity, store=self.state
+        )
+
+    # ------------------------------------------------------------------
+    # Cached deterministic iteration (fleet membership changes rarely).
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        super().add_node(node)
+        self._sorted_cache = None
+
+    def remove_node(self, name: str, now: float) -> list[Request]:
+        casualties = super().remove_node(name, now)
+        self._sorted_cache = None
+        return casualties
+
+    def sorted_nodes(self) -> list[Node]:
+        if self._sorted_cache is None:
+            self._sorted_cache = [self.nodes[name] for name in sorted(self.nodes)]
+        return self._sorted_cache
+
+    # ------------------------------------------------------------------
+    # Batched kernels
+    # ------------------------------------------------------------------
+    def metrics_totals(self) -> tuple[float, float, float, float, float, int, int]:
+        return sample_metrics(self)

@@ -1,0 +1,253 @@
+"""Batched kernels over the ClusterState store.
+
+Three per-step phases dominate the scalar profile at scale; each gets a
+batched formulation here, each *bit-identical* to the scalar code it
+replaces (the parity proofs live in docs/engine.md; the assertions live in
+the scalar-vs-array test suite and ``repro.engine_core.check``):
+
+* :func:`quiet_node_step` — the per-node scheduling pass reduced to bulk
+  column writes when a node provably has no in-flight work;
+* :func:`sample_metrics` — the `_MetricsActor` timeline aggregates as
+  order-exact batched reductions (Python left-fold over gathered columns,
+  so the float sums match the scalar ``+=`` chain exactly);
+* :class:`NodeStatsBuffer` — per-node ``docker stats`` history as shared
+  per-step *frames* instead of 50k per-container sample objects, answering
+  ``mean_stats`` queries with the exact ``StatsWindow.mean_over`` floats.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.dockersim.stats import StatsSample
+from repro.engine_core.store import STATS_COLUMNS, ClusterState
+from repro.errors import ContainerNotFound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (views import us)
+    from repro.engine_core.cluster import ArrayCluster
+    from repro.engine_core.views import NodeView
+
+#: Row indices into a stats frame matrix (rows follow ``STATS_COLUMNS``).
+_USAGE_ROWS = (0, 2, 4, 6)  # cpu_usage, mem_usage, net_usage, disk_usage
+_ALLOC_ROWS = (1, 3, 5, 7)  # cpu_request, mem_limit, net_rate, disk_quota
+
+
+def quiet_node_step(
+    store: ClusterState, serving_packed: Any, background_cpu: float, base_memory: float
+) -> None:
+    """The scalar node step, collapsed, for a provably idle node.
+
+    With no in-flight requests anywhere on the node, no boots, and fair
+    share provably granting each serving container exactly its background
+    demand, the scalar step writes exactly these five constants per
+    serving container — so write them in bulk.
+    """
+    store.fill("cpu_usage", serving_packed, background_cpu)
+    store.fill("mem_usage", serving_packed, base_memory)
+    store.fill("net_usage", serving_packed, 0.0)
+    store.fill("disk_usage", serving_packed, 0.0)
+    store.fill("net_cpu_headroom", serving_packed, 0.0)
+
+
+def sample_metrics(cluster: "ArrayCluster") -> tuple[float, float, float, float, float, int, int]:
+    """The `_MetricsActor` per-sample aggregates, batched.
+
+    Returns ``(cpu_usage, mem_usage, net_usage, cpu_allocated,
+    mem_allocated, inflight, active_nodes)`` — the exact floats the scalar
+    single-pass loop accumulates.  Float order is preserved: columns are
+    gathered per node in container insertion order, concatenated in node
+    insertion order, and reduced with Python's left-fold ``sum`` — the same
+    addition sequence as the scalar ``+=`` chain.  Integer sums (inflight,
+    node counts) are order-free.
+    """
+    store = cluster.state
+    chunks: list[Any] = []
+    inflight = 0
+    active_nodes = 0
+    for node in cluster.nodes.values():
+        packed = node._metrics_slots()
+        if packed is None:
+            # An OOM corpse is present: filter exactly as the scalar loop
+            # does (insertion order, active only).
+            active = [c for c in node.containers.values() if c.is_active]
+            if active:
+                active_nodes += 1
+                chunks.append(store.pack_slots([c._slot for c in active]))
+        elif len(packed):
+            active_nodes += 1
+            chunks.append(packed)
+        # A container carries inflight work only while active (termination
+        # empties the list), so the loaded-set sum matches the scalar count.
+        for cid in node._loaded:
+            inflight += len(node.containers[cid].inflight)
+
+    def total(column: str) -> float:
+        values: list[float] = []
+        for packed in chunks:
+            values.extend(store.take_list(column, packed))
+        return float(sum(values))
+
+    return (
+        total("cpu_usage"),
+        total("mem_usage"),
+        total("net_usage"),
+        total("cpu_request"),
+        total("mem_limit"),
+        inflight,
+        active_nodes,
+    )
+
+
+class NodeStatsBuffer:
+    """Frame-based ``docker stats`` history for one array-backed node.
+
+    The scalar node manager records one :class:`StatsSample` per container
+    per step into per-container :class:`~repro.dockersim.stats.StatsWindow`
+    deques.  This buffer records one *frame* per step — the node's active
+    id tuple plus an 8-column usage/allocation matrix gathered from the
+    store — and answers ``mean_stats`` with the exact same floats:
+
+    * sample set: a container's samples are the frames recorded since it
+      (re)appeared on this node (``_first_seen`` mirrors the scalar
+      window-deletion-on-departure semantics, so a replica migrating away
+      and back starts a fresh history);
+    * mean: usage fields are averaged over frames with
+      ``ts >= latest - window`` in chronological left-fold order (numpy
+      elementwise adds in frame order are per-element left folds, matching
+      the scalar ``sum(...)/n`` bit for bit); allocation fields come from
+      the latest frame, as ``StatsWindow.mean_over`` takes them from the
+      latest sample.
+    """
+
+    def __init__(self, node: "NodeView", horizon: float):
+        self._node = node
+        self._store = node._store
+        self._horizon = float(horizon)
+        #: (timestamp, ids tuple, per-column matrix) per recorded step.
+        self._frames: deque[tuple[float, tuple[str, ...], list[Any]]] = deque()
+        self._first_seen: dict[str, float] = {}
+        self._last_ids: tuple[str, ...] | None = None
+        # Per-query memo: (latest_ts, window) -> precomputed window sums.
+        self._memo: tuple[Any, ...] | None = None
+        self._idx_cache: tuple[tuple[str, ...] | None, dict[str, int]] = (None, {})
+
+    # ------------------------------------------------------------------
+    # Recording (the node-manager phase)
+    # ------------------------------------------------------------------
+    def record(self, now: float) -> None:
+        node = self._node
+        node.active_containers()  # ensure the id/slot caches are fresh
+        ids = node._active_ids
+        packed = node._active_packed
+        matrix = [self._store.take(column, packed) for column in STATS_COLUMNS]
+        self._frames.append((now, ids, matrix))
+        if ids is not self._last_ids:
+            for cid in ids:
+                if cid not in self._first_seen:
+                    self._first_seen[cid] = now
+            if len(self._first_seen) != len(ids):
+                current = set(ids)
+                departed = [cid for cid in self._first_seen if cid not in current]
+                for cid in departed:
+                    del self._first_seen[cid]
+            self._last_ids = ids
+        cutoff = now - self._horizon
+        while self._frames and self._frames[0][0] < cutoff:
+            self._frames.popleft()
+        self._memo = None
+
+    def tracked_containers(self) -> list[str]:
+        """Ids with at least one recorded sample, sorted (scalar parity)."""
+        return sorted(self._first_seen)
+
+    # ------------------------------------------------------------------
+    # Queries (the monitor phase)
+    # ------------------------------------------------------------------
+    def _index_of(self, ids: tuple[str, ...], cid: str) -> int:
+        cached_ids, index = self._idx_cache
+        if cached_ids is not ids:
+            index = {name: i for i, name in enumerate(ids)}
+            self._idx_cache = (ids, index)
+        return index[cid]
+
+    def _window_memo(self, window: float) -> tuple[Any, ...]:
+        latest_ts = self._frames[-1][0]
+        if self._memo is not None and self._memo[0] == latest_ts and self._memo[1] == window:
+            return self._memo
+        cutoff = latest_ts - window
+        frames = [frame for frame in self._frames if frame[0] >= cutoff]
+        first_ts = frames[0][0]
+        ids = frames[0][1]
+        uniform = all(frame[1] is ids for frame in frames)
+        sums: list[Any] | None = None
+        if uniform and self._store.numpy is not None:
+            numpy = self._store.numpy
+            sums = [numpy.array(frames[0][2][row], copy=True) for row in _USAGE_ROWS]
+            for frame in frames[1:]:
+                for position, row in enumerate(_USAGE_ROWS):
+                    sums[position] += frame[2][row]
+        self._memo = (latest_ts, window, frames, first_ts, ids if uniform else None, sums)
+        return self._memo
+
+    def mean_stats(self, cid: str, window: float) -> StatsSample:
+        if cid not in self._first_seen or not self._frames:
+            raise ContainerNotFound(f"node manager has no stats for {cid}")
+        latest_ts, _, window_frames, first_ts, uniform_ids, sums = self._window_memo(window)
+        first_seen = self._first_seen[cid]
+        if uniform_ids is not None and sums is not None and first_seen <= first_ts:
+            column = self._index_of(uniform_ids, cid)
+            n = len(window_frames)
+            latest_matrix = window_frames[-1][2]
+            return StatsSample(
+                timestamp=latest_ts,
+                cpu_usage=float(sums[0][column]) / n,
+                cpu_request=float(latest_matrix[_ALLOC_ROWS[0]][column]),
+                mem_usage=float(sums[1][column]) / n,
+                mem_limit=float(latest_matrix[_ALLOC_ROWS[1]][column]),
+                net_usage=float(sums[2][column]) / n,
+                net_rate=float(latest_matrix[_ALLOC_ROWS[2]][column]),
+                disk_usage=float(sums[3][column]) / n,
+                disk_quota=float(latest_matrix[_ALLOC_ROWS[3]][column]),
+            )
+        return self._mean_slow(cid, window_frames, latest_ts, first_seen)
+
+    def _mean_slow(
+        self,
+        cid: str,
+        window_frames: list[tuple[float, tuple[str, ...], list[Any]]],
+        latest_ts: float,
+        first_seen: float,
+    ) -> StatsSample:
+        """Exact per-container path for mixed-membership windows."""
+        cpu_sum = mem_sum = net_sum = disk_sum = 0.0
+        count = 0
+        latest_alloc: tuple[float, float, float, float] | None = None
+        for ts, ids, matrix in window_frames:
+            if ts < first_seen:
+                continue
+            column = self._index_of(ids, cid)
+            cpu_sum += float(matrix[_USAGE_ROWS[0]][column])
+            mem_sum += float(matrix[_USAGE_ROWS[1]][column])
+            net_sum += float(matrix[_USAGE_ROWS[2]][column])
+            disk_sum += float(matrix[_USAGE_ROWS[3]][column])
+            latest_alloc = (
+                float(matrix[_ALLOC_ROWS[0]][column]),
+                float(matrix[_ALLOC_ROWS[1]][column]),
+                float(matrix[_ALLOC_ROWS[2]][column]),
+                float(matrix[_ALLOC_ROWS[3]][column]),
+            )
+            count += 1
+        if count == 0 or latest_alloc is None:
+            raise ContainerNotFound(f"no samples yet for {cid}")
+        return StatsSample(
+            timestamp=latest_ts,
+            cpu_usage=cpu_sum / count,
+            cpu_request=latest_alloc[0],
+            mem_usage=mem_sum / count,
+            mem_limit=latest_alloc[1],
+            net_usage=net_sum / count,
+            net_rate=latest_alloc[2],
+            disk_usage=disk_sum / count,
+            disk_quota=latest_alloc[3],
+        )

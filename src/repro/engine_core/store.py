@@ -1,0 +1,142 @@
+"""The struct-of-arrays cluster state store.
+
+One :class:`ClusterState` instance backs one array-backed cluster: every
+container the cluster ever hosts owns one *slot* (an integer index), and
+each hot numeric field lives in its own growable column.  Views
+(:mod:`repro.engine_core.views`) read and write single elements through
+properties; kernels (:mod:`repro.engine_core.kernels`) read and write whole
+slot batches.
+
+The store is dependency-optional: columns are numpy ``float64`` arrays when
+numpy imports and plain Python lists otherwise.  Element reads always
+return built-in ``float`` (a ``np.float64`` leaking into a summary dict or
+JSONL line would break byte-determinism against the object backend).
+
+Slots are append-only: a removed container's slot is never reused, so a
+slot index taken at any point stays valid for the life of the run (the
+decision tracer and telemetry may hold views across scaling actions).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
+
+
+#: Hot per-container fields, one column each.  Allocation fields are written
+#: by ``docker run``/``docker update``; usage fields by the per-step
+#: schedulers; ``net_cpu_headroom`` couples the compute and network phases.
+COLUMNS = (
+    "cpu_request",
+    "mem_limit",
+    "net_rate",
+    "disk_quota",
+    "cpu_usage",
+    "mem_usage",
+    "net_usage",
+    "disk_usage",
+    "net_cpu_headroom",
+)
+
+#: Columns sampled by ``docker stats`` (node-manager frame order — must
+#: match :class:`repro.dockersim.stats.StatsSample` field semantics).
+STATS_COLUMNS = (
+    "cpu_usage",
+    "cpu_request",
+    "mem_usage",
+    "mem_limit",
+    "net_usage",
+    "net_rate",
+    "disk_usage",
+    "disk_quota",
+)
+
+
+class ClusterState:
+    """Growable struct-of-arrays storage for one cluster's containers."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            capacity = 1
+        self.numpy = _np  # None on numpy-free installs
+        self.n = 0
+        self._capacity = capacity
+        self.columns: dict[str, Any] = {name: self._new_column(capacity) for name in COLUMNS}
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+    def alloc(self) -> int:
+        """Claim the next slot (append-only; never reused)."""
+        if self.n >= self._capacity:
+            self._grow()
+        slot = self.n
+        self.n += 1
+        return slot
+
+    def _new_column(self, size: int) -> Any:
+        if self.numpy is not None:
+            return self.numpy.zeros(size, dtype=self.numpy.float64)
+        return [0.0] * size
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        for name, column in self.columns.items():
+            if self.numpy is not None:
+                grown = self.numpy.zeros(new_capacity, dtype=self.numpy.float64)
+                grown[: self._capacity] = column
+                self.columns[name] = grown
+            else:
+                column.extend([0.0] * (new_capacity - self._capacity))
+        self._capacity = new_capacity
+
+    # ------------------------------------------------------------------
+    # Element access (views)
+    # ------------------------------------------------------------------
+    def get(self, column: str, slot: int) -> float:
+        """One element, always as a built-in ``float``."""
+        return float(self.columns[column][slot])
+
+    def put(self, column: str, slot: int, value: float) -> None:
+        """Write one element."""
+        self.columns[column][slot] = float(value)
+
+    # ------------------------------------------------------------------
+    # Batch access (kernels)
+    # ------------------------------------------------------------------
+    def pack_slots(self, slots: list[int]) -> Any:
+        """An index object for batch ops over ``slots`` (numpy: intp array)."""
+        if self.numpy is not None:
+            return self.numpy.asarray(slots, dtype=self.numpy.intp)
+        return list(slots)
+
+    def fill(self, column: str, packed: Any, value: float) -> None:
+        """Write ``value`` into every slot of a packed batch."""
+        col = self.columns[column]
+        if self.numpy is not None:
+            col[packed] = value
+        else:
+            for slot in packed:
+                col[slot] = value
+
+    def take(self, column: str, packed: Any) -> Any:
+        """Copy a batch out of a column (numpy array or Python list)."""
+        col = self.columns[column]
+        if self.numpy is not None:
+            return col[packed]
+        return [col[slot] for slot in packed]
+
+    def take_list(self, column: str, packed: Any) -> list[float]:
+        """Copy a batch out as built-in floats (for order-exact reductions)."""
+        col = self.columns[column]
+        if self.numpy is not None:
+            return col[packed].tolist()
+        return [col[slot] for slot in packed]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        backing = "numpy" if self.numpy is not None else "list"
+        return f"ClusterState(slots={self.n}, backing={backing})"

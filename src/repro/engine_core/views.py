@@ -1,0 +1,338 @@
+"""Object-API views over the array store.
+
+:class:`ContainerView` and :class:`NodeView` subclass the plain
+:class:`~repro.cluster.container.Container` and
+:class:`~repro.cluster.node.Node`, so every consumer of the object API —
+policies, the monitor, SimSan, the tracer, telemetry, tests — works
+unchanged.  What changes is where the hot numbers live:
+
+* a container view's allocation/usage fields are *properties* over one slot
+  of the cluster's :class:`~repro.engine_core.store.ClusterState`, so
+  batched kernels and scalar code read and write the same storage;
+* a node view maintains O(1) bookkeeping (pending/OOM/inflight counters,
+  cached sorted container lists, packed slot arrays) that lets the per-step
+  schedulers skip entire nodes with no in-flight work — the *quiet-node*
+  fast path, which is where datacenter-scale runs spend almost all steps.
+
+Write discipline: always mutate container state through the view (or
+through batched kernels over packed slots) — never by caching a raw column
+and writing around the view, which would bypass the node's counters.  See
+``docs/engine.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.container import ACTIVE_STATES, Container, ContainerState
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.config import OverheadModel
+from repro.engine_core.kernels import NodeStatsBuffer, quiet_node_step
+from repro.engine_core.store import ClusterState
+from repro.errors import ClusterError
+from repro.workloads.requests import Request
+
+
+def _column_property(column: str) -> property:
+    """A data descriptor routing one hot field to a store column."""
+
+    def getter(self: "ContainerView") -> float:
+        return self._store.get(column, self._slot)
+
+    def setter(self: "ContainerView", value: float) -> None:
+        self._store.put(column, self._slot, value)
+
+    return property(getter, setter)
+
+
+class ContainerView(Container):
+    """A container whose hot numeric fields live in the cluster store.
+
+    The view must be constructed with its store slot *before* the base
+    initializer runs: the property descriptors below shadow the plain
+    attribute assignments in ``Container.__init__``, so every write lands
+    in the store from the very first assignment.
+    """
+
+    def __init__(self, store: ClusterState, slot: int, **kwargs: Any):
+        self._store = store
+        self._slot = slot
+        self._host: NodeView | None = None
+        self._idle_risky = False
+        self._state_value: ContainerState | None = None
+        super().__init__(**kwargs)
+
+    # Hot fields, one store column each.
+    cpu_request = _column_property("cpu_request")
+    net_rate = _column_property("net_rate")
+    disk_quota = _column_property("disk_quota")
+    cpu_usage = _column_property("cpu_usage")
+    mem_usage = _column_property("mem_usage")
+    net_usage = _column_property("net_usage")
+    disk_usage = _column_property("disk_usage")
+    _net_cpu_headroom = _column_property("net_cpu_headroom")
+
+    @property
+    def mem_limit(self) -> float:
+        return self._store.get("mem_limit", self._slot)
+
+    @mem_limit.setter
+    def mem_limit(self, value: float) -> None:
+        self._store.put("mem_limit", self._slot, value)
+        # Track whether an *idle* working set (base memory alone) would trip
+        # the OOM threshold — the one per-container predicate the quiet-node
+        # fast path needs (same comparison as ``over_oom_threshold``).
+        risky = (
+            self.overheads.container_base_memory
+            > self.overheads.oom_factor * self._store.get("mem_limit", self._slot)
+        )
+        if risky != self._idle_risky:
+            self._idle_risky = risky
+            if self._host is not None and self.state in ACTIVE_STATES:
+                self._host._idle_oom_risk += 1 if risky else -1
+
+    @property
+    def state(self) -> ContainerState:
+        return self._state_value  # type: ignore[return-value]
+
+    @state.setter
+    def state(self, value: ContainerState) -> None:
+        old = self._state_value
+        self._state_value = value
+        if self._host is not None and old is not value:
+            self._host._on_state_change(self, old, value)
+
+    # ------------------------------------------------------------------
+    # Inflight bookkeeping: keep the host's loaded-set exact so a node
+    # knows in O(1) whether any hosted container has in-flight requests.
+    # ------------------------------------------------------------------
+    def accept(self, request: Request, now: float, overhead_factor: float = 1.0) -> None:
+        super().accept(request, now, overhead_factor=overhead_factor)
+        if self._host is not None:
+            self._host._loaded[self.container_id] = None
+
+    def settle_requests(self, now: float) -> None:
+        super().settle_requests(now)
+        if not self.inflight and self._host is not None:
+            self._host._loaded.pop(self.container_id, None)
+
+    def terminate(self, now: float, *, oom: bool = False) -> list[Request]:
+        casualties = super().terminate(now, oom=oom)
+        if self._host is not None:
+            self._host._loaded.pop(self.container_id, None)
+        return casualties
+
+
+class NodeView(Node):
+    """A node that schedules its containers over the array store."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: ResourceVector,
+        overheads: OverheadModel | None = None,
+        disk_capacity: float = 150.0,
+        *,
+        store: ClusterState,
+    ):
+        self._store = store
+        # O(1) step bookkeeping (maintained by views and overrides below).
+        self._n_pending = 0
+        self._n_oom = 0
+        self._idle_oom_risk = 0
+        self._loaded: dict[str, None] = {}  # container ids with inflight work
+        # Sorted-list caches (rebuilt lazily after any membership/state change).
+        self._dirty = True
+        self._active_cache: list[Container] = []
+        self._serving_cache: list[Container] = []
+        self._serving_packed: Any = None
+        self._active_ids: tuple[str, ...] = ()
+        self._active_packed: Any = None
+        # Insertion-order slot list (the `_MetricsActor` iteration order).
+        self._ins_slots: list[int] = []
+        self._ins_packed: Any = None
+        self._stats_buffer: NodeStatsBuffer | None = None
+        super().__init__(name, capacity, overheads, disk_capacity)
+        self._bg = self.overheads.container_background_cpu
+        self._base_mem = self.overheads.container_base_memory
+        self._half_cpu = 0.5 * capacity.cpu
+
+    # ------------------------------------------------------------------
+    # Cached sorted views (same snapshot semantics as the base class:
+    # callers iterate the list object current at call time).
+    # ------------------------------------------------------------------
+    def _refresh_caches(self) -> None:
+        items = sorted(self.containers.items())
+        self._active_cache = [c for _, c in items if c.is_active]
+        self._serving_cache = [c for _, c in items if c.is_serving]
+        self._serving_packed = self._store.pack_slots(
+            [c._slot for c in self._serving_cache]  # type: ignore[attr-defined]
+        )
+        self._active_ids = tuple(c.container_id for c in self._active_cache)
+        self._active_packed = self._store.pack_slots(
+            [c._slot for c in self._active_cache]  # type: ignore[attr-defined]
+        )
+        self._dirty = False
+
+    def active_containers(self) -> list[Container]:
+        if self._dirty:
+            self._refresh_caches()
+        return self._active_cache
+
+    def serving_containers(self) -> list[Container]:
+        if self._dirty:
+            self._refresh_caches()
+        return self._serving_cache
+
+    # ------------------------------------------------------------------
+    # Membership management
+    # ------------------------------------------------------------------
+    def make_container(
+        self,
+        service: str,
+        replica_index: int,
+        *,
+        cpu_request: float,
+        mem_limit: float,
+        net_rate: float,
+        created_at: float = 0.0,
+        boot_delay: float = 0.0,
+        max_concurrency: int = 16,
+        disk_quota: float = 50.0,
+        container_id: str | None = None,
+    ) -> Container:
+        return ContainerView(
+            self._store,
+            self._store.alloc(),
+            service=service,
+            replica_index=replica_index,
+            cpu_request=cpu_request,
+            mem_limit=mem_limit,
+            net_rate=net_rate,
+            created_at=created_at,
+            boot_delay=boot_delay,
+            max_concurrency=max_concurrency,
+            disk_quota=disk_quota,
+            overheads=self.overheads,
+            container_id=container_id,
+        )
+
+    def add_container(self, container: Container, *, enforce_capacity: bool = True) -> None:
+        if not isinstance(container, ContainerView):
+            raise ClusterError(
+                f"array-backed node {self.name} requires containers built by "
+                "make_container (got a plain Container)"
+            )
+        if container._store is not self._store:
+            raise ClusterError(
+                f"container {container.container_id} belongs to a different cluster store"
+            )
+        super().add_container(container, enforce_capacity=enforce_capacity)
+        container._host = self
+        state = container.state
+        if state is ContainerState.PENDING:
+            self._n_pending += 1
+        elif state is ContainerState.OOM_KILLED:  # pragma: no cover - defensive
+            self._n_oom += 1
+        if state in ACTIVE_STATES and container._idle_risky:
+            self._idle_oom_risk += 1
+        if container.inflight:
+            self._loaded[container.container_id] = None
+        self._ins_slots.append(container._slot)
+        self._ins_packed = None
+        self._dirty = True
+
+    def _unregister(self, container: ContainerView) -> None:
+        state = container.state
+        if state is ContainerState.PENDING:
+            self._n_pending -= 1
+        elif state is ContainerState.OOM_KILLED:
+            self._n_oom -= 1
+        if state in ACTIVE_STATES and container._idle_risky:
+            self._idle_oom_risk -= 1
+        self._loaded.pop(container.container_id, None)
+        self._ins_slots = [
+            c._slot for c in self.containers.values()  # type: ignore[attr-defined]
+        ]
+        self._ins_packed = None
+        container._host = None
+        self._dirty = True
+
+    def remove_container(self, container_id: str, now: float, *, oom: bool = False) -> Container:
+        container = super().remove_container(container_id, now, oom=oom)
+        self._unregister(container)  # type: ignore[arg-type]
+        return container
+
+    def detach_container(self, container_id: str) -> Container:
+        container = super().detach_container(container_id)
+        self._unregister(container)  # type: ignore[arg-type]
+        return container
+
+    def _on_state_change(
+        self, container: ContainerView, old: ContainerState | None, new: ContainerState
+    ) -> None:
+        """View callback: keep the counters exact across lifecycle flips."""
+        was_active = old in ACTIVE_STATES
+        now_active = new in ACTIVE_STATES
+        if old is ContainerState.PENDING:
+            self._n_pending -= 1
+        if new is ContainerState.PENDING:
+            self._n_pending += 1
+        if old is ContainerState.OOM_KILLED:  # pragma: no cover - defensive
+            self._n_oom -= 1
+        if new is ContainerState.OOM_KILLED:
+            self._n_oom += 1
+        if container._idle_risky and was_active != now_active:
+            self._idle_oom_risk += 1 if now_active else -1
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Fast-path hooks
+    # ------------------------------------------------------------------
+    def maybe_oom_kills(self) -> bool:
+        return self._n_oom > 0
+
+    def stats_buffer(self, horizon: float) -> NodeStatsBuffer:
+        if self._stats_buffer is None:
+            self._stats_buffer = NodeStatsBuffer(self, horizon)
+        return self._stats_buffer
+
+    def _metrics_slots(self) -> Any:
+        """Packed insertion-order active slots, or ``None`` with corpses.
+
+        With no OOM corpse present every hosted container is active, so the
+        insertion-order slot list *is* the `_MetricsActor` iteration order;
+        a corpse forces the caller back to the exact per-object filter.
+        """
+        if self._n_oom:
+            return None
+        if self._ins_packed is None:
+            self._ins_packed = self._store.pack_slots(self._ins_slots)
+        return self._ins_packed
+
+    def step(self, now: float, dt: float) -> None:
+        """One step: the quiet-node kernel when provably idle, else scalar.
+
+        A node is *quiet* when nothing it hosts can change this step beyond
+        the idle-usage refresh: no in-flight requests anywhere (so the CPU /
+        disk / network phases have zero useful demand and settlement is a
+        no-op), no boots in progress, no idle OOM risk, and enough CPU that
+        fair share provably grants every serving container exactly its
+        background demand.  Under those conditions the scalar step reduces
+        to constant writes per serving container — done in bulk here, bit
+        for bit identical (see docs/engine.md for the derivation).
+        """
+        if not self._loaded and self._n_pending == 0 and self._idle_oom_risk == 0:
+            if self._dirty:
+                self._refresh_caches()
+            n = len(self._serving_cache)
+            # The half-capacity margin guarantees progressive filling grants
+            # every claimant exactly its (background) demand; the 64-claimant
+            # bound keeps that within fair share's max_rounds (one claimant
+            # is provably satisfied per round under the margin).
+            if n * self._bg <= self._half_cpu and (self._bg == 0.0 or n <= 64):
+                self.last_oom_kills = []
+                quiet_node_step(self._store, self._serving_packed, self._bg, self._base_mem)
+                return
+        super().step(now, dt)

@@ -227,11 +227,15 @@ class RunSpec:
         slo: SloTracker | None = None,
         sanitizer: Sanitizer = NULL_SANITIZER,
         placement: "PlacementStrategy | None" = None,
+        backend: str = "object",
     ) -> "Simulation":
         """Assemble the :class:`~repro.experiments.runner.Simulation`.
 
         The keyword arguments are the run-time observation knobs; none of
         them participates in the spec's identity (see the class docstring).
+        ``backend`` rides along with them: engine backends are bit-identical
+        by contract (see :mod:`repro.engine_core`), so the choice never
+        changes a result and stays out of the canonical JSON.
         """
         from repro.experiments.runner import Simulation
 
@@ -249,6 +253,7 @@ class RunSpec:
             telemetry=telemetry,
             slo=slo,
             sanitizer=sanitizer,
+            backend=backend,
         )
 
     def run(
@@ -260,6 +265,7 @@ class RunSpec:
         slo: SloTracker | None = None,
         sanitizer: Sanitizer = NULL_SANITIZER,
         placement: "PlacementStrategy | None" = None,
+        backend: str = "object",
     ) -> RunSummary:
         """Build and run this spec for its full duration."""
         simulation = self.build(
@@ -269,6 +275,7 @@ class RunSpec:
             slo=slo,
             sanitizer=sanitizer,
             placement=placement,
+            backend=backend,
         )
         return simulation.run(self.duration)
 

@@ -31,12 +31,19 @@ class NodeManager:
         self.node = daemon.node
         self._windows: dict[str, StatsWindow] = {}
         self._horizon = window_horizon
+        # Array-backed nodes offer a frame-based recorder that snapshots the
+        # whole node per step instead of one StatsSample per container; its
+        # answers are bit-identical to the per-container windows below.
+        self._buffer = daemon.node.stats_buffer(window_horizon)
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
     def on_step(self, clock: SimClock) -> None:
         """Sample every active container; drop windows of departed ones."""
+        if self._buffer is not None:
+            self._buffer.record(clock.now)
+            return
         active_ids = set()
         for container in self.daemon.ps():
             active_ids.add(container.container_id)
@@ -51,6 +58,8 @@ class NodeManager:
     # ------------------------------------------------------------------
     def mean_stats(self, container_id: str, window: float) -> StatsSample:
         """Mean usage of one container over the trailing ``window`` seconds."""
+        if self._buffer is not None:
+            return self._buffer.mean_stats(container_id, window)
         stats_window = self._windows.get(container_id)
         if stats_window is None:
             raise ContainerNotFound(f"node manager has no stats for {container_id}")
@@ -61,6 +70,8 @@ class NodeManager:
 
     def tracked_containers(self) -> list[str]:
         """Ids with at least one recorded sample, sorted."""
+        if self._buffer is not None:
+            return self._buffer.tracked_containers()
         return sorted(self._windows)
 
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ def _fresh_simulation(
     telemetry: MetricRegistry = NULL_REGISTRY,
     slo: SloTracker | None = None,
     sanitizer: Sanitizer = NULL_SANITIZER,
+    backend: str = "object",
 ) -> Simulation:
     """Build a small but busy experiment entirely from ``seed``."""
     config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=seed)
@@ -78,11 +79,14 @@ def _fresh_simulation(
         telemetry=telemetry,
         slo=slo,
         sanitizer=sanitizer,
+        backend=backend,
     )
 
 
-def _run_once(seed: int, *, random_placement: bool = False) -> tuple[dict, list, list]:
-    simulation = _fresh_simulation(seed, random_placement=random_placement)
+def _run_once(
+    seed: int, *, random_placement: bool = False, backend: str = "object"
+) -> tuple[dict, list, list]:
+    simulation = _fresh_simulation(seed, random_placement=random_placement, backend=backend)
     summary = simulation.run(90.0)
     events = list(simulation.collector.events.events())
     timeline = list(simulation.collector.timeline)
@@ -109,6 +113,19 @@ class TestEndToEndDeterminism:
         baseline = _run_once(seed=7)
         shifted = _run_once(seed=8)
         assert baseline != shifted
+
+    def test_array_backend_is_bit_identical_to_object(self):
+        """Engine backends extend the determinism contract sideways: the
+        config determines the run regardless of which engine steps it."""
+        reference = _run_once(seed=7)
+        candidate = _run_once(seed=7, backend="array")
+        assert candidate == reference
+
+    def test_array_backend_same_seed_is_bit_identical(self):
+        first = _run_once(seed=11, backend="array")
+        second = _run_once(seed=11, backend="array")
+        assert first == second
+        assert first[0]["total_requests"] > 100
 
     def test_experiment_factory_runs_identically(self):
         # Through the public factory + policy registry, as the CLI does.

@@ -1,0 +1,125 @@
+"""The ``Container.advance``/:class:`ResourceGrants` surface.
+
+PR contract: the three per-resource ``advance_*`` methods collapsed into
+one ``advance(grants, dt)`` entry point taking a frozen grant bundle; the
+old spellings survive as deprecation shims that forward *exactly* (same
+floats, same state transitions), mirroring the ``run_experiment`` shim.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ResourceGrants
+from repro.cluster.container import Container
+from repro.workloads.requests import Request
+
+from tests.conftest import make_container
+
+
+def make_request(cpu=0.5, mem=10.0, net=0.0, disk=0.0, timeout=30.0) -> Request:
+    kwargs = dict(
+        service="svc",
+        arrival_time=0.0,
+        cpu_work=cpu,
+        mem_footprint=mem,
+        net_mbits=net,
+        timeout=timeout,
+    )
+    if disk:
+        kwargs["disk_mb"] = disk
+    return Request(**kwargs)
+
+
+class TestResourceGrants:
+    def test_frozen(self):
+        grants = ResourceGrants(cpu=1.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            grants.cpu = 2.0
+
+    def test_defaults_grant_nothing(self):
+        grants = ResourceGrants()
+        assert grants.cpu is None
+        assert grants.disk is None
+        assert grants.net is None
+        assert grants.contention == 1.0
+
+    def test_exported_from_top_level(self):
+        import repro
+
+        assert repro.ResourceGrants is ResourceGrants
+
+
+class TestAdvanceDispatch:
+    def test_cpu_grant_drives_compute(self, overheads):
+        container = make_container(overheads=overheads)
+        request = make_request(cpu=0.5)
+        container.accept(request, 0.0)
+        container.advance(ResourceGrants(cpu=1.0), dt=1.0)
+        assert request.cpu_remaining == 0.0
+
+    def test_empty_grants_touch_nothing(self, overheads):
+        container = make_container(overheads=overheads)
+        request = make_request(cpu=0.5)
+        container.accept(request, 0.0)
+        container.advance(ResourceGrants(), dt=1.0)
+        assert request.cpu_remaining == 0.5
+        assert container.disk_usage == 0.0
+        assert container.net_usage == 0.0
+
+    def test_net_grant_drives_transfer(self, overheads):
+        container = make_container(overheads=overheads)
+        request = make_request(cpu=0.0, net=10.0)
+        container.accept(request, 0.0)
+        container.advance(ResourceGrants(net=10.0), dt=1.0)
+        assert container.net_usage == 10.0
+
+
+class TestDeprecatedShims:
+    """Old spellings forward exactly and warn; one pin per resource."""
+
+    def _twins(self, overheads):
+        return (
+            make_container(overheads=overheads),
+            make_container(overheads=overheads),
+        )
+
+    def test_advance_compute_warns_and_matches(self, overheads):
+        new, old = self._twins(overheads)
+        for container in (new, old):
+            container.accept(make_request(cpu=2.0), 0.0)
+        new.advance(ResourceGrants(cpu=1.0, contention=1.0), 1.0)
+        with pytest.warns(DeprecationWarning, match="advance_compute"):
+            old.advance_compute(1.0, 1.0, 1.0)
+        assert old.cpu_usage == new.cpu_usage
+        assert old.inflight[0].cpu_remaining == new.inflight[0].cpu_remaining
+        assert old._net_cpu_headroom == new._net_cpu_headroom
+
+    def test_advance_disk_warns_and_matches(self, overheads):
+        new, old = self._twins(overheads)
+        for container in (new, old):
+            container.accept(make_request(cpu=0.0, disk=30.0), 0.0)
+        new.advance(ResourceGrants(disk=10.0), 1.0)
+        with pytest.warns(DeprecationWarning, match="advance_disk"):
+            old.advance_disk(10.0, 1.0)
+        assert old.disk_usage == new.disk_usage
+        assert old.inflight[0].disk_remaining == new.inflight[0].disk_remaining
+
+    def test_advance_network_warns_and_matches(self, overheads):
+        new, old = self._twins(overheads)
+        for container in (new, old):
+            container.accept(make_request(cpu=0.0, net=25.0), 0.0)
+        new.advance(ResourceGrants(net=10.0), 1.0)
+        with pytest.warns(DeprecationWarning, match="advance_network"):
+            old.advance_network(10.0, 1.0)
+        assert old.net_usage == new.net_usage
+        assert old.inflight[0].net_remaining == new.inflight[0].net_remaining
+
+    def test_shims_exist_on_subclass_instances(self, overheads):
+        """The shims live on Container, so stress subclasses inherit them."""
+        from repro.cluster.stress import CpuStressContainer
+
+        stress = CpuStressContainer("stress", 1.0, overheads=overheads)
+        with pytest.warns(DeprecationWarning):
+            stress.advance_compute(1.0, 1.0, 1.0)
+        assert isinstance(stress, Container)
