@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint analyze test test-simsan bench bench-full profile telemetry-check sanitize sweep-check engine-bench reproduce examples clean
+.PHONY: install lint analyze test test-simsan bench bench-full profile telemetry-check telemetry-scale sanitize sweep-check engine-bench reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,6 +52,14 @@ profile:
 # uploaded as a CI artifact next to the phase profile.
 telemetry-check:
 	PYTHONPATH=src python -m repro.telemetry.check --out BENCH_telemetry_snapshot.json
+
+# Monitoring-at-scale probe (docs/telemetry.md "Scaling the observer"):
+# sweeps the sampling policies at 24/200/1,000 nodes on the array engine,
+# asserting zero scaling-action divergence, >= 5x cheaper simulated
+# collection under `adaptive` at 1,000 nodes, and O(series touched)
+# sharded exports.  Uploaded as a CI artifact.
+telemetry-scale:
+	PYTHONPATH=src python -m repro.telemetry.scale_check --out BENCH_telemetry_scale.json
 
 # SimSan end-to-end probe (docs/dev-tooling.md): a fixed-seed scenario runs
 # bare and sanitized; the report proves zero violations, no perturbation,

@@ -45,6 +45,7 @@ from repro.experiments.section3 import (
 )
 from repro.engine_core.backend import registered_backends
 from repro.experiments.spec import SEED_MODES, RunSpec
+from repro.telemetry.sampling import registered_sampling_policies
 from repro.workloads.bitbrains import generate_bitbrains_trace
 
 #: Workload name -> (factory, takes_burst); the single registry shared with
@@ -92,13 +93,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cost_reports = {}
     event_logs = {}
     wants_metrics = bool(args.metrics_out or args.openmetrics_out)
+    wants_sampling = args.sampling != "full"
     # A non-default engine backend rides the serial in-process path: the
     # sweep executor's shard cache is keyed on results, which backends never
     # change, so fanning out non-default engines would only launder cache
-    # entries produced by a different code path.
+    # entries produced by a different code path.  Sampling policies are the
+    # same kind of observation-only knob and need the live controller.
     needs_simulation = (
         args.costs or args.events > 0 or args.trace_out or wants_metrics
-        or args.engine != "object"
+        or args.engine != "object" or wants_sampling
     )
     multiple = len(args.algorithms) > 1
     if needs_simulation:
@@ -112,11 +115,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             tracer = DecisionTracer() if args.trace_out else NULL_TRACER
             registry = slo = None
-            if wants_metrics:
-                from repro.metrics import Sla
-                from repro.telemetry import MetricRegistry, SloTracker
+            if wants_metrics or wants_sampling:
+                # Sampling decides what the live registry collects, so it
+                # needs a recording registry even without export flags.
+                from repro.telemetry import MetricRegistry
 
                 registry = MetricRegistry()
+            if wants_metrics:
+                from repro.metrics import Sla
+                from repro.telemetry import SloTracker
+
                 slo = SloTracker(Sla(response_time_target=args.sla_target))
             simulation = Simulation.build(
                 config=spec.config,
@@ -127,8 +135,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 tracer=tracer,
                 backend=args.engine,
                 **({"telemetry": registry, "slo": slo} if registry is not None else {}),
+                **({"sampling": args.sampling} if wants_sampling else {}),
             )
             summaries[algorithm] = simulation.run(spec.duration)
+            if wants_sampling:
+                controller = simulation.telemetry.sampling
+                budget = controller.budget
+                print(
+                    f"sampling {args.sampling}: observed {budget.nodes_observed} "
+                    f"node passes, skipped {budget.nodes_skipped}, simulated "
+                    f"collection cost {budget.collection_cost_seconds:.3f}s "
+                    f"(staleness bound {controller.max_staleness():.0f}s)",
+                    file=sys.stderr,
+                )
             if args.trace_out:
                 path = _trace_path(args.trace_out, algorithm, multiple)
                 count = write_trace_jsonl(tracer.spans(), path)
@@ -238,6 +257,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
         telemetry=registry,
         slo=slo,
         timeline_every=min(5.0, args.interval),
+        sampling=args.sampling,
     )
     duration = args.duration if args.duration is not None else spec.duration
     try:
@@ -248,6 +268,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
             stream=sys.stdout,
             title=f"{spec.label} / {args.algorithm}",
             clear=args.clear and sys.stdout.isatty(),
+            max_nodes=args.nodes,
         )
         print(f"{frames} frame(s), t={simulation.engine.clock.now:.1f}s", file=sys.stderr)
     except BrokenPipeError:
@@ -521,6 +542,15 @@ def build_parser() -> argparse.ArgumentParser:
         "'array' keeps container state in a struct-of-arrays store "
         "(bit-identical results, faster at scale; see docs/engine.md)",
     )
+    run.add_argument(
+        "--sampling",
+        choices=registered_sampling_policies(),
+        default="full",
+        help="telemetry sampling policy: 'full' collects every node every "
+        "interval (default, byte-identical to earlier releases); 'adaptive' "
+        "and 'threshold-aware' decay quiet nodes' cadence and charge an "
+        "observation-cost budget (observation-only; see docs/telemetry.md)",
+    )
     run.set_defaults(func=_cmd_run)
 
     top = sub.add_parser(
@@ -552,6 +582,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear",
         action="store_true",
         help="clear the terminal between frames (live-view mode)",
+    )
+    top.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        metavar="K",
+        help="show only the K busiest nodes (ranked by their binding "
+        "resource) with a '+N more' footer; default: every node",
+    )
+    top.add_argument(
+        "--sampling",
+        choices=registered_sampling_policies(),
+        default="full",
+        help="telemetry sampling policy for the live registry "
+        "(see docs/telemetry.md)",
     )
     top.set_defaults(func=_cmd_top)
 

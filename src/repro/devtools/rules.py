@@ -31,6 +31,11 @@ OBS001      ``src/repro/telemetry`` must not import ``time`` or
             ``datetime`` at all — exporters promise byte-identical output
             for same-seed runs, so telemetry timestamps are exclusively
             the simulated clock values handed to ``capture()``.
+OBS002      No direct ``registry.capture(...)`` calls outside the
+            telemetry sampling actor (``telemetry/hub.py``) and the
+            ``SamplingController`` layer — ad-hoc captures bypass the
+            sampling policy and the observation-cost budget, desynchronise
+            ring stamps, and break retention accounting.
 SAN001      No mutable class-level or default-argument containers in
             ``cluster``/``platform``/``sim`` — shared mutable state leaks
             between instances and runs, exactly the aliasing the runtime
@@ -563,6 +568,56 @@ def _obs001_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[
 
 
 # ----------------------------------------------------------------------
+# OBS002 — registry.capture() only from the sampling layer
+# ----------------------------------------------------------------------
+#: Modules allowed to stamp retention rings directly: the telemetry
+#: sampling actor and the sampling-controller layer it drives.
+_OBS002_ALLOWED_MODULES = frozenset({"telemetry/hub.py", "telemetry/sampling.py"})
+
+
+def _obs002_applies(path: str) -> bool:
+    module = repro_module_path(path)
+    return (
+        module is not None
+        and classify_path(path) == AREA_SRC
+        and module not in _OBS002_ALLOWED_MODULES
+    )
+
+
+def _obs002_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list[Violation]:
+    """OBS002: ``capture()`` is the retention heartbeat — one stamp per
+    sampling pass, after the sampling controller has charged the pass to
+    the observation-cost budget.  A capture issued anywhere else records
+    series the policy decided to skip, double-stamps ring timestamps, and
+    evades the cost model, so only the sampling layer may call it.  A
+    deliberate exception (e.g. a bench priming a synthetic registry)
+    carries a ``# lint: disable=OBS002(reason)`` suppression."""
+    _ = aliases
+    out: list[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "capture"):
+            continue
+        receiver = _dotted_name(func.value)
+        if receiver is None or "registry" not in receiver.lower():
+            continue
+        out.append(
+            _violation(
+                path,
+                node,
+                "OBS002",
+                f"`{receiver}.capture(...)` outside the telemetry sampling "
+                "layer; route captures through RunTelemetry.sample()/the "
+                "SamplingController so the sampling policy and cost budget "
+                "stay authoritative",
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
 # SAN001 — mutable class-level / default-argument containers
 # ----------------------------------------------------------------------
 #: Call targets that build a fresh mutable container.
@@ -900,7 +955,7 @@ def _unit002_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list
 #: Version of the combined rule catalogue (per-file + flow families).
 #: Bumped whenever a rule is added, removed, or changes meaning, so CI
 #: consumers of the JSON reports can detect incompatible rule sets.
-CATALOGUE_VERSION = "3"
+CATALOGUE_VERSION = "4"
 
 ALL_RULES: tuple[Rule, ...] = (
     Rule("DET001", "no wall-clock reads in simulator code", _det001_applies, _det001_check),
@@ -910,6 +965,7 @@ ALL_RULES: tuple[Rule, ...] = (
     Rule("API001", "public src/repro defs carry complete annotations", _api001_applies, _api001_check),
     Rule("API002", "no run_experiment imports inside src/repro (use RunSpec)", _api002_applies, _api002_check),
     Rule("OBS001", "no time/datetime imports inside src/repro/telemetry", _obs001_applies, _obs001_check),
+    Rule("OBS002", "registry.capture() only from the telemetry sampling layer", _obs002_applies, _obs002_check),
     Rule("SAN001", "no mutable class-level/default-arg containers in cluster/platform/sim", _san001_applies, _san001_check),
     Rule("SAN002", "no float ==/!= on resource quantities outside units.py", _san002_applies, _san002_check),
     Rule("SAN003", "object.__setattr__ only on self (frozen-dataclass discipline)", _san003_applies, _san003_check),

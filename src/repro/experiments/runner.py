@@ -46,6 +46,7 @@ from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.telemetry.hub import RunTelemetry
 from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
+from repro.telemetry.sampling import SamplingController, SamplingSpec, resolve_sampling
 from repro.telemetry.slo import SloTracker
 from repro.workloads.generator import ClientLoadGenerator, ServiceLoad
 from repro.workloads.requests import Request
@@ -188,6 +189,7 @@ class Simulation:
         slo: SloTracker | None = None,
         sanitizer: Sanitizer = NULL_SANITIZER,
         backend: str = DEFAULT_BACKEND,
+        sampling: SamplingController | SamplingSpec | str | None = None,
     ) -> "Simulation":
         """Assemble cluster, platform, and workload for one experiment.
 
@@ -215,6 +217,15 @@ class Simulation:
         scalar reference engine; ``"array"`` keeps container state in a
         struct-of-arrays :class:`~repro.engine_core.store.ClusterState`
         behind the identical object API, bit-identical at paper scale.
+
+        ``sampling`` selects the telemetry sampling policy (see
+        :func:`repro.telemetry.resolve_sampling`): a registered name
+        (``"full"``, ``"adaptive"``, ``"threshold-aware"``), a
+        :class:`~repro.telemetry.SamplingSpec`, or a controller instance.
+        The default (``None``) is full-cadence sampling, byte-identical
+        to builds that never pass the keyword; like tracers and backends
+        it is an observation knob and never part of a RunSpec's identity.
+        Requires a recording registry when set.
         """
         config.validate()
         policy = resolve_policy(policy, config)
@@ -227,6 +238,9 @@ class Simulation:
 
         if slo is not None and not telemetry.enabled:
             raise ExperimentError("SLO tracking needs a recording telemetry registry")
+        if sampling is not None and not telemetry.enabled:
+            raise ExperimentError("sampling policies need a recording telemetry registry")
+        sampling_controller = resolve_sampling(sampling)
 
         engine = Engine(dt=config.dt, profiler=profiler, sanitizer=sanitizer)
         rng = RngStreams(config.seed)
@@ -235,7 +249,13 @@ class Simulation:
             sanitizer.bind(cluster=cluster)
         client = DockerClient(cluster)
         collector = MetricsCollector()
-        hub = RunTelemetry(telemetry, slo=slo, sample_every=timeline_every, profiler=profiler)
+        hub = RunTelemetry(
+            telemetry,
+            slo=slo,
+            sample_every=timeline_every,
+            profiler=profiler,
+            sampling=sampling_controller,
+        )
         if telemetry.enabled:
             # LB rejections bypass the cluster's drain path, so the sink is
             # the only place they can be observed; wrap it.

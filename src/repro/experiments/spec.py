@@ -52,6 +52,7 @@ from repro.platform.load_balancer import RoutingPolicy
 from repro.sanitizer.api import NULL_SANITIZER, Sanitizer
 from repro.sim.rng import RngStreams
 from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
+from repro.telemetry.sampling import SamplingController, SamplingSpec
 from repro.telemetry.slo import SloTracker
 from repro.workloads.generator import ServiceLoad
 from repro.workloads.patterns import (
@@ -228,6 +229,7 @@ class RunSpec:
         sanitizer: Sanitizer = NULL_SANITIZER,
         placement: "PlacementStrategy | None" = None,
         backend: str = "object",
+        sampling: "SamplingController | SamplingSpec | str | None" = None,
     ) -> "Simulation":
         """Assemble the :class:`~repro.experiments.runner.Simulation`.
 
@@ -235,7 +237,10 @@ class RunSpec:
         them participates in the spec's identity (see the class docstring).
         ``backend`` rides along with them: engine backends are bit-identical
         by contract (see :mod:`repro.engine_core`), so the choice never
-        changes a result and stays out of the canonical JSON.
+        changes a result and stays out of the canonical JSON.  ``sampling``
+        rides the same way: telemetry sampling policies are observation-only
+        (they change what the monitor *records*, never what the simulation
+        *does*), so the choice stays out of the canonical JSON too.
         """
         from repro.experiments.runner import Simulation
 
@@ -254,6 +259,7 @@ class RunSpec:
             slo=slo,
             sanitizer=sanitizer,
             backend=backend,
+            sampling=sampling,
         )
 
     def run(
@@ -266,6 +272,7 @@ class RunSpec:
         sanitizer: Sanitizer = NULL_SANITIZER,
         placement: "PlacementStrategy | None" = None,
         backend: str = "object",
+        sampling: "SamplingController | SamplingSpec | str | None" = None,
     ) -> RunSummary:
         """Build and run this spec for its full duration."""
         simulation = self.build(
@@ -276,6 +283,7 @@ class RunSpec:
             sanitizer=sanitizer,
             placement=placement,
             backend=backend,
+            sampling=sampling,
         )
         return simulation.run(self.duration)
 

@@ -17,10 +17,18 @@ post-hoc summaries in :mod:`repro.metrics` and the decision traces in
 * :func:`render_openmetrics` / :func:`write_snapshot_jsonl` and friends —
   byte-deterministic exporters (and their strict parsers).
 * :func:`render_top` / :func:`run_top` — the live ``top`` dashboard.
+* :class:`SamplingController` / :class:`SamplingSpec` /
+  :func:`resolve_sampling` — adaptive sampling policies (``full``,
+  ``adaptive``, ``threshold-aware``) with an
+  :class:`ObservationCostModel`-charged :class:`MonitorBudget`.
+* :class:`ShardedMetricRegistry` / :func:`merge_shard_snapshots` —
+  per-shard series retention with byte-identical mergeable snapshots.
 
-See ``docs/telemetry.md`` for the instrument catalogue and conventions.
+See ``docs/telemetry.md`` for the instrument catalogue and conventions,
+including the "Scaling the observer" section for sampling and sharding.
 """
 
+from repro.telemetry.cost import DEFAULT_COST_MODEL, MonitorBudget, ObservationCostModel
 from repro.telemetry.hub import RunTelemetry
 from repro.telemetry.instruments import (
     DEFAULT_LATENCY_BUCKETS,
@@ -38,6 +46,21 @@ from repro.telemetry.openmetrics import (
     write_openmetrics,
 )
 from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry, NullRegistry
+from repro.telemetry.sampling import (
+    AdaptiveSamplingController,
+    SamplingController,
+    SamplingSpec,
+    ThresholdAwareSamplingController,
+    make_sampling,
+    register_sampling_policy,
+    registered_sampling_policies,
+    resolve_sampling,
+)
+from repro.telemetry.sharding import (
+    ShardedMetricRegistry,
+    merge_shard_snapshots,
+    shard_index,
+)
 from repro.telemetry.slo import (
     DEFAULT_BURN_WINDOWS,
     BurnWindow,
@@ -78,4 +101,18 @@ __all__ = [
     "read_snapshot_jsonl",
     "render_top",
     "run_top",
+    "ObservationCostModel",
+    "DEFAULT_COST_MODEL",
+    "MonitorBudget",
+    "SamplingSpec",
+    "SamplingController",
+    "AdaptiveSamplingController",
+    "ThresholdAwareSamplingController",
+    "registered_sampling_policies",
+    "register_sampling_policy",
+    "make_sampling",
+    "resolve_sampling",
+    "ShardedMetricRegistry",
+    "merge_shard_snapshots",
+    "shard_index",
 ]

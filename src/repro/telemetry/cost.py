@@ -1,0 +1,125 @@
+"""The observation-cost model: what monitoring *itself* would cost.
+
+cadvisor-style collectors pay per container they housekeep and per series
+they scrape; at 24 nodes that cost is noise, at 1,000 nodes / 50k
+containers the observer becomes the workload.  This module makes that
+cost a first-class **simulated** quantity:
+
+* :class:`ObservationCostModel` — fixed per-capture / per-node /
+  per-container / per-series prices, in simulated seconds of collector
+  CPU.  The defaults are cadvisor-shaped (tens of microseconds per
+  container housekeeping pass), but the absolute scale matters less than
+  the *ratios* the sampling policies change.
+* :class:`MonitorBudget` — the running ledger a
+  :class:`~repro.telemetry.sampling.SamplingController` charges on every
+  sampling pass.  Plain attributes, no registry involvement, so the
+  ledger exists (and is comparable across sampling policies) even when
+  the cost families are not exported.
+
+Everything here is arithmetic over values the caller supplies — no
+clocks, no randomness — so charged budgets are byte-identical across
+same-seed runs (the telemetry package contract, lint rule OBS001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TelemetryError
+
+
+@dataclass(frozen=True)
+class ObservationCostModel:
+    """Fixed prices, in simulated seconds, for one collection pass.
+
+    ``per_capture_seconds`` is the fixed cost of waking the collector;
+    ``per_node_seconds`` the cost of visiting one node's stats endpoint;
+    ``per_container_seconds`` the cadvisor-style housekeeping cost per
+    active container touched; ``per_series_seconds`` the cost of writing
+    one series point into retention; ``per_skip_seconds`` the (tiny)
+    bookkeeping cost of consulting the sampling controller for a node
+    that is then *not* collected.
+    """
+
+    per_capture_seconds: float = 1e-3
+    per_node_seconds: float = 5e-5
+    per_container_seconds: float = 2e-5
+    per_series_seconds: float = 2e-6
+    per_skip_seconds: float = 1e-6
+
+    def __post_init__(self) -> None:
+        for field in (
+            "per_capture_seconds",
+            "per_node_seconds",
+            "per_container_seconds",
+            "per_series_seconds",
+            "per_skip_seconds",
+        ):
+            if getattr(self, field) < 0:
+                raise TelemetryError(f"observation cost {field} must be >= 0")
+
+    def node_cost(self, containers: int) -> float:
+        """Cost of freshly collecting one node with ``containers`` active."""
+        return self.per_node_seconds + containers * self.per_container_seconds
+
+    def capture_cost(self, series: int) -> float:
+        """Fixed wake-up cost plus the retention write for ``series`` series."""
+        return self.per_capture_seconds + series * self.per_series_seconds
+
+
+#: Shared default price list (frozen, so sharing is safe).
+DEFAULT_COST_MODEL = ObservationCostModel()
+
+
+class MonitorBudget:
+    """Running ledger of simulated observation cost for one run.
+
+    Charged exclusively by the run's sampling controller (one ledger per
+    controller, one controller per run), read by the scale bench and the
+    ``top`` dashboard.  All quantities are cumulative.
+    """
+
+    __slots__ = (
+        "collection_cost_seconds",
+        "captures",
+        "nodes_observed",
+        "nodes_skipped",
+        "containers_observed",
+        "series_captured",
+    )
+
+    def __init__(self) -> None:
+        self.collection_cost_seconds = 0.0
+        self.captures = 0
+        self.nodes_observed = 0
+        self.nodes_skipped = 0
+        self.containers_observed = 0
+        self.series_captured = 0
+
+    def charge_node(self, cost: ObservationCostModel, containers: int) -> None:
+        """One freshly collected node with ``containers`` active containers."""
+        self.nodes_observed += 1
+        self.containers_observed += containers
+        self.collection_cost_seconds += cost.node_cost(containers)
+
+    def charge_skip(self, cost: ObservationCostModel) -> None:
+        """One node the controller decided not to collect this pass."""
+        self.nodes_skipped += 1
+        self.collection_cost_seconds += cost.per_skip_seconds
+
+    def charge_capture(self, cost: ObservationCostModel, series: int) -> None:
+        """One registry capture writing ``series`` series points."""
+        self.captures += 1
+        self.series_captured += series
+        self.collection_cost_seconds += cost.capture_cost(series)
+
+    def to_dict(self) -> dict:
+        """The ledger as plain JSON types (bench report rows)."""
+        return {
+            "collection_cost_seconds": round(self.collection_cost_seconds, 9),
+            "captures": self.captures,
+            "nodes_observed": self.nodes_observed,
+            "nodes_skipped": self.nodes_skipped,
+            "containers_observed": self.containers_observed,
+            "series_captured": self.series_captured,
+        }

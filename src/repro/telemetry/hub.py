@@ -25,9 +25,16 @@ from repro.obs.profiler import PhaseProfiler
 from repro.platform.lb_tier import LoadBalancerTier
 from repro.sim.clock import SimClock
 from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.sampling import SamplingController, resolve_sampling
 from repro.telemetry.slo import SloAlert, SloTracker
 from repro.workloads.generator import ClientLoadGenerator
 from repro.workloads.requests import Request, RequestState
+
+
+def _counter_value(family) -> float:  # type: ignore[no-untyped-def]
+    """Current value of an unlabelled counter family, without minting it."""
+    child = family.peek()
+    return child.value if child is not None else 0.0
 
 
 class RunTelemetry:
@@ -45,9 +52,14 @@ class RunTelemetry:
         slo: SloTracker | None = None,
         sample_every: float = 5.0,
         profiler: PhaseProfiler | None = None,
+        sampling: SamplingController | None = None,
     ) -> None:
         self.registry = registry
         self.slo = slo
+        #: The run's sampling controller (``full`` unless one was passed);
+        #: it decides which nodes each pull pass freshly collects and
+        #: charges the observation-cost budget (see docs/telemetry.md).
+        self.sampling = sampling if sampling is not None else resolve_sampling(None)
         #: Mirrors the registry: ``False`` under ``NULL_REGISTRY``, so the
         #: hub plugs into :func:`repro.instrument.when_enabled` wiring.
         self.enabled = registry.enabled
@@ -181,6 +193,9 @@ class RunTelemetry:
         self._cluster = cluster
         self._lb = lb
         self._generator = generator
+        self.sampling.bind(
+            cluster=cluster, registry=self.registry, sample_every=self._sample_every
+        )
 
     # ------------------------------------------------------------------
     # Push path
@@ -224,9 +239,14 @@ class RunTelemetry:
 
     def sample(self, now: float) -> None:
         """One full sampling pass at simulated time ``now``."""
+        self.sampling.begin_sample(
+            now,
+            oom_kills=_counter_value(self.oom_kills),
+            actions_applied=_counter_value(self.monitor_actions_applied),
+        )
         self.sim_time.set(now)
         if self._cluster is not None:
-            self._sample_cluster()
+            self._sample_cluster(now)
         if self._lb is not None:
             routed, rejected = self._lb.total_routed, self._lb.total_rejected
             self.lb_routed.inc(routed - self._prev_routed)
@@ -257,12 +277,20 @@ class RunTelemetry:
             for phase in self._profiler.phase_names():
                 self.profile_seconds.set(self._profiler.seconds(phase), phase=phase)
                 self.profile_calls.set(self._profiler.calls(phase), phase=phase)
+        self.sampling.finish_sample(now, profiler=self._profiler)
         self.registry.capture(now)
 
-    def _sample_cluster(self) -> None:
+    def _sample_cluster(self, now: float) -> None:
         cluster = self._cluster
         assert cluster is not None
+        sampling = self.sampling
         for name, node in cluster.nodes.items():
+            if not sampling.node_due(name, now):
+                # Skipped: gauges keep their last-known values and capture
+                # re-records them (bounded-staleness semantics — see
+                # docs/telemetry.md "Scaling the observer").
+                sampling.skip_node(name, now)
+                continue
             cpu_usage = mem_usage = net_usage = 0.0
             active_ids: set[str] = set()
             for container_id, container in node.containers.items():
@@ -273,13 +301,12 @@ class RunTelemetry:
                 mem_usage += container.mem_usage
                 net_usage += container.net_usage
             capacity = node.capacity
-            self.node_cpu.set(cpu_usage / capacity.cpu if capacity.cpu else 0.0, node=name)
-            self.node_memory.set(
-                mem_usage / capacity.memory if capacity.memory else 0.0, node=name
-            )
-            self.node_network.set(
-                net_usage / capacity.network if capacity.network else 0.0, node=name
-            )
+            cpu_ratio = cpu_usage / capacity.cpu if capacity.cpu else 0.0
+            mem_ratio = mem_usage / capacity.memory if capacity.memory else 0.0
+            net_ratio = net_usage / capacity.network if capacity.network else 0.0
+            self.node_cpu.set(cpu_ratio, node=name)
+            self.node_memory.set(mem_ratio, node=name)
+            self.node_network.set(net_ratio, node=name)
             self.node_containers.set(len(active_ids), node=name)
             previous = self._prev_containers.get(name, set())
             started = len(active_ids - previous)
@@ -289,6 +316,15 @@ class RunTelemetry:
             if stopped:
                 self.container_stops.inc(stopped, node=name)
             self._prev_containers[name] = active_ids
+            sampling.observe_node(
+                name,
+                now,
+                cpu=cpu_ratio,
+                memory=mem_ratio,
+                network=net_ratio,
+                containers=len(active_ids),
+                churn=started + stopped,
+            )
         for service in cluster.sorted_services():
             self.service_replicas.set(service.replica_count, service=service.name)
 

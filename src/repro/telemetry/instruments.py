@@ -228,6 +228,15 @@ class MetricFamily(Generic[InstrumentT]):
         arguments; the resolved child is cached, so hot paths should hold
         the returned handle rather than re-resolving every call.
         """
+        resolved = self._resolve_values(values, named)
+        child = self._children.get(resolved)
+        if child is None:
+            child = self._make()
+            self._children[resolved] = child
+        return child
+
+    def _resolve_values(self, values: tuple, named: dict) -> LabelValues:
+        """Validate one label-value assignment into canonical tuple form."""
         if named:
             if values:
                 raise TelemetryError("pass label values positionally or by name, not both")
@@ -248,11 +257,7 @@ class MetricFamily(Generic[InstrumentT]):
                 f"{self.name} declares {len(self.label_names)} label(s) "
                 f"({', '.join(self.label_names) or 'none'}), got {len(values)} value(s)"
             )
-        child = self._children.get(values)
-        if child is None:
-            child = self._make()
-            self._children[values] = child
-        return child
+        return values
 
     def _make(self) -> InstrumentT:
         raise NotImplementedError  # pragma: no cover - abstract

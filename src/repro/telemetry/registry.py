@@ -249,10 +249,28 @@ class NullRegistry(NullInstrument, MetricRegistry):
     :meth:`capture` is a no-op.  ``enabled`` comes from the shared
     :class:`~repro.instrument.NullInstrument` discipline (``False``), so
     samplers can skip whole collection passes.
+
+    Null-ness is explicit: ``retention`` is ``0`` (no rings exist, so no
+    fabricated "2 points" leaks into code that inspects registry kind),
+    configuration keywords are rejected outright, and callers that need
+    to branch on registry kind should test
+    ``isinstance(registry, NullInstrument)`` (or just ``registry.enabled``)
+    rather than sniffing attributes.
     """
 
-    def __init__(self) -> None:
-        super().__init__(retention=2)
+    def __init__(self, *, retention: int | None = None) -> None:
+        if retention is not None:
+            raise TelemetryError(
+                "NullRegistry keeps no series rings; retention does not apply "
+                "(configure retention on a recording MetricRegistry instead)"
+            )
+        # Deliberately not chaining to MetricRegistry.__init__: its
+        # retention floor (>= 2) would force this registry to claim ring
+        # capacity it does not have.
+        self._families = {}
+        self.last_capture = -1.0
+        #: No retention at all — nothing is ever captured.
+        self.retention = 0
         self._null_counter = _NullCounterFamily()
         self._null_gauge = _NullGaugeFamily()
         self._null_histogram = _NullHistogramFamily()

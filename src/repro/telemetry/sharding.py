@@ -1,0 +1,239 @@
+"""Sharded metric retention: per-shard ring buffers, mergeable snapshots.
+
+A :class:`ShardedMetricRegistry` is a drop-in
+:class:`~repro.telemetry.registry.MetricRegistry` whose *children* (the
+labelled series and their retention rings) are partitioned across N
+inner shard registries by a stable hash of ``(family name, label
+values)``.  The registry-level API is unchanged — families register
+once, ``labels`` routes to the owning shard, ``capture`` stamps every
+shard — so ``Simulation.build(telemetry=ShardedMetricRegistry(...))``
+behaves exactly like the unsharded registry, byte for byte (pinned in
+``tests/test_telemetry_sharding.py``).
+
+What sharding buys:
+
+* **Point reads stay O(1)** — ``family.peek(...)``/``labels(...)`` hash
+  straight to one shard, so the ``top`` dashboard's per-row lookups
+  never scan the full series population.
+* **Partial exports stay O(series touched)** — :meth:`ShardedMetricRegistry.shard_snapshot`
+  renders one shard's series in canonical order at a cost proportional
+  to that shard alone, and :func:`merge_shard_snapshots` k-way-merges
+  per-shard JSONL parts back into the **byte-identical** unsharded
+  snapshot (each shard holds a disjoint, internally sorted subset of the
+  global ``(name, labels)`` order, so the merge is a pure reorder).
+
+Shard assignment uses ``zlib.crc32`` — stable across processes and
+platforms, so shard layouts (and therefore per-shard exports) are
+byte-deterministic for same-seed runs.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from heapq import merge as _heapq_merge
+from typing import Iterator, Sequence
+
+from repro.errors import TelemetryError
+from repro.telemetry.instruments import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    LabelValues,
+    MetricFamily,
+)
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.snapshot import snapshot_lines
+
+
+def shard_index(name: str, values: LabelValues, shards: int) -> int:
+    """Stable shard of one series: crc32 over name + label values."""
+    key = "\x1f".join((name, *values)).encode("utf-8")
+    return zlib.crc32(key) % shards
+
+
+def _child_key(child: tuple[LabelValues, object]) -> LabelValues:
+    """Merge key for k-way child iteration (module-level: no per-call closure)."""
+    return child[0]
+
+
+class _ShardedFamilyMixin:
+    """Routes a family's children to per-shard concrete families.
+
+    Mixed in *before* the concrete family class, so ``labels``/``peek``/
+    ``children`` here win the MRO while ``kind``, validation, and the
+    convenience writers (``inc``/``set``/``observe``, which call
+    ``labels``) come from the concrete base.
+    """
+
+    _shards: tuple[MetricFamily, ...] = ()
+
+    def _bind_shards(self, shard_families: tuple[MetricFamily, ...]) -> None:
+        self._shards = shard_families
+
+    def labels(self, *values: str, **named: str) -> object:
+        resolved = self._resolve_values(values, named)  # type: ignore[attr-defined]
+        owner = self._shards[shard_index(self.name, resolved, len(self._shards))]  # type: ignore[attr-defined]
+        return owner.labels(*resolved)
+
+    def peek(self, *values: str) -> object | None:
+        resolved = tuple(str(v) for v in values)
+        owner = self._shards[shard_index(self.name, resolved, len(self._shards))]  # type: ignore[attr-defined]
+        return owner.peek(*resolved)
+
+    def children(self) -> Iterator[tuple[LabelValues, object]]:
+        """Global sorted label order via a k-way merge of sorted shards."""
+        return _heapq_merge(
+            *(shard.children() for shard in self._shards), key=_child_key
+        )
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+
+class _ShardedCounterFamily(_ShardedFamilyMixin, CounterFamily):
+    """Counter family view over per-shard counter families."""
+
+
+class _ShardedGaugeFamily(_ShardedFamilyMixin, GaugeFamily):
+    """Gauge family view over per-shard gauge families."""
+
+
+class _ShardedHistogramFamily(_ShardedFamilyMixin, HistogramFamily):
+    """Histogram family view over per-shard histogram families."""
+
+
+_VIEW_TYPES: dict[type, type] = {
+    CounterFamily: _ShardedCounterFamily,
+    GaugeFamily: _ShardedGaugeFamily,
+    HistogramFamily: _ShardedHistogramFamily,
+}
+
+
+class ShardedMetricRegistry(MetricRegistry):
+    """A :class:`MetricRegistry` with series partitioned across shards."""
+
+    def __init__(self, *, shards: int = 4, retention: int = 240) -> None:
+        if shards < 1:
+            raise TelemetryError(f"need at least 1 shard, got {shards}")
+        super().__init__(retention=retention)
+        #: The inner per-shard registries (plain, unsharded).
+        self.shards: tuple[MetricRegistry, ...] = tuple(
+            MetricRegistry(retention=retention) for _ in range(shards)
+        )
+
+    @property
+    def shard_count(self) -> int:
+        """How many shards the series population is partitioned across."""
+        return len(self.shards)
+
+    def _register(self, family):  # type: ignore[no-untyped-def]
+        existing = self._families.get(family.name)
+        if existing is not None:
+            if (
+                existing.kind != family.kind
+                or existing.label_names != family.label_names
+                or existing.unit != family.unit
+                or existing.volatile != family.volatile
+                or getattr(existing, "buckets", None) != getattr(family, "buckets", None)
+            ):
+                raise TelemetryError(
+                    f"metric {family.name!r} re-registered with a different schema "
+                    f"(kind/labels/unit/buckets must match the first declaration)"
+                )
+            return existing
+        # The concrete family the caller built becomes shard 0's storage;
+        # the remaining shards get fresh clones with the same schema.
+        view_type = _VIEW_TYPES[type(family)]
+        kwargs: dict = {
+            "unit": family.unit,
+            "label_names": family.label_names,
+            "volatile": family.volatile,
+        }
+        if isinstance(family, HistogramFamily):
+            kwargs["buckets"] = family.buckets
+        view = view_type(family.name, family.help, **kwargs)
+        shard_families = tuple(
+            shard._register(
+                type(family)(family.name, family.help, **kwargs)
+                if index
+                else family
+            )
+            for index, shard in enumerate(self.shards)
+        )
+        view._bind_shards(shard_families)
+        self._families[family.name] = view
+        return view
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def capture(self, now: float) -> None:
+        """Stamp every shard's rings at ``now`` (same contract as the base)."""
+        if now < self.last_capture:
+            raise TelemetryError(
+                f"capture at t={now} after t={self.last_capture}: time must not go backwards"
+            )
+        self.last_capture = now
+        for shard in self.shards:
+            shard.capture(now)
+
+    # ------------------------------------------------------------------
+    # Per-shard exports
+    # ------------------------------------------------------------------
+    def shard_snapshot_lines(
+        self, index: int, *, now: float, include_volatile: bool = False
+    ) -> list[str]:
+        """One shard's series as canonical JSONL lines (O(shard series))."""
+        return snapshot_lines(self.shards[index], now=now, include_volatile=include_volatile)
+
+    def shard_snapshot(
+        self, index: int, *, now: float, include_volatile: bool = False
+    ) -> str:
+        """One shard's series as JSONL text (a mergeable snapshot part)."""
+        lines = self.shard_snapshot_lines(index, now=now, include_volatile=include_volatile)
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def merge_shard_snapshots(parts: Sequence[str]) -> str:
+    """Merge per-shard JSONL snapshot parts into the unsharded byte layout.
+
+    Each part must already be in canonical order (which
+    :meth:`ShardedMetricRegistry.shard_snapshot` guarantees); the merge
+    reorders lines by ``(family name, label values)`` without rewriting
+    them, so the output is byte-identical to a snapshot of the same
+    series taken from an unsharded registry.  ``slo_alert`` lines (which
+    are not series and carry no merge key) are appended after the series
+    lines in encounter order — emit them from a single part.
+    """
+    keyed_parts: list[list[tuple[tuple[str, tuple[str, ...]], str]]] = []
+    alerts: list[str] = []
+    for part in parts:
+        keyed: list[tuple[tuple[str, tuple[str, ...]], str]] = []
+        for line in part.splitlines():
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(f"snapshot part line is not valid JSON: {exc}") from None
+            if payload.get("kind") == "slo_alert":
+                alerts.append(line)
+                continue
+            name = payload.get("name")
+            if not isinstance(name, str):
+                raise TelemetryError(f"snapshot part line has no series name: {line!r}")
+            labels = payload.get("labels", {})
+            keyed.append(((name, tuple(str(v) for v in labels.values())), line))
+        keyed_parts.append(keyed)
+    merged = _heapq_merge(*keyed_parts, key=lambda kv: kv[0])
+    out = [line for _, line in merged]
+    out.extend(alerts)
+    return "\n".join(out) + "\n" if out else ""
+
+
+__all__ = [
+    "ShardedMetricRegistry",
+    "merge_shard_snapshots",
+    "shard_index",
+]

@@ -71,8 +71,18 @@ def render_top(
     now: float,
     slo: SloTracker | None = None,
     title: str = "",
+    max_nodes: int | None = None,
 ) -> str:
-    """One dashboard frame as plain text (no ANSI codes)."""
+    """One dashboard frame as plain text (no ANSI codes).
+
+    ``max_nodes`` caps the node panel at the K busiest nodes — ranked by
+    their binding resource (the max of cpu/mem/net utilization), ties
+    broken by name — with a trailing ``(+N more nodes)`` line.  ``None``
+    (the default) renders every node in registration order, which keeps
+    small-fleet frames byte-identical to the pre-``max_nodes`` dashboard.
+    """
+    if max_nodes is not None and max_nodes < 1:
+        raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
     lines: list[str] = []
     header = f"hyscale-repro top — t={now:.1f}s"
     if title:
@@ -98,6 +108,21 @@ def render_top(
 
     node_rows = list(_children(registry, "node_cpu_utilization_ratio"))
     if node_rows:
+        hidden = 0
+        if max_nodes is not None:
+            ranked = []
+            for values, child in node_rows:
+                node = values[0]
+                assert isinstance(child, Gauge)
+                binding = max(
+                    child.value,
+                    _scalar(registry, "node_memory_utilization_ratio", node),
+                    _scalar(registry, "node_network_utilization_ratio", node),
+                )
+                ranked.append((-binding, node, (values, child)))
+            ranked.sort(key=lambda entry: entry[:2])
+            hidden = max(0, len(ranked) - max_nodes)
+            node_rows = [entry[2] for entry in ranked[:max_nodes]]
         lines.append("")
         lines.append(f"{'NODE':<12} {'CPU':<16} {'MEM':<16} {'NET':<16} {'CTRS':>4}")
         for values, child in node_rows:
@@ -111,6 +136,8 @@ def render_top(
                 f"{node:<12} {_bar(cpu)} {cpu * 100:4.0f}% {_bar(mem)} {mem * 100:4.0f}% "
                 f"{_bar(net)} {net * 100:4.0f}% {containers:4.0f}"
             )
+        if hidden:
+            lines.append(f"(+{hidden} more node{'s' if hidden != 1 else ''})")
 
     service_rows = list(_children(registry, "service_replicas"))
     if service_rows:
@@ -179,6 +206,7 @@ def run_top(
     stream: IO[str],
     title: str = "",
     clear: bool = False,
+    max_nodes: int | None = None,
 ) -> int:
     """Drive ``simulation`` and write one frame per simulated interval.
 
@@ -200,7 +228,15 @@ def run_top(
             remaining -= chunk
             if clear:
                 stream.write("\x1b[2J\x1b[H")
-            stream.write(render_top(hub.registry, now=engine.clock.now, slo=hub.slo, title=title))
+            stream.write(
+                render_top(
+                    hub.registry,
+                    now=engine.clock.now,
+                    slo=hub.slo,
+                    title=title,
+                    max_nodes=max_nodes,
+                )
+            )
             stream.write("\n")
             stream.flush()
             frames += 1

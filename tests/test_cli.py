@@ -44,6 +44,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "cpu", "--seed-mode", "lucky"])
 
+    def test_run_sampling_defaults_to_full(self):
+        args = build_parser().parse_args(["run", "cpu"])
+        assert args.sampling == "full"
+
+    def test_run_rejects_unknown_sampling_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "cpu", "--sampling", "psychic"])
+
+    def test_top_nodes_and_sampling_flags(self):
+        args = build_parser().parse_args(
+            ["top", "cpu", "--nodes", "3", "--sampling", "adaptive"]
+        )
+        assert args.nodes == 3
+        assert args.sampling == "adaptive"
+        assert build_parser().parse_args(["top", "cpu"]).nodes is None
+
 
 class TestCommands:
     def test_trace_command(self, capsys):
@@ -291,6 +307,33 @@ class TestTelemetryCommands:
         assert "NODE" in out
         assert "SERVICE" in out
         assert out.count("SLO") >= 2  # one panel per frame
+
+    def test_top_nodes_truncates_the_node_panel(self, capsys):
+        assert main(
+            [
+                "top", "cpu", "--burst", "low", "--duration", "60",
+                "--interval", "30", "--nodes", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "more node" in out
+        # Only the K busiest node rows render per frame.
+        node_rows = [line for line in out.splitlines() if line.startswith("node-")]
+        frames = out.count("NODE")
+        assert len(node_rows) == 2 * frames
+
+    def test_run_with_adaptive_sampling_reports_the_budget(self, capsys):
+        assert main(
+            [
+                "run", "cpu", "--burst", "low",
+                "--algorithms", "hybrid",
+                "--sampling", "adaptive",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "sampling adaptive: observed" in captured.err
+        assert "staleness bound" in captured.err
+        assert "avg resp" in captured.out  # the normal comparison table still renders
 
     def test_sanitize_parser_defaults(self):
         args = build_parser().parse_args(["sanitize"])

@@ -15,6 +15,7 @@ from repro.core.hyscale import (
     _by_cpu_utilization_desc,
 )
 from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.core.registry import registered_policies
 from repro.experiments.configs import cpu_bound, make_policy
 from repro.experiments.runner import Simulation
 from repro.metrics.sla import Sla
@@ -214,6 +215,56 @@ class TestEndToEndDeterminism:
             list(simulation.collector.timeline),
         )
         assert bare == instrumented
+
+    def test_full_sampling_is_byte_identical_for_every_policy_at_fleet_scale(self):
+        """``sampling="full"`` with an unsharded recording registry must be
+        byte-identical to a default build that never passed the keyword —
+        summaries, scaling events, and both export formats — for every
+        registered scaling policy at 24 nodes."""
+
+        def fleet_run(policy_name: str, sampling: str | None) -> tuple:
+            config = SimulationConfig(cluster=ClusterConfig(worker_nodes=24), seed=7)
+            specs = [
+                MicroserviceSpec(
+                    name=f"svc-{i}",
+                    cpu_request=0.5,
+                    mem_limit=512.0,
+                    net_rate=50.0,
+                    max_replicas=8,
+                )
+                for i in range(2)
+            ]
+            loads = [
+                ServiceLoad(
+                    service=spec.name,
+                    profile=CPU_BOUND,
+                    pattern=HighBurstLoad(base=4.0, peak=14.0, period=40.0, duty=0.4),
+                )
+                for spec in specs
+            ]
+            registry = MetricRegistry()
+            simulation = Simulation.build(
+                config=config,
+                specs=specs,
+                loads=loads,
+                policy=policy_name,
+                workload_label="sampling-pin",
+                telemetry=registry,
+                **({} if sampling is None else {"sampling": sampling}),
+            )
+            summary = simulation.run(40.0)
+            now = simulation.engine.clock.now
+            return (
+                summary.to_dict(),
+                list(simulation.collector.events.events()),
+                render_openmetrics(registry),
+                snapshot_to_jsonl(registry, now=now),
+            )
+
+        policies = registered_policies()
+        assert len(policies) == 9  # the paper's five plus the extensions
+        for name in policies:
+            assert fleet_run(name, "full") == fleet_run(name, None), name
 
     def test_null_sanitizer_run_is_bit_identical_to_the_bare_run(self, request):
         """``NULL_SANITIZER`` is the default: passing it explicitly keeps

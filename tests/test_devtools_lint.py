@@ -330,6 +330,45 @@ class TestObs001:
 
 
 # ----------------------------------------------------------------------
+# OBS002 — registry.capture() only from the telemetry sampling layer
+# ----------------------------------------------------------------------
+class TestObs002:
+    CAPTURE = "def flush(registry, now: float) -> None:\n    registry.capture(now)\n"
+
+    def test_flags_direct_capture_in_src(self):
+        assert "OBS002" in rules_of(lint_source(self.CAPTURE, CORE_PATH))
+        assert "OBS002" in rules_of(lint_source(self.CAPTURE, SIM_PATH))
+
+    def test_flags_attribute_receivers_named_registry(self):
+        src = "def flush(self, now: float) -> None:\n    self.registry.capture(now)\n"
+        assert "OBS002" in rules_of(lint_source(src, CLUSTER_PATH))
+
+    def test_sampling_layer_is_allowed(self):
+        assert "OBS002" not in rules_of(
+            lint_source(self.CAPTURE, "src/repro/telemetry/hub.py")
+        )
+        assert "OBS002" not in rules_of(
+            lint_source(self.CAPTURE, "src/repro/telemetry/sampling.py")
+        )
+
+    def test_tests_area_is_out_of_scope(self):
+        assert "OBS002" not in rules_of(lint_source(self.CAPTURE, TESTS_PATH))
+
+    def test_other_capture_receivers_are_clean(self):
+        # `.capture` on a non-registry receiver (e.g. a pane or shard) is
+        # someone else's method; only registry-shaped receivers are gated.
+        src = "def snap(pane, now: float) -> None:\n    pane.capture(now)\n"
+        assert "OBS002" not in rules_of(lint_source(src, CORE_PATH))
+
+    def test_reasoned_suppression_is_honoured(self):
+        src = (
+            "def flush(registry: object, now: float) -> None:\n"
+            "    registry.capture(now)  # lint: disable=OBS002(bench primes a synthetic registry)\n"
+        )
+        assert lint_source(src, CORE_PATH) == []
+
+
+# ----------------------------------------------------------------------
 # SAN001 — mutable class-level / default-argument containers
 # ----------------------------------------------------------------------
 class TestSan001:
@@ -576,12 +615,13 @@ class TestEngine:
             "API001",
             "API002",
             "OBS001",
+            "OBS002",
             "SAN001",
             "SAN002",
             "SAN003",
         }
         assert all(summary for summary in catalog.values())
-        assert len(ALL_RULES) == 11
+        assert len(ALL_RULES) == 12
 
 
 class TestCli:

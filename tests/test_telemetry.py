@@ -409,6 +409,39 @@ class TestTopRenderer:
         render_top(registry, now=0.0)
         assert len(family) == 0
 
+    def test_render_top_max_nodes_ranks_by_binding_resource(self):
+        registry = MetricRegistry()
+        cpu = registry.gauge("node_cpu_utilization_ratio", "CPU.", labels=("node",))
+        mem = registry.gauge("node_memory_utilization_ratio", "MEM.", labels=("node",))
+        for node, cpu_v, mem_v in (
+            ("worker-00", 0.1, 0.9),  # binding: mem 0.9 — busiest
+            ("worker-01", 0.5, 0.2),  # binding: cpu 0.5
+            ("worker-02", 0.3, 0.1),  # binding: cpu 0.3 — hidden at K=2
+        ):
+            cpu.set(cpu_v, node=node)
+            mem.set(mem_v, node=node)
+        registry.capture(30.0)
+        frame = render_top(registry, now=30.0, max_nodes=2)
+        assert "worker-00" in frame and "worker-01" in frame
+        assert "worker-02" not in frame
+        assert "(+1 more node)" in frame
+
+    def test_render_top_without_max_nodes_shows_everyone(self):
+        registry = MetricRegistry()
+        cpu = registry.gauge("node_cpu_utilization_ratio", "CPU.", labels=("node",))
+        for i in range(3):
+            cpu.set(0.1 * i, node=f"worker-{i:02d}")
+        registry.capture(30.0)
+        frame = render_top(registry, now=30.0)
+        assert "more node" not in frame
+        assert frame.count("worker-") == 3
+
+    def test_render_top_rejects_non_positive_max_nodes(self):
+        registry = MetricRegistry()
+        registry.capture(0.0)
+        with pytest.raises(ValueError):
+            render_top(registry, now=0.0, max_nodes=0)
+
     def test_run_top_requires_recording_registry(self):
         from repro.telemetry import run_top
 

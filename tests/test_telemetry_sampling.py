@@ -1,0 +1,435 @@
+"""Tests for the scalable-monitoring layer (``repro.telemetry.sampling``).
+
+Covers the observation-cost model and its budget ledger, the sampling
+policy registry, the decay/hotness/staleness semantics of the adaptive
+controllers, and the contract the defaults must keep: ``full`` sampling
+is byte-identical to a build that never heard of sampling, and sampling
+never perturbs the simulated run.  The nine-policy pin at 24 nodes lives
+in ``tests/test_determinism_end_to_end.py``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster import MicroserviceSpec
+from repro.config import ClusterConfig, SimulationConfig
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.errors import ExperimentError, TelemetryError
+from repro.experiments.runner import Simulation
+from repro.instrument import NullInstrument
+from repro.telemetry import (
+    DEFAULT_COST_MODEL,
+    NULL_REGISTRY,
+    AdaptiveSamplingController,
+    MetricRegistry,
+    MonitorBudget,
+    NullRegistry,
+    ObservationCostModel,
+    SamplingController,
+    SamplingSpec,
+    ThresholdAwareSamplingController,
+    make_sampling,
+    register_sampling_policy,
+    registered_sampling_policies,
+    render_openmetrics,
+    resolve_sampling,
+    snapshot_to_jsonl,
+)
+from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
+
+
+class TestSamplingSpec:
+    def test_defaults_are_full_cadence(self):
+        spec = SamplingSpec()
+        assert spec.policy == "full"
+        assert spec.cost is DEFAULT_COST_MODEL
+
+    def test_guard_band_bounds(self):
+        with pytest.raises(TelemetryError):
+            SamplingSpec(guard_band=-0.1)
+        with pytest.raises(TelemetryError):
+            SamplingSpec(guard_band=1.5)
+
+    def test_edge_ordering(self):
+        with pytest.raises(TelemetryError):
+            SamplingSpec(hot_low=0.8, hot_high=0.2)
+        with pytest.raises(TelemetryError):
+            SamplingSpec(hot_high=1.5)
+
+    def test_max_backoff_floor(self):
+        with pytest.raises(TelemetryError):
+            SamplingSpec(max_backoff=0)
+
+    def test_hot_seconds_must_be_non_negative(self):
+        with pytest.raises(TelemetryError):
+            SamplingSpec(hot_seconds=-1.0)
+
+
+class TestObservationCostModel:
+    def test_rejects_negative_prices(self):
+        with pytest.raises(TelemetryError):
+            ObservationCostModel(per_node_seconds=-1e-6)
+        with pytest.raises(TelemetryError):
+            ObservationCostModel(per_skip_seconds=-1.0)
+
+    def test_node_cost_is_linear_in_containers(self):
+        model = ObservationCostModel(per_node_seconds=1.0, per_container_seconds=0.5)
+        assert model.node_cost(0) == pytest.approx(1.0)
+        assert model.node_cost(4) == pytest.approx(3.0)
+
+    def test_capture_cost_is_linear_in_series(self):
+        model = ObservationCostModel(per_capture_seconds=2.0, per_series_seconds=0.25)
+        assert model.capture_cost(0) == pytest.approx(2.0)
+        assert model.capture_cost(8) == pytest.approx(4.0)
+
+
+class TestMonitorBudget:
+    def test_ledger_accumulates(self):
+        model = ObservationCostModel(
+            per_capture_seconds=1.0,
+            per_node_seconds=0.1,
+            per_container_seconds=0.01,
+            per_series_seconds=0.001,
+            per_skip_seconds=0.0001,
+        )
+        budget = MonitorBudget()
+        budget.charge_node(model, containers=3)
+        budget.charge_node(model, containers=5)
+        budget.charge_skip(model)
+        budget.charge_capture(model, series=10)
+        assert budget.nodes_observed == 2
+        assert budget.containers_observed == 8
+        assert budget.nodes_skipped == 1
+        assert budget.captures == 1
+        assert budget.series_captured == 10
+        expected = 0.1 + 0.03 + 0.1 + 0.05 + 0.0001 + 1.0 + 0.01
+        assert budget.collection_cost_seconds == pytest.approx(expected)
+
+    def test_to_dict_is_plain_json(self):
+        budget = MonitorBudget()
+        budget.charge_capture(DEFAULT_COST_MODEL, series=2)
+        payload = budget.to_dict()
+        assert set(payload) == {
+            "collection_cost_seconds",
+            "captures",
+            "nodes_observed",
+            "nodes_skipped",
+            "containers_observed",
+            "series_captured",
+        }
+        assert payload["captures"] == 1
+
+
+class TestPolicyRegistry:
+    def test_builtin_policies_registered_sorted(self):
+        names = registered_sampling_policies()
+        assert names == tuple(sorted(names))
+        assert {"full", "adaptive", "threshold-aware"} <= set(names)
+
+    def test_make_sampling_unknown_name_raises(self):
+        with pytest.raises(TelemetryError, match="unknown sampling policy"):
+            make_sampling("psychic")
+
+    def test_make_sampling_realigns_spec_policy(self):
+        controller = make_sampling("adaptive", SamplingSpec(policy="full", guard_band=0.2))
+        assert isinstance(controller, AdaptiveSamplingController)
+        assert controller.spec.policy == "adaptive"
+        assert controller.spec.guard_band == 0.2
+
+    def test_register_rejects_duplicates_and_empty_names(self):
+        with pytest.raises(TelemetryError):
+            register_sampling_policy("full", SamplingController)
+        with pytest.raises(TelemetryError):
+            register_sampling_policy("", SamplingController)
+
+    def test_register_replace_roundtrip(self):
+        register_sampling_policy("test-probe", SamplingController)
+        try:
+            assert "test-probe" in registered_sampling_policies()
+            register_sampling_policy("test-probe", AdaptiveSamplingController, replace=True)
+            assert isinstance(make_sampling("test-probe"), AdaptiveSamplingController)
+        finally:
+            from repro.telemetry.sampling import _REGISTRY
+
+            _REGISTRY._entries.pop("test-probe", None)
+
+    def test_resolve_none_is_full(self):
+        controller = resolve_sampling(None)
+        assert type(controller) is SamplingController
+        assert controller.exports_metrics is False
+
+    def test_resolve_passes_controllers_through(self):
+        controller = AdaptiveSamplingController()
+        assert resolve_sampling(controller) is controller
+
+    def test_resolve_coerces_spec_and_name(self):
+        by_spec = resolve_sampling(SamplingSpec(policy="threshold-aware"))
+        assert isinstance(by_spec, ThresholdAwareSamplingController)
+        by_name = resolve_sampling("adaptive")
+        assert isinstance(by_name, AdaptiveSamplingController)
+
+    def test_resolve_rejects_other_types(self):
+        with pytest.raises(TelemetryError):
+            resolve_sampling(42)
+
+
+#: Utilization far from the default (0.2, 0.8) edges and their guard band.
+COLD = dict(cpu=0.5, memory=0.5, network=0.5)
+
+
+def _observe(controller, node, now, *, churn=0, containers=1, **values):
+    merged = {**COLD, **values}
+    controller.observe_node(
+        node, now, containers=containers, churn=churn, **merged
+    )
+
+
+class TestAdaptiveController:
+    def test_quiet_node_cadence_decays_exponentially(self):
+        controller = AdaptiveSamplingController(SamplingSpec(policy="adaptive", max_backoff=8))
+        now = 0.0
+        intervals = []
+        for _ in range(6):
+            assert controller.node_due("n0", now)
+            _observe(controller, "n0", now)
+            interval = controller._interval["n0"]
+            intervals.append(interval)
+            now = controller._due["n0"]
+        # x2 per quiet observation, capped at max_backoff.
+        assert intervals == [2, 4, 8, 8, 8, 8]
+
+    def test_not_due_between_collections(self):
+        controller = AdaptiveSamplingController()
+        _observe(controller, "n0", 0.0)  # quiet: next due at 2 * sample_every
+        assert not controller.node_due("n0", 5.0)
+        assert controller.node_due("n0", 10.0)
+
+    def test_guard_band_keeps_full_cadence(self):
+        controller = AdaptiveSamplingController()
+        _observe(controller, "n0", 0.0, cpu=0.78)  # within 0.1 of the 0.8 edge
+        assert controller._interval["n0"] == 1
+        _observe(controller, "n1", 0.0, memory=0.25)  # within 0.1 of the 0.2 edge
+        assert controller._interval["n1"] == 1
+
+    def test_above_ceiling_is_always_hot(self):
+        controller = AdaptiveSamplingController()
+        _observe(controller, "n0", 0.0, network=0.95)
+        assert controller._interval["n0"] == 1
+
+    def test_churn_opens_a_per_node_hot_window(self):
+        spec = SamplingSpec(policy="adaptive", hot_seconds=10.0)
+        controller = AdaptiveSamplingController(spec)
+        _observe(controller, "n0", 0.0, churn=2)
+        assert controller._interval["n0"] == 1
+        # Still inside the window: cold values, yet full cadence holds.
+        _observe(controller, "n0", 5.0)
+        assert controller._interval["n0"] == 1
+        # Window lapsed: the node starts decaying again.
+        _observe(controller, "n0", 11.0)
+        assert controller._interval["n0"] == 2
+        # Other nodes never saw the churn and decay independently.
+        _observe(controller, "n1", 5.0)
+        assert controller._interval["n1"] == 2
+
+    def test_oom_kill_forces_a_fleet_wide_sweep(self):
+        controller = AdaptiveSamplingController()
+        _observe(controller, "n0", 0.0)  # quiet: not due again until t=10
+        controller.begin_sample(5.0, oom_kills=1.0, actions_applied=0.0)
+        assert controller.node_due("n0", 5.0)
+        # The sweep is one pass only: the same counter value next pass
+        # does not re-trigger it.
+        controller.begin_sample(7.0, oom_kills=1.0, actions_applied=0.0)
+        assert not controller.node_due("n0", 7.0)
+
+    def test_scale_actions_do_not_force_a_sweep(self):
+        # A busy autoscaler applies actions nearly every pass; pinning the
+        # whole fleet on them would degenerate to full cadence.
+        controller = AdaptiveSamplingController()
+        _observe(controller, "n0", 0.0)
+        controller.begin_sample(5.0, oom_kills=0.0, actions_applied=3.0)
+        assert not controller.node_due("n0", 5.0)
+
+    def test_skipped_nodes_report_bounded_staleness(self):
+        spec = SamplingSpec(policy="adaptive", max_backoff=4)
+        controller = AdaptiveSamplingController(spec)
+        assert controller.max_staleness() == pytest.approx(4 * 5.0)
+        _observe(controller, "n0", 0.0)
+        controller.begin_sample(8.0, oom_kills=0.0, actions_applied=0.0)
+        controller.skip_node("n0", 8.0)
+        assert controller.last_pass_staleness() == pytest.approx(8.0)
+
+    def test_skips_are_charged_to_the_budget(self):
+        controller = AdaptiveSamplingController()
+        controller.skip_node("n0", 5.0)
+        assert controller.budget.nodes_skipped == 1
+        assert controller.budget.collection_cost_seconds == pytest.approx(
+            controller.spec.cost.per_skip_seconds
+        )
+
+
+def _fake_cluster(*targets: float) -> SimpleNamespace:
+    services = {
+        f"svc-{i}": SimpleNamespace(spec=SimpleNamespace(target_utilization=t))
+        for i, t in enumerate(targets)
+    }
+    return SimpleNamespace(services=services)
+
+
+class TestThresholdAwareController:
+    def test_edges_come_from_the_fleet(self):
+        controller = ThresholdAwareSamplingController()
+        controller.bind(
+            cluster=_fake_cluster(0.7, 0.5, 0.7),
+            registry=NULL_REGISTRY,
+            sample_every=5.0,
+        )
+        assert controller._edges == (0.5, 0.7)
+
+    def test_empty_fleet_keeps_the_spec_edges(self):
+        controller = ThresholdAwareSamplingController()
+        controller.bind(cluster=_fake_cluster(), registry=NULL_REGISTRY, sample_every=5.0)
+        assert controller._edges == (controller.spec.hot_low, controller.spec.hot_high)
+
+
+class TestInstrumentExports:
+    def test_full_controller_mints_no_monitoring_families(self):
+        registry = MetricRegistry()
+        controller = SamplingController()
+        controller.bind(cluster=_fake_cluster(0.5), registry=registry, sample_every=5.0)
+        assert len(registry) == 0
+
+    def test_adaptive_controller_mints_cost_families(self):
+        registry = MetricRegistry()
+        controller = AdaptiveSamplingController()
+        controller.bind(cluster=_fake_cluster(0.5), registry=registry, sample_every=5.0)
+        names = {family.name for family in registry.families()}
+        assert "monitoring_collection_cost_seconds" in names
+        assert "monitoring_nodes_observed" in names
+        assert "monitoring_staleness_seconds_max" in names
+
+    def test_null_registry_bind_mints_nothing(self):
+        controller = AdaptiveSamplingController()
+        controller.bind(cluster=_fake_cluster(0.5), registry=NULL_REGISTRY, sample_every=5.0)
+        assert len(NULL_REGISTRY) == 0
+        assert controller._instruments is None
+
+    def test_finish_sample_publishes_budget_deltas(self):
+        registry = MetricRegistry()
+        controller = AdaptiveSamplingController()
+        controller.bind(cluster=_fake_cluster(0.5), registry=registry, sample_every=5.0)
+        controller.begin_sample(0.0, oom_kills=0.0, actions_applied=0.0)
+        _observe(controller, "n0", 0.0, containers=3)
+        controller.skip_node("n1", 0.0)
+        controller.finish_sample(0.0)
+        observed = registry.get("monitoring_nodes_observed").labels()
+        skipped = registry.get("monitoring_nodes_skipped").labels()
+        containers = registry.get("monitoring_containers_observed").labels()
+        assert observed.value == 1.0
+        assert skipped.value == 1.0
+        assert containers.value == 3.0
+        # Deltas, not totals: a second pass adds only its own work.
+        controller.begin_sample(5.0, oom_kills=0.0, actions_applied=0.0)
+        _observe(controller, "n1", 5.0, containers=2)
+        controller.finish_sample(5.0)
+        assert observed.value == 2.0
+        assert containers.value == 5.0
+
+
+class TestNullRegistryExplicitNullness:
+    def test_retention_kwarg_is_rejected(self):
+        with pytest.raises(TelemetryError, match="retention does not apply"):
+            NullRegistry(retention=240)
+
+    def test_retention_is_zero_not_fabricated(self):
+        assert NullRegistry().retention == 0
+        assert NULL_REGISTRY.retention == 0
+
+    def test_null_ness_is_the_shared_instrument_discipline(self):
+        assert isinstance(NULL_REGISTRY, NullInstrument)
+        assert not isinstance(MetricRegistry(), NullInstrument)
+
+
+def _fresh_simulation(seed: int, **kwargs) -> Simulation:
+    """A small busy run, mirroring the determinism-suite probe."""
+    config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=seed)
+    specs = [
+        MicroserviceSpec(
+            name=f"svc-{i}", cpu_request=0.5, mem_limit=512.0, net_rate=50.0, max_replicas=8
+        )
+        for i in range(2)
+    ]
+    loads = [
+        ServiceLoad(
+            service=spec.name,
+            profile=CPU_BOUND,
+            pattern=HighBurstLoad(base=4.0, peak=14.0, period=40.0, duty=0.4),
+        )
+        for spec in specs
+    ]
+    return Simulation.build(
+        config=config,
+        specs=specs,
+        loads=loads,
+        policy=HyScaleCpuMem(),
+        workload_label="sampling-probe",
+        **kwargs,
+    )
+
+
+def _exports(simulation: Simulation, registry: MetricRegistry) -> tuple[str, str]:
+    now = simulation.engine.clock.now
+    return render_openmetrics(registry), snapshot_to_jsonl(registry, now=now)
+
+
+class TestEndToEndContracts:
+    def test_sampling_requires_a_recording_registry(self):
+        with pytest.raises(ExperimentError, match="recording telemetry registry"):
+            _fresh_simulation(7, sampling="adaptive")
+
+    def test_full_sampling_is_byte_identical_to_the_default_build(self):
+        default_registry = MetricRegistry()
+        default = _fresh_simulation(7, telemetry=default_registry)
+        default_summary = default.run(60.0).to_dict()
+
+        full_registry = MetricRegistry()
+        full = _fresh_simulation(7, telemetry=full_registry, sampling="full")
+        full_summary = full.run(60.0).to_dict()
+
+        assert full_summary == default_summary
+        assert _exports(full, full_registry) == _exports(default, default_registry)
+
+    def test_adaptive_sampling_does_not_perturb_the_run(self):
+        bare = _fresh_simulation(7)
+        bare_summary = bare.run(60.0).to_dict()
+        bare_events = list(bare.collector.events.events())
+
+        sampled = _fresh_simulation(7, telemetry=MetricRegistry(), sampling="adaptive")
+        sampled_summary = sampled.run(60.0).to_dict()
+        sampled_events = list(sampled.collector.events.events())
+
+        assert sampled_summary == bare_summary
+        assert sampled_events == bare_events
+
+    def test_adaptive_run_exports_monitoring_families_and_charges_budget(self):
+        registry = MetricRegistry()
+        simulation = _fresh_simulation(7, telemetry=registry, sampling="adaptive")
+        simulation.run(60.0)
+        controller = simulation.telemetry.sampling
+        assert isinstance(controller, AdaptiveSamplingController)
+        budget = controller.budget
+        assert budget.captures > 0
+        assert budget.nodes_observed > 0
+        assert budget.collection_cost_seconds > 0.0
+        text = render_openmetrics(registry)
+        assert "monitoring_collection_cost_seconds" in text
+        assert "monitoring_nodes_skipped" in text
+
+    def test_full_run_keeps_the_legacy_export_namespace(self):
+        registry = MetricRegistry()
+        simulation = _fresh_simulation(7, telemetry=registry, sampling="full")
+        simulation.run(60.0)
+        # The ledger still exists (comparable across policies)...
+        assert simulation.telemetry.sampling.budget.captures > 0
+        # ...but no monitoring_* series leak into the default export.
+        assert "monitoring_" not in render_openmetrics(registry)

@@ -1,0 +1,216 @@
+"""Tests for sharded metric retention (``repro.telemetry.sharding``).
+
+The contract under test is byte-equality: a ``ShardedMetricRegistry`` fed
+the same writes and captures as an unsharded ``MetricRegistry`` must
+produce identical OpenMetrics documents and JSONL snapshots — whatever
+the shard count — and k-way-merging per-shard snapshot parts must recover
+the unsharded byte layout exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import MicroserviceSpec
+from repro.config import ClusterConfig, SimulationConfig
+from repro.core.hyscale_mem import HyScaleCpuMem
+from repro.errors import TelemetryError
+from repro.experiments.runner import Simulation
+from repro.telemetry import (
+    MetricRegistry,
+    ShardedMetricRegistry,
+    merge_shard_snapshots,
+    render_openmetrics,
+    shard_index,
+    snapshot_to_jsonl,
+)
+from repro.workloads import CPU_BOUND, HighBurstLoad, ServiceLoad
+
+#: The shard counts every byte-equality property is checked against:
+#: degenerate (1), even split (2), and a prime that scatters series (7).
+SHARD_COUNTS = (1, 2, 7)
+
+
+def _populate(registry: MetricRegistry, *, captures: int = 1) -> MetricRegistry:
+    """Apply one fixed write/capture script to any registry kind."""
+    routed = registry.counter("routed", "Requests routed.", labels=("node",))
+    backlog = registry.gauge("backlog", "Backlog depth.", labels=("node",))
+    latency = registry.histogram(
+        "latency_seconds", "Latency.", buckets=(0.5, 1.0), unit="seconds"
+    )
+    wall = registry.gauge("wall_seconds", "Wall.", volatile=True)
+    for step in range(captures):
+        for i in range(5):
+            routed.labels(f"n{i}").inc(i + step + 1)
+            backlog.labels(f"n{i}").set(float(step * 10 + i))
+        latency.observe(0.2)
+        latency.observe(0.7 + step)
+        wall.labels().set(1.23 + step)
+        registry.capture(60.0 * (step + 1))
+    return registry
+
+
+def _exports(registry: MetricRegistry, *, now: float) -> tuple[str, str]:
+    return (
+        render_openmetrics(registry, include_volatile=True),
+        snapshot_to_jsonl(registry, now=now),
+    )
+
+
+class TestByteEquality:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_exports_match_the_unsharded_registry(self, shards):
+        reference = _populate(MetricRegistry())
+        candidate = _populate(ShardedMetricRegistry(shards=shards))
+        assert _exports(candidate, now=60.0) == _exports(reference, now=60.0)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_merged_shard_snapshots_recover_the_unsharded_bytes(self, shards):
+        reference = _populate(MetricRegistry())
+        candidate = _populate(ShardedMetricRegistry(shards=shards))
+        parts = [
+            candidate.shard_snapshot(i, now=60.0) for i in range(candidate.shard_count)
+        ]
+        assert merge_shard_snapshots(parts) == snapshot_to_jsonl(reference, now=60.0)
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_ring_wraparound_matches(self, shards):
+        # retention=3 with 6 captures: every ring wraps twice; the stale
+        # points trimmed must be the same on both sides.
+        reference = _populate(MetricRegistry(retention=3), captures=6)
+        candidate = _populate(ShardedMetricRegistry(shards=shards, retention=3), captures=6)
+        assert _exports(candidate, now=360.0) == _exports(reference, now=360.0)
+        child = candidate.get("routed").peek("n0")
+        assert len(child.history) == 3
+
+    def test_histogram_buckets_survive_sharding(self):
+        candidate = _populate(ShardedMetricRegistry(shards=7))
+        families = json.loads(
+            [
+                line
+                for line in snapshot_to_jsonl(candidate, now=60.0).splitlines()
+                if '"latency_seconds"' in line
+            ][0]
+        )
+        # [bound, cumulative] pairs: 0.2 <= 0.5, 0.7 <= 1.0, +Inf as null.
+        assert families["buckets"] == [[0.5, 1], [1.0, 2], [None, 2]]
+
+
+class TestRegistryApi:
+    def test_rejects_fewer_than_one_shard(self):
+        with pytest.raises(TelemetryError):
+            ShardedMetricRegistry(shards=0)
+
+    def test_registration_is_idempotent(self):
+        registry = ShardedMetricRegistry(shards=3)
+        first = registry.counter("hits", "Hits.")
+        again = registry.counter("hits", "Hits.")
+        assert first is again
+        assert len(registry) == 1
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = ShardedMetricRegistry(shards=3)
+        registry.counter("hits", "Hits.")
+        with pytest.raises(TelemetryError):
+            registry.gauge("hits", "Hits.")
+        with pytest.raises(TelemetryError):
+            registry.counter("hits", "Hits.", labels=("node",))
+
+    def test_labels_and_peek_route_to_the_same_shard(self):
+        registry = ShardedMetricRegistry(shards=7)
+        family = registry.counter("routed", "Routed.", labels=("node",))
+        family.labels("n3").inc(2.0)
+        assert family.peek("n3") is family.labels("n3")
+        assert family.peek("n4") is None
+        assert len(family) == 1
+
+    def test_children_iterate_in_global_sorted_order(self):
+        registry = ShardedMetricRegistry(shards=7)
+        family = registry.counter("routed", "Routed.", labels=("node",))
+        for node in ("n4", "n0", "n2", "n1", "n3"):
+            family.labels(node).inc()
+        assert [values for values, _ in family.children()] == [
+            ("n0",), ("n1",), ("n2",), ("n3",), ("n4",)
+        ]
+
+    def test_capture_rejects_time_going_backwards(self):
+        registry = ShardedMetricRegistry(shards=2)
+        registry.capture(10.0)
+        with pytest.raises(TelemetryError):
+            registry.capture(9.0)
+
+    def test_shard_index_is_pinned(self):
+        # crc32 layouts are part of the determinism contract: same series,
+        # same shard, on every platform and in every process.
+        assert shard_index("routed", ("n0",), 7) == 2
+        assert shard_index("routed", ("n1",), 7) == 0
+        assert shard_index("backlog", (), 7) == 0
+        assert shard_index("routed", ("n0",), 2) == 0
+        assert shard_index("backlog", (), 2) == 1
+
+
+class TestMerge:
+    def test_merge_rejects_invalid_json(self):
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            merge_shard_snapshots(["not json\n"])
+
+    def test_merge_rejects_lines_without_a_name(self):
+        with pytest.raises(TelemetryError, match="no series name"):
+            merge_shard_snapshots(['{"schema": "x", "kind": "counter"}\n'])
+
+    def test_merge_of_empty_parts_is_empty(self):
+        assert merge_shard_snapshots(["", ""]) == ""
+
+    def test_slo_alert_lines_are_appended_after_series(self):
+        registry = _populate(ShardedMetricRegistry(shards=2))
+        parts = [registry.shard_snapshot(i, now=60.0) for i in range(2)]
+        alert = json.dumps({"kind": "slo_alert", "name": "availability"})
+        parts[0] += alert + "\n"
+        merged = merge_shard_snapshots(parts)
+        lines = merged.splitlines()
+        assert lines[-1] == alert
+        assert all('"slo_alert"' not in line for line in lines[:-1])
+
+
+class TestEndToEndSharding:
+    def test_instrumented_run_is_byte_identical_to_unsharded(self):
+        def run_once(registry: MetricRegistry) -> tuple[dict, str, str]:
+            config = SimulationConfig(cluster=ClusterConfig(worker_nodes=4), seed=7)
+            specs = [
+                MicroserviceSpec(
+                    name=f"svc-{i}",
+                    cpu_request=0.5,
+                    mem_limit=512.0,
+                    net_rate=50.0,
+                    max_replicas=8,
+                )
+                for i in range(2)
+            ]
+            loads = [
+                ServiceLoad(
+                    service=spec.name,
+                    profile=CPU_BOUND,
+                    pattern=HighBurstLoad(base=4.0, peak=14.0, period=40.0, duty=0.4),
+                )
+                for spec in specs
+            ]
+            simulation = Simulation.build(
+                config=config,
+                specs=specs,
+                loads=loads,
+                policy=HyScaleCpuMem(),
+                workload_label="sharding-probe",
+                telemetry=registry,
+            )
+            summary = simulation.run(60.0)
+            now = simulation.engine.clock.now
+            return (
+                summary.to_dict(),
+                render_openmetrics(registry),
+                snapshot_to_jsonl(registry, now=now),
+            )
+
+        reference = run_once(MetricRegistry())
+        sharded = run_once(ShardedMetricRegistry(shards=7))
+        assert sharded == reference
+        assert "sim_steps" in reference[1], "expected an instrumented run"
