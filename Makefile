@@ -16,13 +16,16 @@ lint:
 	@if command -v mypy >/dev/null 2>&1; then mypy; \
 	else echo "mypy not installed; skipping (pip install -e .[dev])"; fi
 
-# FlowLint (docs/dev-tooling.md): interprocedural call-graph & effect
-# analysis over src/repro — hot-path allocation rules, parallel-safety
-# rules, and the ranked repro.flow/1 allocation inventory.  Fails on any
-# violation not covered by .flowlint-baseline.json; the JSON report is
-# uploaded as a CI artifact.
+# FlowLint + DetFlow (docs/dev-tooling.md): interprocedural call-graph &
+# effect analysis over src/repro — hot-path allocation rules,
+# parallel-safety rules, determinism-taint rules (DET101-104), registry
+# contracts (CON001-003), the ranked repro.flow/2 allocation and
+# tainted-path inventories.  Fails on any violation not covered by
+# .flowlint-baseline.json, and on a blown wall-time budget (--max-wall:
+# 2x the single-parse PR 6 baseline of ~1.7 s); the JSON report (with
+# per-phase timings) is uploaded as a CI artifact.
 analyze:
-	PYTHONPATH=src python -m repro.devtools.flow --report BENCH_static_analysis.json
+	PYTHONPATH=src python -m repro.devtools.flow --report BENCH_static_analysis.json --max-wall 3.4
 
 test: lint analyze
 	pytest tests/

@@ -16,14 +16,25 @@ subpackage reasons about the *whole program*:
   allocations (literals, comprehensions, closures, string formatting),
   O(n) list membership, repeated deep attribute chains, global /
   ``os.environ`` writes, and unordered set iteration.
-* :mod:`~repro.devtools.flow.rules` turns those summaries into the
-  HOT / PAR / interprocedural-UNIT rule families, and
-  :mod:`~repro.devtools.flow.baseline` applies the reasoned-suppression
-  baseline (``.flowlint-baseline.json``).
+* :mod:`~repro.devtools.flow.taint` (DetFlow) propagates determinism
+  taint from catalogued nondeterminism sources (wall clock, ambient RNG,
+  uuid, object identity, environment reads, filesystem enumeration,
+  unordered iteration, order-dependent float accumulation) along the
+  call graph into the canonical byte-stable sinks, killing it at
+  catalogued sanitizers (``sorted``, canonical JSON, ``RngStreams``
+  derivation), and emits ranked source→sink witness chains.
+* :mod:`~repro.devtools.flow.contracts` statically checks every
+  implementation registered through ``register_policy`` /
+  ``register_sampling_policy`` / ``register_backend`` against its
+  protocol (CON001–003).
+* :mod:`~repro.devtools.flow.rules` turns those analyses into the
+  HOT / PAR / DET1xx / CON rule families plus interprocedural UNIT002,
+  and :mod:`~repro.devtools.flow.baseline` applies the
+  reasoned-suppression baseline (``.flowlint-baseline.json``).
 * :mod:`~repro.devtools.flow.report` encodes the canonical
-  ``repro.flow/1`` JSON report, including the ranked hot-path allocation
-  inventory that is the work-list for the vectorization effort
-  (ROADMAP item 1).
+  ``repro.flow/2`` JSON report: the ranked hot-path allocation inventory
+  (the work-list for the vectorization effort, ROADMAP item 1) and the
+  ranked tainted-path inventory with full witness chains.
 
 Entry points: ``hyscale-repro analyze``, ``hyscale-repro lint --flow``,
 ``python -m repro.devtools.flow``, and ``make analyze``.
@@ -31,31 +42,62 @@ Entry points: ``hyscale-repro analyze``, ``hyscale-repro lint --flow``,
 
 from __future__ import annotations
 
-from repro.devtools.flow.analyze import FlowAnalysis, analyze_paths, default_baseline, main
+from repro.devtools.flow.analyze import (
+    FlowAnalysis,
+    analyze_paths,
+    analyze_sources,
+    default_baseline,
+    known_rule_ids,
+    main,
+)
 from repro.devtools.flow.baseline import Baseline, BaselineEntry, load_baseline
 from repro.devtools.flow.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.devtools.flow.contracts import (
+    PROTOCOLS,
+    ContractFinding,
+    ProtocolSpec,
+    check_contracts,
+)
 from repro.devtools.flow.effects import AllocationSite, EffectSummary, effects_of
 from repro.devtools.flow.reachability import Roots, discover_roots, reachable_from
 from repro.devtools.flow.report import FLOW_SCHEMA, FlowReport, render_flow_json
+from repro.devtools.flow.taint import (
+    SINKS,
+    TaintAnalysis,
+    TaintedPath,
+    analyze_taint,
+    taint_facts_of,
+)
 
 __all__ = [
     "FLOW_SCHEMA",
+    "PROTOCOLS",
+    "SINKS",
     "AllocationSite",
     "Baseline",
     "BaselineEntry",
     "CallGraph",
+    "ContractFinding",
     "EffectSummary",
     "FlowAnalysis",
     "FlowReport",
     "FunctionInfo",
+    "ProtocolSpec",
     "Roots",
+    "TaintAnalysis",
+    "TaintedPath",
     "analyze_paths",
+    "analyze_sources",
+    "analyze_taint",
     "build_call_graph",
+    "check_contracts",
     "default_baseline",
     "discover_roots",
     "effects_of",
+    "known_rule_ids",
     "load_baseline",
     "main",
     "reachable_from",
     "render_flow_json",
+    "taint_facts_of",
 ]

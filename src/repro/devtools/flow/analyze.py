@@ -1,25 +1,36 @@
-"""FlowLint driver: build graph → reach → effects → rules → baseline → report.
+"""FlowLint driver: graph → reach → effects → taint → contracts → rules → report.
 
 Usage::
 
     python -m repro.devtools.flow                       # analyze src/repro
-    python -m repro.devtools.flow --format json         # repro.flow/1 on stdout
+    python -m repro.devtools.flow --format json         # repro.flow/2 on stdout
     python -m repro.devtools.flow --report BENCH_static_analysis.json
     python -m repro.devtools.flow --write-baseline      # accept current findings
+    python -m repro.devtools.flow --max-wall 3.4        # perf gate (make analyze)
     hyscale-repro analyze                               # same engine, main CLI
     hyscale-repro lint --flow                           # per-file + flow rules
 
-Exit status: 0 clean, 1 unbaselined findings (or baseline-audit failures),
-2 usage error (bad paths, malformed baseline).
+Exit status: 0 clean, 1 unbaselined findings (or baseline-audit failures,
+or a blown ``--max-wall`` budget), 2 usage error (bad paths, malformed
+baseline, unknown flags).
+
+Timing is *injected*: callers that want per-phase timings pass a
+monotonic ``timer`` callable (the CLI passes ``time.perf_counter``).
+The library default is no timer — analysis stays free of wall-clock
+reads, and the canonical report bytes never depend on timing.  The CLI
+merges timings into the written ``--report`` artifact next to the
+canonical payload, never into :func:`render_flow_json` itself.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.devtools.flow.baseline import (
     BASELINE_FILENAME,
@@ -32,6 +43,7 @@ from repro.devtools.flow.baseline import (
     render_baseline,
 )
 from repro.devtools.flow.callgraph import CallGraph, build_call_graph, read_sources
+from repro.devtools.flow.contracts import check_contracts
 from repro.devtools.flow.effects import EffectSummary, effects_of
 from repro.devtools.flow.reachability import Roots, discover_roots, reachable_from
 from repro.devtools.flow.report import FlowReport, build_inventory, render_flow_json
@@ -41,11 +53,19 @@ from repro.devtools.flow.rules import (
     flow_rule_catalog,
     run_flow_rules,
 )
+from repro.devtools.flow.taint import analyze_taint
 from repro.devtools.lint import render_report
+from repro.devtools.rules import rule_catalog
 from repro.devtools.violations import Violation
 
 #: Paths analyzed when the CLI is invoked without arguments.
 DEFAULT_ANALYZE_PATHS = ("src/repro",)
+
+#: Every rule id a baseline entry may legitimately name: the flow
+#: families plus the per-file catalogue (entries never key on BASE00x).
+def known_rule_ids() -> frozenset[str]:
+    """The current catalogue's complete rule-id set."""
+    return frozenset(flow_rule_catalog()) | frozenset(rule_catalog())
 
 
 @dataclass(frozen=True)
@@ -56,6 +76,8 @@ class FlowAnalysis:
     roots: Roots
     effects: dict[str, EffectSummary]
     report: FlowReport
+    #: Phase label -> seconds; empty unless a ``timer`` was injected.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def unbaselined(self) -> tuple[FlowViolation, ...]:
@@ -76,24 +98,56 @@ class FlowAnalysis:
 
 
 def analyze_sources(
-    sources: Sequence[tuple[str, str]], baseline: Baseline = EMPTY_BASELINE
+    sources: Sequence[tuple[str, str]],
+    baseline: Baseline = EMPTY_BASELINE,
+    timer: Callable[[], float] | None = None,
 ) -> FlowAnalysis:
-    """Analyze in-memory ``(logical_path, source)`` pairs (test seam)."""
+    """Analyze in-memory ``(logical_path, source[, tree])`` tuples.
+
+    This is both the test seam and the shared-parse seam: ``lint --flow``
+    passes the ASTs it already parsed as third tuple elements, so the
+    ~130 modules of ``src/repro`` are never parsed twice in one process.
+    """
+    timings: dict[str, float] = {}
+    last = timer() if timer is not None else 0.0
+
+    def lap(label: str) -> None:
+        nonlocal last
+        if timer is not None:
+            now = timer()
+            timings[label] = round(now - last, 6)
+            last = now
+
     graph = build_call_graph(sources)
+    lap("parse_graph")
     roots = discover_roots(graph)
+    step_reachable = reachable_from(graph, roots.step)
+    worker_reachable = reachable_from(graph, roots.worker)
+    merge_reachable = reachable_from(graph, roots.merge)
+    lap("reachability")
     effects = {
         qualname: effects_of(fn) for qualname, fn in sorted(graph.functions.items())
     }
+    lap("effects")
+    taint = analyze_taint(graph)
+    lap("taint")
+    contracts = check_contracts(graph)
+    lap("contracts")
     ctx = FlowContext(
         graph=graph,
         roots=roots,
-        step_reachable=reachable_from(graph, roots.step),
-        worker_reachable=reachable_from(graph, roots.worker),
-        merge_reachable=reachable_from(graph, roots.merge),
+        step_reachable=step_reachable,
+        worker_reachable=worker_reachable,
+        merge_reachable=merge_reachable,
         effects=effects,
+        taint=taint,
+        contracts=contracts,
     )
     findings = run_flow_rules(ctx)
-    unbaselined, suppressed, audit = apply_baseline(findings, baseline)
+    unbaselined, suppressed, audit = apply_baseline(
+        findings, baseline, known_rules=known_rule_ids()
+    )
+    lap("rules")
     report = FlowReport(
         graph=graph,
         roots=roots,
@@ -104,21 +158,29 @@ def analyze_sources(
         unbaselined=tuple(unbaselined),
         suppressed=tuple(suppressed),
         baseline_audit=tuple(audit),
+        taint=taint,
+        contracts=contracts,
     )
-    return FlowAnalysis(graph=graph, roots=roots, effects=effects, report=report)
+    lap("report")
+    if timer is not None:
+        timings["total"] = round(sum(timings.values()), 6)
+    return FlowAnalysis(
+        graph=graph, roots=roots, effects=effects, report=report, timings=timings
+    )
 
 
 def analyze_paths(
     paths: Sequence[str | Path],
     root: str | Path | None = None,
     baseline: Baseline = EMPTY_BASELINE,
+    timer: Callable[[], float] | None = None,
 ) -> FlowAnalysis:
     """Analyze files/directories rooted at ``root`` (default: CWD)."""
     root_path = Path(root) if root is not None else Path.cwd()
     resolved = [
         Path(root_path, p) if not Path(p).is_absolute() else Path(p) for p in paths
     ]
-    return analyze_sources(read_sources(resolved, root_path), baseline)
+    return analyze_sources(read_sources(resolved, root_path), baseline, timer=timer)
 
 
 def default_baseline(root_path: Path) -> Baseline:
@@ -129,11 +191,27 @@ def default_baseline(root_path: Path) -> Baseline:
     return EMPTY_BASELINE
 
 
+def report_artifact_text(analysis: FlowAnalysis) -> str:
+    """The ``--report`` file body: canonical payload plus CLI extras.
+
+    The canonical codec stays byte-identical across runs; timings (which
+    never are) ride alongside it under a ``"timings"`` key the codec
+    itself never emits.
+    """
+    payload = analysis.report.to_dict()
+    if analysis.timings:
+        payload["timings"] = analysis.timings
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
-        description="FlowLint: interprocedural hot-path & parallel-safety analysis.",
+        description=(
+            "FlowLint + DetFlow: interprocedural hot-path, parallel-safety, "
+            "determinism-taint, and registry-contract analysis."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -156,7 +234,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--report",
         default=None,
         metavar="FILE",
-        help="also write the canonical repro.flow/1 JSON report to FILE",
+        help="also write the repro.flow/2 JSON report (plus phase timings) to FILE",
     )
     parser.add_argument(
         "--baseline",
@@ -173,6 +251,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-rules",
         action="store_true",
         help="print the flow rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) when total analyzer wall time exceeds SECONDS "
+        "(the make-analyze perf gate: 2x the PR 6 baseline)",
     )
     args = parser.parse_args(argv)
 
@@ -199,7 +285,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    analysis = analyze_paths(args.paths, root=args.root, baseline=baseline)
+    analysis = analyze_paths(
+        args.paths, root=args.root, baseline=baseline, timer=time.perf_counter
+    )
 
     if args.write_baseline:
         target = Path(args.baseline) if args.baseline is not None else root_path / BASELINE_FILENAME
@@ -220,12 +308,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.report is not None:
-        Path(args.report).write_text(render_flow_json(analysis.report), encoding="utf-8")
+        Path(args.report).write_text(report_artifact_text(analysis), encoding="utf-8")
+
+    over_budget = (
+        args.max_wall is not None
+        and analysis.timings.get("total", 0.0) > args.max_wall
+    )
 
     if args.format == "json":
         print(render_flow_json(analysis.report), end="")
     else:
         report = analysis.report
+        taint = report.taint
         print(
             f"flow: {len(analysis.graph.functions)} functions, "
             f"{analysis.graph.edge_count} edges; "
@@ -237,6 +331,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"hot-path inventory: {len(report.inventory)} allocation site(s); "
             f"suppressed={len(report.suppressed)}"
         )
+        if taint is not None:
+            print(
+                f"taint: {taint.source_count} source(s), "
+                f"{taint.killed_count} killed at birth, "
+                f"{len(taint.sinks_present)} sink(s), "
+                f"{len(taint.paths)} tainted path(s)"
+            )
         violations = analysis.violations
         if violations:
             print(render_report(violations, len(analysis.graph.modules)))
@@ -245,6 +346,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"clean: {len(analysis.graph.modules)} module(s) analyzed, "
                 "0 unbaselined violations"
             )
+        if over_budget:
+            print(
+                f"perf gate: analyzer took {analysis.timings['total']:.3f}s, "
+                f"budget {args.max_wall:.3f}s — exceeded",
+                file=sys.stderr,
+            )
+        elif args.max_wall is not None:
+            print(
+                f"perf gate: {analysis.timings['total']:.3f}s "
+                f"<= {args.max_wall:.3f}s budget"
+            )
+    if over_budget:
+        return 1
     return 0 if analysis.clean else 1
 
 

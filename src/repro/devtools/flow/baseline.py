@@ -10,6 +10,9 @@ The baseline is deliberately hostile to rot:
 
 * an entry whose ``(rule, function)`` matches **zero** current findings
   is *stale* and becomes a ``BASE001`` violation (delete the entry);
+* an entry naming a rule the current catalogue no longer defines — the
+  rule was removed or renamed in a catalogue bump — is also ``BASE001``,
+  with a message naming the catalogue version to check against;
 * an entry without a non-empty reason is malformed and becomes a
   ``BASE002`` violation;
 * a file that fails to parse or has the wrong ``schema`` is a usage
@@ -102,12 +105,18 @@ def load_baseline(path: Path) -> Baseline:
 
 
 def apply_baseline(
-    findings: list[FlowViolation], baseline: Baseline
+    findings: list[FlowViolation],
+    baseline: Baseline,
+    known_rules: frozenset[str] | None = None,
 ) -> tuple[list[FlowViolation], list[FlowViolation], list[Violation]]:
     """Split findings into (unbaselined, suppressed) and audit the baseline.
 
     The third element holds the baseline's own violations: stale entries
-    (``BASE001``) and entries without a reason (``BASE002``).
+    (``BASE001``) and entries without a reason (``BASE002``).  When
+    ``known_rules`` is given (the current catalogue's rule ids plus the
+    per-file families), an entry naming any other rule fails ``BASE001``
+    immediately — a catalogue bump removed or renamed the rule, and a
+    suppression that can never match again only hides baseline rot.
     """
     keys = baseline.keys()
     unbaselined: list[FlowViolation] = []
@@ -123,7 +132,23 @@ def apply_baseline(
 
     audit: list[Violation] = []
     for entry in baseline.entries:
-        if (entry.rule, entry.function) not in matched:
+        if known_rules is not None and entry.rule not in known_rules:
+            audit.append(
+                Violation(
+                    path=baseline.path or BASELINE_FILENAME,
+                    line=1,
+                    col=1,
+                    rule=STALE_ENTRY,
+                    message=(
+                        f"baseline entry ({entry.rule}, {entry.function}) names "
+                        f"a rule the current catalogue does not define; "
+                        f"{entry.rule!r} was removed or renamed in a catalogue "
+                        "bump — delete the entry or re-key it to the successor "
+                        "rule"
+                    ),
+                )
+            )
+        elif (entry.rule, entry.function) not in matched:
             audit.append(
                 Violation(
                     path=baseline.path or BASELINE_FILENAME,

@@ -85,6 +85,8 @@ class ClassInfo:
     qualname: str
     name: str
     module: str
+    path: str = ""  # repo-relative posix path of the defining file
+    lineno: int = 0
     bases: tuple[str, ...] = ()  # simple or dotted base names, unresolved
     methods: dict[str, FunctionInfo] = field(default_factory=dict)
     #: ``self.<attr>`` name -> class qualname (from ``self.x = Ctor(...)``
@@ -252,6 +254,8 @@ def _collect_class(
         qualname=f"{module}.{node.name}",
         name=node.name,
         module=module,
+        path=path,
+        lineno=node.lineno,
         bases=tuple(b for b in (_dotted_name(base) for base in node.bases) if b),
     )
     for child in node.body:
@@ -266,21 +270,26 @@ def _collect_class(
 
 
 def build_call_graph(sources: Iterable[tuple[str, str]]) -> CallGraph:
-    """Build the graph from ``(logical_path, source_text)`` pairs.
+    """Build the graph from ``(logical_path, source_text[, tree])`` tuples.
 
     Paths outside ``src/repro`` (no derivable module name) are skipped, as
     are files that do not parse — the per-file linter already reports
-    those as ``LINT002``.
+    those as ``LINT002``.  A caller that already parsed a file (the
+    ``lint --flow`` shared pass) supplies its :class:`ast.Module` as an
+    optional third element and the source is not parsed again.
     """
     graph = CallGraph()
-    for path, source in sorted(sources):
+    for item in sorted(sources, key=lambda t: t[0]):
+        path, source = item[0], item[1]
+        tree = item[2] if len(item) > 2 else None
         module = module_name_for(path)
         if module is None:
             continue
-        try:
-            tree = ast.parse(source)
-        except SyntaxError:
-            continue
+        if tree is None:
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                continue
         graph.modules[module] = _collect_module(module, path, tree)
 
     by_name: dict[str, list[str]] = {}

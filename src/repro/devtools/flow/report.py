@@ -1,15 +1,20 @@
-"""Canonical ``repro.flow/1`` report codec.
+"""Canonical ``repro.flow/2`` report codec.
 
 The report is the analyzer's durable artifact (written to
 ``BENCH_static_analysis.json`` by ``make analyze`` and uploaded from CI).
-Its headline section is the **hot-path allocation inventory**: every
+Its headline sections are the **hot-path allocation inventory** (every
 allocation site reachable from ``Engine.step``, ranked by loop depth and
-position — the explicit work-list for the ROADMAP item-1 vectorization.
+position — the explicit work-list for the ROADMAP item-1 vectorization)
+and, since schema ``/2``, the **tainted-path inventory**: every
+source→sink determinism-taint witness chain DetFlow found, ranked by hop
+count, plus the source/sanitizer/sink census behind it.
 
 Everything in the report is deterministically ordered and carries no
 timestamps or absolute paths, so repeated runs over the same tree are
 byte-identical (an acceptance criterion, and what makes the artifact
-diffable in CI).
+diffable in CI).  Phase timings deliberately live *outside* this codec:
+the CLI merges them into the BENCH artifact next to — never inside — the
+canonical payload.
 """
 
 from __future__ import annotations
@@ -18,14 +23,17 @@ import json
 from dataclasses import dataclass
 
 from repro.devtools.flow.callgraph import CallGraph
+from repro.devtools.flow.contracts import ContractFinding, contract_summary
 from repro.devtools.flow.effects import EffectSummary
 from repro.devtools.flow.reachability import Roots
 from repro.devtools.flow.rules import FlowViolation, flow_rule_catalog
+from repro.devtools.flow.taint import TaintAnalysis, TaintedPath
 from repro.devtools.rules import CATALOGUE_VERSION
 from repro.devtools.violations import Violation
 
-#: Schema tag of the flow report.
-FLOW_SCHEMA = "repro.flow/1"
+#: Schema tag of the flow report ("/2" added the tainted-path inventory,
+#: the taint summary, and the registry-contract census).
+FLOW_SCHEMA = "repro.flow/2"
 
 
 @dataclass(frozen=True, order=True)
@@ -122,12 +130,31 @@ class FlowReport:
     unbaselined: tuple[FlowViolation, ...]
     suppressed: tuple[FlowViolation, ...]
     baseline_audit: tuple[Violation, ...]
+    taint: TaintAnalysis | None = None
+    contracts: tuple[ContractFinding, ...] = ()
+
+    def _taint_dict(self) -> dict[str, object]:
+        if self.taint is None:
+            return {"sources": 0, "tainted_paths": 0}
+        by_kind: dict[str, int] = {}
+        for facts in self.taint.facts.values():
+            for source in facts.sources:
+                by_kind[source.kind] = by_kind.get(source.kind, 0) + 1
+        return {
+            "sources": self.taint.source_count,
+            "sources_by_kind": dict(sorted(by_kind.items())),
+            "sources_killed_at_birth": self.taint.killed_count,
+            "sanitizer_applications": dict(self.taint.sanitizer_applications),
+            "sinks_present": list(self.taint.sinks_present),
+            "tainted_paths": len(self.taint.paths),
+        }
 
     def to_dict(self) -> dict[str, object]:
-        """The canonical ``repro.flow/1`` payload."""
+        """The canonical ``repro.flow/2`` payload."""
         by_rule: dict[str, int] = {}
         for fv in self.unbaselined:
             by_rule[fv.rule] = by_rule.get(fv.rule, 0) + 1
+        tainted_paths: list[TaintedPath] = list(self.taint.paths) if self.taint else []
         return {
             "schema": FLOW_SCHEMA,
             "catalogue_version": CATALOGUE_VERSION,
@@ -148,6 +175,12 @@ class FlowReport:
                 "merge": len(self.merge_reachable),
             },
             "hot_path_inventory": [entry.to_dict() for entry in self.inventory],
+            "tainted_path_inventory": [p.to_dict() for p in tainted_paths],
+            "taint_summary": self._taint_dict(),
+            "contracts": {
+                "implementations": contract_summary(self.graph),
+                "findings": len(self.contracts),
+            },
             "violations": {
                 "unbaselined": [_flow_violation_dict(fv) for fv in self.unbaselined],
                 "suppressed": [_flow_violation_dict(fv) for fv in self.suppressed],

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.devtools.flow.callgraph import CallGraph, FunctionInfo
+from repro.devtools.flow.contracts import ContractFinding
 from repro.devtools.flow.effects import (
     CLOSURE_KINDS,
     CONSTANT_HOISTABLE,
@@ -28,6 +29,7 @@ from repro.devtools.flow.effects import (
     EffectSummary,
 )
 from repro.devtools.flow.reachability import Roots
+from repro.devtools.flow.taint import TaintAnalysis, ambient_rng_sites
 from repro.devtools.rules import _terminal_name, _unit_class_of_name
 from repro.devtools.violations import Violation
 
@@ -69,6 +71,9 @@ class FlowContext:
     worker_reachable: frozenset[str]
     merge_reachable: frozenset[str]
     effects: dict[str, EffectSummary] = field(default_factory=dict)
+    #: DetFlow inputs (None/empty when only the HOT/PAR families run).
+    taint: TaintAnalysis | None = None
+    contracts: tuple[ContractFinding, ...] = ()
 
     def function(self, qualname: str) -> FunctionInfo:
         """The definition record for a qualname (must exist)."""
@@ -446,6 +451,130 @@ def _unit002_check(ctx: FlowContext) -> list[FlowViolation]:
     return out
 
 
+# ----------------------------------------------------------------------
+# DET101/103/104 — tainted paths into canonical sinks (DetFlow)
+# ----------------------------------------------------------------------
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(part.rsplit(".", 2)[-1] for part in chain)
+
+
+def _tainted_path_check(ctx: FlowContext, rule: str) -> list[FlowViolation]:
+    if ctx.taint is None:
+        return []
+    out: list[FlowViolation] = []
+    seen: set[tuple[str, str]] = set()
+    for path in ctx.taint.paths:
+        if path.rule != rule:
+            continue
+        key = (rule, path.source_function)
+        if key in seen:
+            continue  # one violation per source function; extra sinks ride
+        seen.add(key)
+        out.append(
+            FlowViolation(
+                path=path.source_path,
+                line=path.source_line,
+                col=path.source_col,
+                rule=rule,
+                function=path.source_function,
+                message=(
+                    f"{path.kind} source ({path.source_detail}) reaches "
+                    f"canonical sink `{path.sink}` [{path.sink_family}] via "
+                    f"{_chain_text(path.chain)}"
+                ),
+            )
+        )
+    return out
+
+
+def _det101_check(ctx: FlowContext) -> list[FlowViolation]:
+    """DET101: a nondeterministic *value* (wall clock, ambient RNG, uuid,
+    object identity, environment read, filesystem enumeration) flows into
+    a canonical codec or key derivation; the artifact's bytes then depend
+    on host state rather than the seed."""
+    return _tainted_path_check(ctx, "DET101")
+
+
+def _det102_check(ctx: FlowContext) -> list[FlowViolation]:
+    """DET102: ambient RNG inside step- or worker-reachable code — even
+    when no catalogued sink is reachable — because anything the engine or
+    a pool worker executes must draw from the injected
+    :class:`~repro.sim.rng.RngStreams` to keep same-seed runs identical."""
+    if ctx.taint is None:
+        return []
+    out: list[FlowViolation] = []
+    reachable = ctx.step_reachable | ctx.worker_reachable
+    for qualname, source in ambient_rng_sites(ctx.taint, reachable):
+        fn = ctx.graph.functions.get(qualname)
+        if fn is None:
+            continue
+        where = "step" if qualname in ctx.step_reachable else "worker"
+        out.append(
+            _fv(
+                fn,
+                "DET102",
+                source.line,
+                source.col,
+                f"ambient RNG ({source.detail}) in {where}-reachable code; "
+                "draw from the injected RngStreams instead",
+            )
+        )
+    return out
+
+
+def _det103_check(ctx: FlowContext) -> list[FlowViolation]:
+    """DET103: unordered ``set`` iteration feeds a canonical sink with no
+    sort barrier anywhere on the path — the interprocedural upgrade of
+    PAR003, applied to every artifact codec rather than just merges."""
+    return _tainted_path_check(ctx, "DET103")
+
+
+def _det104_check(ctx: FlowContext) -> list[FlowViolation]:
+    """DET104: float accumulation whose order depends on an unordered
+    collection, on a sink path; float addition does not commute in
+    rounding, so the artifact bytes depend on hash seeding."""
+    return _tainted_path_check(ctx, "DET104")
+
+
+# ----------------------------------------------------------------------
+# CON001–003 — registry contracts (DetFlow)
+# ----------------------------------------------------------------------
+def _contract_check(ctx: FlowContext, rule: str) -> list[FlowViolation]:
+    return [
+        FlowViolation(
+            path=f.path,
+            line=f.line,
+            col=f.col,
+            rule=f.rule,
+            function=f.cls,
+            message=f.message,
+        )
+        for f in ctx.contracts
+        if f.rule == rule
+    ]
+
+
+def _con001_check(ctx: FlowContext) -> list[FlowViolation]:
+    """CON001: a registered implementation does not conform to its
+    registry's protocol (missing/abstract required method, not a subclass,
+    or an override narrower than the protocol signature)."""
+    return _contract_check(ctx, "CON001")
+
+
+def _con002_check(ctx: FlowContext) -> list[FlowViolation]:
+    """CON002: module-level mutable state in a module defining a
+    registered implementation; such state is per-process under the sweep
+    pool and leaks between runs in one process."""
+    return _contract_check(ctx, "CON002")
+
+
+def _con003_check(ctx: FlowContext) -> list[FlowViolation]:
+    """CON003: a registered implementation draws from the ambient RNG and
+    its constructor accepts no injectable generator, so its decisions
+    cannot be reproduced from the run seed."""
+    return _contract_check(ctx, "CON003")
+
+
 FLOW_RULES: tuple[FlowRule, ...] = (
     FlowRule("HOT001", "fixable per-step allocation (hoistable literal / closure)", _hot001_check),
     FlowRule("HOT002", "O(n) list membership on the step path", _hot002_check),
@@ -455,6 +584,13 @@ FLOW_RULES: tuple[FlowRule, ...] = (
     FlowRule("PAR002", "global / os.environ writes in worker-reachable code", _par002_check),
     FlowRule("PAR003", "unordered set iteration feeding merged sweep output", _par003_check),
     FlowRule("UNIT002", "unit suffixes tracked across call boundaries", _unit002_check),
+    FlowRule("DET101", "tainted value reaches a canonical sink", _det101_check),
+    FlowRule("DET102", "ambient RNG reachable from Engine.step/worker roots", _det102_check),
+    FlowRule("DET103", "unordered iteration feeds a sink without a sort barrier", _det103_check),
+    FlowRule("DET104", "float accumulation order depends on an unordered collection on a sink path", _det104_check),
+    FlowRule("CON001", "registered implementation violates its registry protocol", _con001_check),
+    FlowRule("CON002", "module-level mutable state in a registered implementation's module", _con002_check),
+    FlowRule("CON003", "registered implementation draws ambient RNG without injectable generator", _con003_check),
 )
 
 

@@ -76,20 +76,26 @@ def lint_source(
     source: str,
     logical: str,
     rules: Sequence[Rule] = ALL_RULES,
+    tree: ast.Module | None = None,
 ) -> list[Violation]:
-    """Lint one module's source under its repo-relative ``logical`` path."""
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=logical,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
-                rule=PARSE_ERROR,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+    """Lint one module's source under its repo-relative ``logical`` path.
+
+    A caller that already parsed the file passes its ``tree`` so the
+    source is not parsed twice (the ``--flow`` shared pass).
+    """
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path=logical,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                    rule=PARSE_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
     suppressed, problems = parse_suppressions(source, logical)
     violations = list(problems)
     for rule in rules:
@@ -190,11 +196,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    violations, files_checked = lint_paths(args.paths, root=args.root)
     if args.flow:
+        # Shared single-parse pass: lint and FlowLint both consume the
+        # same ASTs, so the ~130 modules of src/repro are parsed once.
         from repro.devtools.flow.analyze import (
             DEFAULT_ANALYZE_PATHS,
-            analyze_paths,
+            analyze_sources,
             default_baseline,
         )
         from repro.devtools.flow.baseline import BaselineError
@@ -205,8 +212,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         except BaselineError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        analysis = analyze_paths(DEFAULT_ANALYZE_PATHS, root=args.root, baseline=baseline)
+        files = iter_python_files(
+            Path(root_path, p) if not Path(p).is_absolute() else Path(p)
+            for p in args.paths
+        )
+        violations = []
+        shared: dict[str, tuple[str, str, ast.Module]] = {}
+        for file in files:
+            source = file.read_text(encoding="utf-8")
+            logical = logical_path(file, root_path)
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                violations.extend(lint_source(source, logical))
+                continue
+            violations.extend(lint_source(source, logical, tree=tree))
+            shared[logical] = (logical, source, tree)
+        files_checked = len(files)
+        # The flow pass always covers all of src/repro, whatever subtree
+        # was linted: parse only the modules the lint walk did not visit.
+        for file in iter_python_files(
+            Path(root_path, p) for p in DEFAULT_ANALYZE_PATHS
+        ):
+            logical = logical_path(file, root_path)
+            if logical in shared:
+                continue
+            source = file.read_text(encoding="utf-8")
+            try:
+                shared[logical] = (logical, source, ast.parse(source))
+            except SyntaxError:
+                continue
+        analysis = analyze_sources(
+            [shared[k] for k in sorted(shared)], baseline=baseline
+        )
         violations = sorted([*violations, *analysis.violations])
+    else:
+        violations, files_checked = lint_paths(args.paths, root=args.root)
     if args.format == "json":
         print(render_json(violations, files_checked))
     else:

@@ -955,7 +955,9 @@ def _unit002_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list
 #: Version of the combined rule catalogue (per-file + flow families).
 #: Bumped whenever a rule is added, removed, or changes meaning, so CI
 #: consumers of the JSON reports can detect incompatible rule sets.
-CATALOGUE_VERSION = "4"
+#: "5": DetFlow — determinism-taint rules DET101–104 and registry-contract
+#: rules CON001–003 over the flow graph.
+CATALOGUE_VERSION = "5"
 
 ALL_RULES: tuple[Rule, ...] = (
     Rule("DET001", "no wall-clock reads in simulator code", _det001_applies, _det001_check),

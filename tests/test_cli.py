@@ -58,6 +58,49 @@ class TestParser:
         )
         assert args.nodes == 3
         assert args.sampling == "adaptive"
+
+
+class TestListingStability:
+    """Registry-backed listings must be byte-stable run to run.
+
+    The ``--engine`` / ``--sampling`` choice lists and the unknown-name
+    error messages all enumerate a registry; a hash-order leak there
+    would churn help text and CI logs between otherwise identical runs.
+    """
+
+    def test_help_text_is_byte_stable_across_parsers(self):
+        assert build_parser().format_help() == build_parser().format_help()
+
+    def test_unknown_engine_error_is_stable_and_sorted(self, capsys):
+        errors = []
+        for _ in range(2):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "cpu", "--engine", "quantum"])
+            errors.append(capsys.readouterr().err)
+        assert errors[0] == errors[1]
+        assert errors[0].index("array") < errors[0].index("object")
+
+    def test_unknown_sampling_error_is_stable_and_sorted(self, capsys):
+        errors = []
+        for _ in range(2):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "cpu", "--sampling", "psychic"])
+            errors.append(capsys.readouterr().err)
+        assert errors[0] == errors[1]
+        listing = errors[0]
+        assert listing.index("adaptive") < listing.index("full")
+        assert listing.index("full") < listing.index("threshold-aware")
+
+    def test_unknown_algorithm_listing_is_sorted(self):
+        from repro.core.registry import make_policy, registered_policies
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError) as excinfo:
+            make_policy("magic")
+        message = str(excinfo.value)
+        names = registered_policies()
+        assert list(names) == sorted(names)
+        assert str(names) in message  # the full sorted tuple, verbatim
         assert build_parser().parse_args(["top", "cpu"]).nodes is None
 
 
@@ -424,5 +467,7 @@ class TestLintAndAnalyzeCommands:
         main(["analyze", "src/repro", "--root", str(tmp_path), "--report", str(report)])
         capsys.readouterr()
         payload = json.loads(report.read_text())
-        assert payload["schema"] == "repro.flow/1"
+        assert payload["schema"] == "repro.flow/2"
         assert payload["summary"]["unbaselined"] >= 1
+        assert "tainted_path_inventory" in payload
+        assert "timings" in payload  # CLI merges phase timings into the artifact

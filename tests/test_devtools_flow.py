@@ -28,6 +28,7 @@ from repro.devtools.flow.baseline import (
     load_baseline,
 )
 from repro.devtools.flow.callgraph import build_call_graph
+from repro.devtools.flow.contracts import PROTOCOLS, check_contracts, contract_summary
 from repro.devtools.flow.effects import effects_of
 from repro.devtools.flow.reachability import discover_roots, reachable_from
 from repro.devtools.flow.report import FLOW_SCHEMA, render_flow_json
@@ -103,13 +104,155 @@ def go(size_mb: float, total: float) -> None:
     del chunk_mb
 """
 
+# --- DetFlow fixtures: taint sources, sanitizers, sinks, contracts ----
+SINK_SRC = """\
+def span_to_json_line(span: dict) -> str:
+    return "{}"
+"""
+
+TAINT_PIPE_SRC = '''\
+import json
+import time
+
+from repro.obs.export import span_to_json_line
+
+
+def sample_clock() -> float:
+    return time.time()
+
+
+def stamp(span: dict) -> dict:
+    span["ts"] = sample_clock()
+    return span
+
+
+def emit_span(span: dict) -> str:
+    return span_to_json_line(stamp(span))
+
+
+def gather_tags() -> list:
+    tags = {"b", "a"}
+    out = []
+    for tag in tags:
+        out.append(tag)
+    return out
+
+
+def emit_tags(span: dict) -> str:
+    span["tags"] = gather_tags()
+    return span_to_json_line(span)
+
+
+def total_weight() -> float:
+    weights = {0.125, 0.5}
+    return sum(weights)
+
+
+def emit_total(span: dict) -> str:
+    span["total"] = total_weight()
+    return span_to_json_line(span)
+
+
+def gather_quiet() -> list:
+    quiet = {"y", "x"}
+    out = []
+    for tag in quiet:
+        out.append(tag)
+    return out
+
+
+def emit_sorted_tags(span: dict) -> str:
+    return span_to_json_line(sorted(gather_quiet()))
+
+
+def gather_canon() -> list:
+    keys = {"k2", "k1"}
+    out = []
+    for key in keys:
+        out.append(key)
+    return out
+
+
+def emit_digest(span: dict) -> str:
+    return span_to_json_line(json.dumps(gather_canon(), sort_keys=True))
+
+
+def list_inputs(root) -> list:
+    return sorted(root.rglob("*.py"))
+
+
+def draw_scaled(streams) -> float:
+    rng = streams.stream("pipe")
+    return rng.random()
+'''
+
+RNG_ACTOR_SRC = """\
+import random
+
+
+class JitterProbe:
+    def on_step(self, clock: object) -> None:
+        self.noise = random.random()
+"""
+
+POLICY_BASE_SRC = """\
+import abc
+
+
+class AutoscalingPolicy(abc.ABC):
+    @abc.abstractmethod
+    def decide(self, observation: dict) -> int:
+        ...
+"""
+
+CON_IMPL_SRC = """\
+import random
+
+from repro.core.policy import AutoscalingPolicy
+from repro.core.registry import register_policy
+
+HISTORY = []
+
+
+class JitterPolicy(AutoscalingPolicy):
+    def act(self, observation: dict) -> int:
+        return int(random.random() * 3)
+
+
+class Freeloader:
+    def decide(self, observation: dict) -> int:
+        return 0
+
+
+register_policy("jitter", lambda config: JitterPolicy())
+register_policy("free", Freeloader)
+"""
+
+CON_OK_SRC = """\
+from repro.core.policy import AutoscalingPolicy
+
+
+class StepPolicy(AutoscalingPolicy):
+    def __init__(self, rng=None) -> None:
+        self.rng = rng
+
+    def decide(self, observation: dict) -> int:
+        return 0
+"""
+
 FIXTURE_SOURCES = [
     ("src/repro/sim/engine.py", ENGINE_SRC),
     ("src/repro/sim/probe.py", ACTOR_SRC),
+    ("src/repro/sim/rng_actor.py", RNG_ACTOR_SRC),
     ("src/repro/parallel/worker.py", WORKER_SRC),
     ("src/repro/parallel/executor.py", EXECUTOR_SRC),
     ("src/repro/parallel/result.py", RESULT_SRC),
     ("src/repro/netsim/convert.py", UNITS_SRC),
+    ("src/repro/obs/export.py", SINK_SRC),
+    ("src/repro/analysis/pipe.py", TAINT_PIPE_SRC),
+    ("src/repro/core/policy.py", POLICY_BASE_SRC),
+    ("src/repro/core/custom.py", CON_IMPL_SRC),
+    ("src/repro/core/goodpolicy.py", CON_OK_SRC),
 ]
 
 
@@ -225,7 +368,22 @@ class TestFlowRules:
     def test_fixture_trips_every_family(self):
         analysis = fixture_analysis()
         found = rules_of(analysis)
-        for rule in ("HOT001", "HOT002", "HOT004", "PAR001", "PAR002", "PAR003", "UNIT002"):
+        for rule in (
+            "HOT001",
+            "HOT002",
+            "HOT004",
+            "PAR001",
+            "PAR002",
+            "PAR003",
+            "UNIT002",
+            "DET101",
+            "DET102",
+            "DET103",
+            "DET104",
+            "CON001",
+            "CON002",
+            "CON003",
+        ):
             assert rule in found, f"{rule} missing from {found}"
 
     def test_violations_name_the_offending_function(self):
@@ -254,8 +412,182 @@ class TestFlowRules:
             "PAR002",
             "PAR003",
             "UNIT002",
+            "DET101",
+            "DET102",
+            "DET103",
+            "DET104",
+            "CON001",
+            "CON002",
+            "CON003",
         }
         assert all(summary for summary in catalog.values())
+
+
+# ----------------------------------------------------------------------
+# DetFlow: determinism taint (DET101–104)
+# ----------------------------------------------------------------------
+class TestDetFlowTaint:
+    def _taint(self):
+        return fixture_analysis().report.taint
+
+    def _paths_for(self, rule):
+        return [p for p in self._taint().paths if p.rule == rule]
+
+    def test_det101_witness_chain_is_multi_hop(self):
+        # time.time() in sample_clock -> stamp -> emit_span -> sink.
+        paths = self._paths_for("DET101")
+        assert paths
+        path = next(
+            p for p in paths if p.source_function.endswith("sample_clock")
+        )
+        assert path.kind == "wall-clock"
+        assert path.source_detail == "time.time"
+        assert path.sink == "repro.obs.export.span_to_json_line"
+        assert path.sink_family == "repro.obs/1"
+        assert path.hops >= 2
+        assert path.chain == (
+            "repro.analysis.pipe.sample_clock",
+            "repro.analysis.pipe.stamp",
+            "repro.analysis.pipe.emit_span",
+            "repro.obs.export.span_to_json_line",
+        )
+
+    def test_det103_set_iteration_reaches_sink(self):
+        paths = self._paths_for("DET103")
+        assert any(
+            p.source_function.endswith("gather_tags")
+            and p.kind == "unordered-iter"
+            for p in paths
+        )
+
+    def test_det104_float_accumulation_reaches_sink(self):
+        paths = self._paths_for("DET104")
+        assert any(
+            p.source_function.endswith("total_weight")
+            and p.kind == "float-accum-unordered"
+            for p in paths
+        )
+
+    def test_det102_flags_step_reachable_ambient_rng(self):
+        analysis = fixture_analysis()
+        det102 = [fv for fv in analysis.report.unbaselined if fv.rule == "DET102"]
+        assert [fv.function for fv in det102] == [
+            "repro.sim.rng_actor.JitterProbe.on_step"
+        ]
+        assert "RngStreams" in det102[0].message
+
+    def test_sort_barrier_in_caller_kills_the_path(self):
+        # gather_quiet's only route to the sink is
+        # ``span_to_json_line(sorted(gather_quiet()))`` — no path survives.
+        taint = self._taint()
+        assert not any(
+            p.source_function.endswith("gather_quiet") for p in taint.paths
+        )
+
+    def test_canonical_json_in_caller_kills_the_path(self):
+        # gather_canon is only reachable through
+        # ``json.dumps(gather_canon(), sort_keys=True)``.
+        taint = self._taint()
+        assert not any(
+            p.source_function.endswith("gather_canon") for p in taint.paths
+        )
+
+    def test_sorted_at_birth_kills_fs_enumeration(self):
+        # ``sorted(root.rglob(...))`` never becomes a live source.
+        taint = self._taint()
+        facts = taint.facts["repro.analysis.pipe.list_inputs"]
+        assert facts.sources == ()
+        assert [k.kind for k in facts.killed] == ["fs-enumeration"]
+
+    def test_rng_stream_derivation_is_a_sanitizer_not_a_source(self):
+        taint = self._taint()
+        facts = taint.facts["repro.analysis.pipe.draw_scaled"]
+        assert facts.sources == ()
+        assert facts.sanitizers.get("rng-stream", 0) == 1
+
+    def test_every_sanitizer_class_is_applied_in_the_fixture(self):
+        applications = self._taint().sanitizer_applications
+        for cls in ("sort-barrier", "canonical-json", "rng-stream"):
+            assert applications[cls] >= 1, applications
+
+    def test_paths_are_ranked_and_deduplicated(self):
+        taint = self._taint()
+        assert [p.rank for p in taint.paths] == list(
+            range(1, len(taint.paths) + 1)
+        )
+        keys = [(p.kind, p.source_function, p.sink) for p in taint.paths]
+        assert len(keys) == len(set(keys))
+
+    def test_violation_message_carries_the_witness_chain(self):
+        analysis = fixture_analysis()
+        det101 = [fv for fv in analysis.report.unbaselined if fv.rule == "DET101"]
+        assert det101
+        message = det101[0].message
+        assert "canonical sink" in message
+        assert " -> " in message  # the rendered chain
+
+
+# ----------------------------------------------------------------------
+# DetFlow: registry contracts (CON001–003)
+# ----------------------------------------------------------------------
+class TestContracts:
+    def _findings(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        return check_contracts(graph)
+
+    def test_protocol_catalogue_names_three_registries(self):
+        assert [spec.registry for spec in PROTOCOLS] == [
+            "policy",
+            "sampling",
+            "backend",
+        ]
+
+    def test_con001_flags_unimplemented_abstract_method(self):
+        findings = self._findings()
+        jitter = [
+            f
+            for f in findings
+            if f.rule == "CON001" and f.cls.endswith("JitterPolicy")
+        ]
+        assert any("abstract method `decide`" in f.message for f in jitter)
+
+    def test_con001_flags_registered_non_subclass(self):
+        findings = self._findings()
+        stranger = [
+            f
+            for f in findings
+            if f.rule == "CON001" and f.cls.endswith("Freeloader")
+        ]
+        assert len(stranger) == 1
+        assert "does not subclass" in stranger[0].message
+
+    def test_con002_flags_module_mutable_per_implementation(self):
+        findings = self._findings()
+        con002 = [f for f in findings if f.rule == "CON002"]
+        assert all("HISTORY" in f.message for f in con002)
+        assert {f.cls for f in con002} == {
+            "repro.core.custom.Freeloader",
+            "repro.core.custom.JitterPolicy",
+        }
+
+    def test_con003_flags_ambient_rng_without_injectable_ctor(self):
+        findings = self._findings()
+        con003 = [f for f in findings if f.rule == "CON003"]
+        assert [f.cls for f in con003] == ["repro.core.custom.JitterPolicy"]
+        assert "ambient RNG" in con003[0].message
+
+    def test_conforming_policy_with_rng_param_is_clean(self):
+        findings = self._findings()
+        assert not any(f.cls.endswith("StepPolicy") for f in findings)
+
+    def test_discovery_counts_subclasses_and_registered_strangers(self):
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        # JitterPolicy + StepPolicy (subclasses) + Freeloader (register call).
+        assert contract_summary(graph) == {"policy": 3}
+
+    def test_abstract_base_is_not_an_implementation(self):
+        findings = self._findings()
+        assert not any(f.cls.endswith("AutoscalingPolicy") for f in findings)
 
 
 # ----------------------------------------------------------------------
@@ -285,6 +617,31 @@ class TestBaseline:
         analysis = fixture_analysis(baseline)
         assert [v.rule for v in analysis.report.baseline_audit] == ["BASE001"]
         assert not analysis.clean
+
+    def test_removed_rule_entry_is_base001(self):
+        # A catalogue bump that drops a rule must fail the baseline loudly.
+        baseline = self._baseline(
+            BaselineEntry(
+                rule="HOT999",
+                function="repro.parallel.worker.run_shard_payload",
+                reason="kept across a catalogue bump",
+            )
+        )
+        analysis = fixture_analysis(baseline)
+        audit = [v for v in analysis.report.baseline_audit if v.rule == "BASE001"]
+        assert len(audit) == 1
+        assert "removed or renamed" in audit[0].message
+        assert "HOT999" in audit[0].message
+        assert not analysis.clean
+
+    def test_known_rule_with_vanished_function_is_stale_not_removed(self):
+        baseline = self._baseline(
+            BaselineEntry(rule="DET101", function="repro.no.such.fn", reason="gone")
+        )
+        analysis = fixture_analysis(baseline)
+        audit = [v for v in analysis.report.baseline_audit if v.rule == "BASE001"]
+        assert len(audit) == 1
+        assert "removed or renamed" not in audit[0].message
 
     def test_missing_reason_is_base002(self):
         baseline = self._baseline(
@@ -363,6 +720,43 @@ class TestReport:
         second = render_flow_json(fixture_analysis().report)
         assert first == second
 
+    def test_tainted_path_inventory_section(self):
+        payload = json.loads(render_flow_json(fixture_analysis().report))
+        inventory = payload["tainted_path_inventory"]
+        assert inventory
+        assert {row["rule"] for row in inventory} == {"DET101", "DET103", "DET104"}
+        first = inventory[0]
+        for key in (
+            "rank",
+            "rule",
+            "kind",
+            "source_function",
+            "source_path",
+            "source_line",
+            "source_detail",
+            "sink",
+            "sink_family",
+            "hops",
+            "chain",
+        ):
+            assert key in first, key
+        assert all(row["hops"] >= 1 for row in inventory)
+
+    def test_taint_summary_section(self):
+        payload = json.loads(render_flow_json(fixture_analysis().report))
+        summary = payload["taint_summary"]
+        assert summary["sources"] >= 4
+        assert summary["sources_killed_at_birth"] >= 1
+        assert "wall-clock" in summary["sources_by_kind"]
+        assert "repro.obs.export.span_to_json_line" in summary["sinks_present"]
+        assert summary["tainted_paths"] == len(payload["tainted_path_inventory"])
+
+    def test_contracts_section(self):
+        payload = json.loads(render_flow_json(fixture_analysis().report))
+        contracts = payload["contracts"]
+        assert contracts["implementations"] == {"policy": 3}
+        assert contracts["findings"] >= 4  # CON001 x2, CON002 x2, CON003 x1
+
 
 # ----------------------------------------------------------------------
 # CLI (python -m repro.devtools.flow)
@@ -412,16 +806,97 @@ class TestCli:
         for rule_id in flow_rule_catalog():
             assert rule_id in out
 
+    def test_exit_two_on_unknown_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--no-such-flag"])
+        assert excinfo.value.code == 2
+        assert "no-such-flag" in capsys.readouterr().err
+
+    def test_exit_one_with_tainted_path_inventory(self, tmp_path, capsys):
+        # The seeded fixture tree must produce a non-empty inventory and
+        # a failing exit status.
+        self._write_fixture_tree(tmp_path)
+        report_path = tmp_path / "flow.json"
+        assert (
+            main(["src/repro", "--root", str(tmp_path), "--report", str(report_path)])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "tainted path(s)" in out
+        assert "DET101" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["tainted_path_inventory"]
+        assert payload["taint_summary"]["tainted_paths"] > 0
+
+    def test_report_artifact_includes_phase_timings(self, tmp_path, capsys):
+        self._write_fixture_tree(tmp_path)
+        report_path = tmp_path / "flow.json"
+        main(["src/repro", "--root", str(tmp_path), "--report", str(report_path)])
+        capsys.readouterr()
+        payload = json.loads(report_path.read_text())
+        timings = payload["timings"]
+        for phase in (
+            "parse_graph",
+            "reachability",
+            "effects",
+            "taint",
+            "contracts",
+            "rules",
+            "report",
+            "total",
+        ):
+            assert phase in timings, phase
+        assert timings["total"] >= 0.0
+
+    def test_max_wall_gate_trips_on_zero_budget(self, tmp_path, capsys):
+        self._write_fixture_tree(tmp_path)
+        assert main(["src/repro", "--root", str(tmp_path), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["src/repro", "--root", str(tmp_path), "--max-wall", "0"]) == 1
+        captured = capsys.readouterr()
+        assert "perf gate" in captured.err
+        assert "exceeded" in captured.err
+
+    def test_max_wall_gate_passes_on_generous_budget(self, tmp_path, capsys):
+        self._write_fixture_tree(tmp_path)
+        assert main(["src/repro", "--root", str(tmp_path), "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["src/repro", "--root", str(tmp_path), "--max-wall", "60"]) == 0
+        assert "perf gate" in capsys.readouterr().out
+
 
 # ----------------------------------------------------------------------
 # The real tree must analyze clean (the CI gate, asserted in-process)
 # ----------------------------------------------------------------------
 class TestRepositoryAnalyzesClean:
-    def test_src_repro_analyzes_clean(self):
+    def _analysis(self):
         baseline = default_baseline(REPO_ROOT)
-        analysis = analyze_paths(["src/repro"], root=REPO_ROOT, baseline=baseline)
+        return analyze_paths(["src/repro"], root=REPO_ROOT, baseline=baseline)
+
+    def test_src_repro_analyzes_clean(self):
+        analysis = self._analysis()
         assert len(analysis.graph.functions) > 500  # the walker found the tree
         assert len(analysis.report.inventory) >= 10  # the ranked work-list exists
         assert analysis.clean, "\n" + "\n".join(
             v.render() for v in analysis.violations
         )
+
+    def test_src_repro_has_no_tainted_paths(self):
+        # The determinism pin: no nondeterminism source in the real tree
+        # reaches a canonical codec.  Any regression shows up as a ranked
+        # witness chain here before it shows up as flaky artifact bytes.
+        taint = self._analysis().report.taint
+        assert taint is not None
+        assert taint.paths == (), [p.to_dict() for p in taint.paths]
+        # All five artifact codecs plus the derived keys are in the graph.
+        assert len(taint.sinks_present) >= 20
+
+    def test_src_repro_registry_contracts_hold(self):
+        analysis = self._analysis()
+        assert analysis.report.contracts == (), analysis.report.contracts
+        summary = contract_summary(analysis.graph)
+        # The nine shipped policies, both sampling controllers, and the
+        # array backend are all discovered.
+        assert summary["policy"] >= 9
+        assert summary["sampling"] >= 2
+        assert summary["backend"] >= 1

@@ -661,6 +661,34 @@ class TestCli:
         for rule_id in ("DET001", "DET002", "DET003", "UNIT001", "API001"):
             assert rule_id in out
 
+    def test_flow_flag_runs_detflow_over_the_shared_parse(self, tmp_path, capsys):
+        # One tree, one parse: the per-file rules and the DetFlow taint
+        # pass both fire from the same invocation.
+        self._write(
+            tmp_path,
+            "src/repro/obs/export.py",
+            "def span_to_json_line(span: dict) -> str:\n    return '{}'\n",
+        )
+        self._write(
+            tmp_path,
+            "src/repro/analysis/feed.py",
+            "import time\n"
+            "from repro.obs.export import span_to_json_line\n"
+            "\n"
+            "\n"
+            "def emit(span: dict) -> str:\n"
+            "    span['ts'] = time.time()  # lint: disable=DET001(fixture)\n"
+            "    return span_to_json_line(span)\n",
+        )
+        assert main(["src", "--root", str(tmp_path), "--flow"]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out  # the taint pass saw the suppressed-per-file source
+
+    def test_flow_flag_accepts_lint_suppressions_without_flow_findings(self, tmp_path, capsys):
+        self._write(tmp_path, "src/repro/sim/ok.py", "X: int = 1\n")
+        assert main(["src", "--root", str(tmp_path), "--flow"]) == 0
+        assert "clean" in capsys.readouterr().out
+
 
 # ----------------------------------------------------------------------
 # The real tree must lint clean (the CI gate, asserted in-process)

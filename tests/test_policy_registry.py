@@ -61,6 +61,32 @@ class TestRegistryContents:
         policy = make_policy("kubernetes")
         assert policy.guard.up_interval == SimulationConfig().scale_up_interval
 
+    def test_all_three_registries_enumerate_sorted_and_stable(self):
+        # Enumeration order is part of the determinism contract: CLI help,
+        # error listings, and sweep shard keys all consume these tuples.
+        from repro.engine_core.backend import registered_backends
+        from repro.telemetry.sampling import registered_sampling_policies
+
+        for names in (
+            registered_policies(),
+            registered_backends(),
+            registered_sampling_policies(),
+        ):
+            assert isinstance(names, tuple)
+            assert list(names) == sorted(names)
+            assert len(set(names)) == len(names)
+
+    def test_late_registration_keeps_enumeration_sorted(self):
+        # A name sorting before the built-ins must slot in, not append.
+        name = "aaa-registry-order-probe"
+        try:
+            register_policy(name, lambda config: HyScaleCpu())
+            names = registered_policies()
+            assert list(names) == sorted(names)
+            assert names[0] == name
+        finally:
+            _REGISTRY.pop(name, None)
+
 
 class TestRegisterPolicy:
     def test_extension_policies_can_register_and_resolve(self):
