@@ -1,7 +1,7 @@
 # Developer entry points.  The offline-friendly install path is documented
 # in README.md ("Install").
 
-.PHONY: install lint analyze test test-simsan bench bench-full profile telemetry-check telemetry-scale sanitize sweep-check engine-bench reproduce examples clean
+.PHONY: install lint analyze test test-simsan bench bench-full profile telemetry-check telemetry-scale sanitize sweep-check engine-bench app-bench reproduce examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -83,6 +83,14 @@ sweep-check:
 # 1,000 nodes is the acceptance gate).  Uploaded as a CI artifact.
 engine-bench:
 	PYTHONPATH=src python -m repro.engine_core.check --out BENCH_engine_scale.json
+
+# Application-graph end-to-end probe (docs/app_graphs.md): asserts the
+# three-tier app is byte-identical on the array vs object engine at the
+# paper's 19-worker scale, and that capping the db tier degrades the
+# frontend's ingress SLO monotonically (back-pressure direction).
+# Uploaded as a CI artifact.
+app-bench:
+	PYTHONPATH=src python -m repro.experiments.app_check --out BENCH_app_graph.json
 
 reproduce:
 	hyscale-repro reproduce

@@ -19,17 +19,20 @@ def response_speedup(candidate: RunSummary, baseline: RunSummary) -> float:
     """``baseline_rt / candidate_rt`` — >1 means the candidate is faster.
 
     This is the paper's "1.49x speedup" metric with Kubernetes as baseline.
+    Compares the *user-traffic* view: identical to the run totals for
+    single-service runs, end-to-end ingress times for application-graph
+    runs (internal fan-out calls are capacity, not user latency).
     """
-    if candidate.avg_response_time <= 0:
+    if candidate.user_avg_response_time <= 0:
         raise ExperimentError("candidate has zero response time; cannot compute speedup")
-    return baseline.avg_response_time / candidate.avg_response_time
+    return baseline.user_avg_response_time / candidate.user_avg_response_time
 
 
 def response_drop_percent(candidate: RunSummary, baseline: RunSummary) -> float:
     """Percent response-time reduction vs. baseline (the paper's 59.22%)."""
-    if baseline.avg_response_time <= 0:
+    if baseline.user_avg_response_time <= 0:
         raise ExperimentError("baseline has zero response time")
-    return 100.0 * (1.0 - candidate.avg_response_time / baseline.avg_response_time)
+    return 100.0 * (1.0 - candidate.user_avg_response_time / baseline.user_avg_response_time)
 
 
 def failure_reduction(candidate: RunSummary, baseline: RunSummary) -> float:
@@ -38,10 +41,10 @@ def failure_reduction(candidate: RunSummary, baseline: RunSummary) -> float:
     Returns ``inf`` when the candidate had zero failures but the baseline
     had some, and 1.0 when both are failure-free.
     """
-    if candidate.total_requests == 0 or baseline.total_requests == 0:
+    if candidate.user_requests == 0 or baseline.user_requests == 0:
         raise ExperimentError("both runs need traffic to compare failures")
-    candidate_ratio = candidate.failed / candidate.total_requests
-    baseline_ratio = baseline.failed / baseline.total_requests
+    candidate_ratio = candidate.user_failed / candidate.user_requests
+    baseline_ratio = baseline.user_failed / baseline.user_requests
     if candidate_ratio == 0:
         return float("inf") if baseline_ratio > 0 else 1.0
     return baseline_ratio / candidate_ratio

@@ -45,26 +45,35 @@ from repro.experiments.section3 import (
 )
 from repro.engine_core.backend import registered_backends
 from repro.experiments.spec import SEED_MODES, RunSpec
+from repro.platform.routing import DEFAULT_ROUTING, registered_routings
 from repro.telemetry.sampling import registered_sampling_policies
 from repro.workloads.bitbrains import generate_bitbrains_trace
+from repro.workloads.registry import registered_apps, resolve_app, resolve_workload
 
-#: Workload name -> (factory, takes_burst); the single registry shared with
-#: :meth:`SweepSpec.from_grid` (kept under its historic CLI name).
+#: Workload name -> (factory, takes_burst); a view over the canonical
+#: :mod:`repro.workloads.registry` (kept under its historic CLI name).
 WORKLOADS = WORKLOAD_FACTORIES
 
 #: Every runnable algorithm: the paper's four plus extensions.
 ALL_POLICY_NAMES = ALGORITHMS + EXTENSION_ALGORITHMS
 
 
-def _build_spec(workload: str, burst: str, seed: int) -> ExperimentSpec:
-    factory, takes_burst = WORKLOADS[workload]
+def _build_spec(
+    workload: str | None, burst: str, seed: int, app: str | None = None
+) -> ExperimentSpec:
+    if app is not None:
+        return resolve_app(app)(burst, seed=seed)
+    assert workload is not None  # argparse/_cmd_run guarantee one of the two
+    factory, takes_burst = resolve_workload(workload)
     return factory(burst, seed=seed) if takes_burst else factory(seed=seed)
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
     print("workloads :", ", ".join(sorted(WORKLOADS)))
+    print("apps      :", ", ".join(registered_apps()))
     print("bursts    :", ", ".join(BURSTS))
     print("algorithms:", ", ".join(ALGORITHMS), "(+ extensions:", ", ".join(EXTENSION_ALGORITHMS) + ")")
+    print("routing   :", ", ".join(registered_routings()))
     return 0
 
 
@@ -88,7 +97,10 @@ def _run_progress(shard: RunSpec, status: str) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = _build_spec(args.workload, args.burst, args.seed)
+    if (args.workload is None) == (args.app is None):
+        print("error: pass exactly one of a workload name or --app", file=sys.stderr)
+        return 2
+    spec = _build_spec(args.workload, args.burst, args.seed, app=args.app)
     summaries = {}
     cost_reports = {}
     event_logs = {}
@@ -99,9 +111,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # change, so fanning out non-default engines would only launder cache
     # entries produced by a different code path.  Sampling policies are the
     # same kind of observation-only knob and need the live controller.
+    # Non-default routing rides it for the same reason (a front-LB knob the
+    # sweep codec treats as identity, so it must be wired in-process).
     needs_simulation = (
         args.costs or args.events > 0 or args.trace_out or wants_metrics
         or args.engine != "object" or wants_sampling
+        or args.routing != DEFAULT_ROUTING
     )
     multiple = len(args.algorithms) > 1
     if needs_simulation:
@@ -132,6 +147,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 loads=list(spec.loads),
                 policy=algorithm,
                 workload_label=spec.label,
+                app=spec.app,
+                routing=args.routing,
                 tracer=tracer,
                 backend=args.engine,
                 **({"telemetry": registry, "slo": slo} if registry is not None else {}),
@@ -457,7 +474,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list workloads, bursts, and algorithms").set_defaults(func=_cmd_list)
 
     run = sub.add_parser("run", help="run one evaluation workload under one or more algorithms")
-    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("workload", nargs="?", choices=sorted(WORKLOADS), default=None)
+    run.add_argument(
+        "--app",
+        choices=registered_apps(),
+        default=None,
+        help="run a registered application graph instead of a single-service "
+        "workload (mutually exclusive with the workload positional; "
+        "see docs/app_graphs.md)",
+    )
     run.add_argument("--burst", choices=BURSTS, default="low")
     run.add_argument("--algorithms", nargs="+", choices=ALL_POLICY_NAMES, default=list(ALGORITHMS))
     run.add_argument("--baseline", choices=ALL_POLICY_NAMES, default="kubernetes")
@@ -550,6 +575,14 @@ def build_parser() -> argparse.ArgumentParser:
         "interval (default, byte-identical to earlier releases); 'adaptive' "
         "and 'threshold-aware' decay quiet nodes' cadence and charge an "
         "observation-cost budget (observation-only; see docs/telemetry.md)",
+    )
+    run.add_argument(
+        "--routing",
+        choices=registered_routings(),
+        default=DEFAULT_ROUTING,
+        help="front load-balancer routing policy, and the default for "
+        "application-graph edges that do not pin their own "
+        "(default %(default)s; see docs/app_graphs.md)",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -411,7 +411,15 @@ class Container:
         self.inflight.append(request)
 
     def settle_requests(self, now: float) -> None:
-        """Complete finished requests and fail timed-out ones."""
+        """Complete finished requests and fail timed-out ones.
+
+        A request whose local phases are done but whose downstream graph
+        calls are still outstanding (``downstream_pending > 0``) stays in
+        flight — holding its concurrency slot and memory — until the
+        graph router joins the last call.  That hold is the back-pressure
+        mechanism: a saturated downstream tier keeps upstream requests
+        resident, raising upstream occupancy and response times.
+        """
         still_inflight: list[Request] = []
         for request in self.inflight:
             if (
@@ -419,9 +427,14 @@ class Container:
                 and request.cpu_remaining <= 1e-12
                 and request.disk_remaining <= 1e-12
                 and request.net_remaining <= 1e-12
+                and request.downstream_pending == 0
             ):
-                request.complete(now)
-                self.total_completed += 1
+                if request.downstream_failed:
+                    request.fail(now, FailureReason.CONNECTION)
+                    self.total_failed += 1
+                else:
+                    request.complete(now)
+                    self.total_completed += 1
                 self.finished.append(request)
             elif now >= request.deadline():
                 request.fail(now, FailureReason.CONNECTION)

@@ -26,7 +26,9 @@ subpackage reasons about the *whole program*:
 * :mod:`~repro.devtools.flow.contracts` statically checks every
   implementation registered through ``register_policy`` /
   ``register_sampling_policy`` / ``register_backend`` against its
-  protocol (CON001–003).
+  protocol (CON001–003), and every ``register_workload`` /
+  ``register_app`` / ``register_routing`` call site against the
+  call-site contract (CON004).
 * :mod:`~repro.devtools.flow.rules` turns those analyses into the
   HOT / PAR / DET1xx / CON rule families plus interprocedural UNIT002,
   and :mod:`~repro.devtools.flow.baseline` applies the
@@ -53,7 +55,9 @@ from repro.devtools.flow.analyze import (
 from repro.devtools.flow.baseline import Baseline, BaselineEntry, load_baseline
 from repro.devtools.flow.callgraph import CallGraph, FunctionInfo, build_call_graph
 from repro.devtools.flow.contracts import (
+    CALLSITE_REGISTRIES,
     PROTOCOLS,
+    CallSiteSpec,
     ContractFinding,
     ProtocolSpec,
     check_contracts,
@@ -70,6 +74,7 @@ from repro.devtools.flow.taint import (
 )
 
 __all__ = [
+    "CALLSITE_REGISTRIES",
     "FLOW_SCHEMA",
     "PROTOCOLS",
     "SINKS",
@@ -77,6 +82,7 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "CallGraph",
+    "CallSiteSpec",
     "ContractFinding",
     "EffectSummary",
     "FlowAnalysis",

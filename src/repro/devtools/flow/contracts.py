@@ -25,6 +25,18 @@ protocol base class (the built-in registries are populated from literal
 tables of such classes), and every ``register_*`` call site whose
 factory argument resolves to a class — including classes that do *not*
 subclass the base, which is itself a CON001.
+
+The application-graph registries — :func:`repro.workloads.registry.
+register_workload` / ``register_app`` and :func:`repro.platform.routing.
+register_routing` — register *factories and enum members*, not protocol
+classes, so the class checks above do not apply.  Their contract is
+checked at the registration call site instead:
+
+* **CON004** — a registration call site is malformed: the name argument
+  is a literal that is empty or not a string, the registered value is a
+  bare literal where a callable / ``RoutingPolicy`` member is required,
+  or the same literal name is registered twice in the tree without
+  ``replace=True`` (an import-time crash, caught statically).
 """
 
 from __future__ import annotations
@@ -80,6 +92,50 @@ PROTOCOLS: tuple[ProtocolSpec, ...] = (
         register_call="register_backend",
         base="repro.cluster.cluster.Cluster",
         required=("on_step", "from_config"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CallSiteSpec:
+    """One call-site registry's contract (name -> value tables).
+
+    Unlike :class:`ProtocolSpec` registries these hold factories or enum
+    members, so conformance is judged where ``register_*`` is called, not
+    on a class hierarchy.  ``module`` names the module that defines the
+    registration function: when it is absent from the analyzed tree the
+    registry does not exist there and the checks (and census) skip it,
+    mirroring the ``spec.base not in graph.classes`` gate above.
+    """
+
+    registry: str  # short label used in messages ("workload", ...)
+    register_call: str  # bare name of the registration function
+    module: str  # module defining the registration function
+    value_keyword: str  # keyword spelling of the registered value
+    value_contract: str  # human phrasing of what the value must be
+
+
+CALLSITE_REGISTRIES: tuple[CallSiteSpec, ...] = (
+    CallSiteSpec(
+        registry="workload",
+        register_call="register_workload",
+        module="repro.workloads.registry",
+        value_keyword="factory",
+        value_contract="an experiment factory (callable)",
+    ),
+    CallSiteSpec(
+        registry="app",
+        register_call="register_app",
+        module="repro.workloads.registry",
+        value_keyword="factory",
+        value_contract="an application factory (callable)",
+    ),
+    CallSiteSpec(
+        registry="routing",
+        register_call="register_routing",
+        module="repro.platform.routing",
+        value_keyword="policy",
+        value_contract="a RoutingPolicy member",
     ),
 )
 
@@ -283,6 +339,89 @@ def _discover(
     return implementations, strangers
 
 
+def _callsite_args(
+    node: ast.Call, spec: CallSiteSpec
+) -> tuple[ast.expr | None, ast.expr | None, bool]:
+    """(name argument, value argument, replace=True present) of one call."""
+    name_arg: ast.expr | None = node.args[0] if node.args else None
+    value_arg: ast.expr | None = node.args[1] if len(node.args) >= 2 else None
+    replace = False
+    for kw in node.keywords:
+        if kw.arg == "name":
+            name_arg = kw.value
+        elif kw.arg == spec.value_keyword:
+            value_arg = kw.value
+        elif kw.arg == "replace":
+            replace = isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return name_arg, value_arg, replace
+
+
+def _check_callsites(
+    graph: CallGraph, spec: CallSiteSpec
+) -> tuple[dict[str, int], list[ContractFinding]]:
+    """(literal name -> first registration line, CON004 findings).
+
+    Only literal arguments are judged — a computed name or factory is a
+    legitimate dynamic registration this pass cannot see through.
+    """
+    registered: dict[str, int] = {}
+    out: list[ContractFinding] = []
+    for module_name in sorted(graph.modules):
+        info = graph.modules[module_name]
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_name(node.func) != spec.register_call:
+                continue
+            name_arg, value_arg, replace = _callsite_args(node, spec)
+
+            def finding(message: str) -> ContractFinding:
+                label = "<dynamic>"
+                if isinstance(name_arg, ast.Constant):
+                    label = repr(name_arg.value)
+                return ContractFinding(
+                    path=info.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="CON004",
+                    cls=f"{module_name}:{spec.register_call}({label})",
+                    message=message,
+                )
+
+            literal_name: str | None = None
+            if isinstance(name_arg, ast.Constant):
+                if not isinstance(name_arg.value, str) or not name_arg.value:
+                    out.append(
+                        finding(
+                            f"{spec.registry} registration name must be a "
+                            f"non-empty string, got {name_arg.value!r}"
+                        )
+                    )
+                else:
+                    literal_name = name_arg.value
+            if isinstance(value_arg, ast.Constant):
+                out.append(
+                    finding(
+                        f"{spec.registry} {spec.value_keyword} must be "
+                        f"{spec.value_contract}, got the literal "
+                        f"{value_arg.value!r}"
+                    )
+                )
+            if literal_name is not None:
+                if literal_name in registered and not replace:
+                    out.append(
+                        finding(
+                            f"{spec.registry} {literal_name!r} is registered "
+                            f"twice (first at line {registered[literal_name]}) "
+                            "without replace=True; the second registration "
+                            "raises at import time"
+                        )
+                    )
+                else:
+                    registered.setdefault(literal_name, node.lineno)
+    return registered, out
+
+
 # ----------------------------------------------------------------------
 # The checks
 # ----------------------------------------------------------------------
@@ -445,7 +584,7 @@ def _check_con003(
 
 
 def check_contracts(graph: CallGraph) -> tuple[ContractFinding, ...]:
-    """Run CON001–003 over every discovered registry implementation."""
+    """Run CON001–004 over every discovered registry implementation."""
     by_simple = _class_by_simple_name(graph)
     findings: set[ContractFinding] = set()
     for spec in PROTOCOLS:
@@ -460,11 +599,21 @@ def check_contracts(graph: CallGraph) -> tuple[ContractFinding, ...]:
             )
             findings.update(_check_con002(graph, spec, cls))
             findings.update(_check_con003(graph, spec, cls, by_simple))
+    for callsite_spec in CALLSITE_REGISTRIES:
+        if callsite_spec.module not in graph.modules:
+            continue  # registry not in the analyzed tree (partial fixture)
+        _, callsite_findings = _check_callsites(graph, callsite_spec)
+        findings.update(callsite_findings)
     return tuple(sorted(findings))
 
 
 def contract_summary(graph: CallGraph) -> dict[str, int]:
-    """Registry label -> number of discovered implementations."""
+    """Registry label -> number of discovered implementations.
+
+    Call-site registries (workload/app/routing) count distinct literal
+    names registered anywhere in the tree; like the protocol registries
+    they appear only when their defining module is part of the analysis.
+    """
     by_simple = _class_by_simple_name(graph)
     out: dict[str, int] = {}
     for spec in PROTOCOLS:
@@ -472,4 +621,9 @@ def contract_summary(graph: CallGraph) -> dict[str, int]:
             continue
         implementations, _ = _discover(graph, spec, by_simple)
         out[spec.registry] = len(implementations)
+    for callsite_spec in CALLSITE_REGISTRIES:
+        if callsite_spec.module not in graph.modules:
+            continue
+        registered, _ = _check_callsites(graph, callsite_spec)
+        out[callsite_spec.registry] = len(registered)
     return dict(sorted(out.items()))

@@ -26,7 +26,13 @@ from dataclasses import dataclass
 from repro.devtools.flow.callgraph import CallGraph
 
 #: Qualified names whose presence makes a function a step root.
-STEP_ROOT_QUALNAMES = ("repro.sim.engine.Engine.step",)
+#: ``GraphRouter.ingress`` is wired as the generator's sink callable, an
+#: indirection the call graph cannot resolve, so it is rooted explicitly
+#: (its dispatch/join helpers then fall under the hot-path rules).
+STEP_ROOT_QUALNAMES = (
+    "repro.sim.engine.Engine.step",
+    "repro.platform.graph.GraphRouter.ingress",
+)
 
 #: Method names that mark actor step entry points (duck-typed protocol).
 STEP_ROOT_METHOD_NAMES = ("on_step",)

@@ -575,6 +575,14 @@ def _con003_check(ctx: FlowContext) -> list[FlowViolation]:
     return _contract_check(ctx, "CON003")
 
 
+def _con004_check(ctx: FlowContext) -> list[FlowViolation]:
+    """CON004: a workload/app/routing registration call site is malformed
+    (empty or non-string literal name, literal where a factory or
+    ``RoutingPolicy`` member is required, or a duplicate literal name
+    without ``replace=True`` — an import-time crash caught statically)."""
+    return _contract_check(ctx, "CON004")
+
+
 FLOW_RULES: tuple[FlowRule, ...] = (
     FlowRule("HOT001", "fixable per-step allocation (hoistable literal / closure)", _hot001_check),
     FlowRule("HOT002", "O(n) list membership on the step path", _hot002_check),
@@ -591,6 +599,7 @@ FLOW_RULES: tuple[FlowRule, ...] = (
     FlowRule("CON001", "registered implementation violates its registry protocol", _con001_check),
     FlowRule("CON002", "module-level mutable state in a registered implementation's module", _con002_check),
     FlowRule("CON003", "registered implementation draws ambient RNG without injectable generator", _con003_check),
+    FlowRule("CON004", "malformed workload/app/routing registration call site", _con004_check),
 )
 
 

@@ -123,6 +123,8 @@ SINKS: dict[str, str] = {
     # repro.sweep/1 spec codec, shard seeds, and shard-cache keys
     "repro.experiments.spec.RunSpec.canonical_json": "repro.sweep/1",
     "repro.experiments.spec.SweepSpec.canonical_json": "repro.sweep/1",
+    # repro.app/1 application-graph codec (embedded in run specs)
+    "repro.workloads.graph.ApplicationSpec.canonical_json": "repro.app/1",
     "repro.experiments.spec.derive_shard_seed": "shard-seed",
     "repro.parallel.cache.ShardCache.key_for": "shard-cache-key",
     # summary / timeline builders

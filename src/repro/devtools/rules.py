@@ -957,7 +957,9 @@ def _unit002_check(tree: ast.Module, aliases: dict[str, str], path: str) -> list
 #: consumers of the JSON reports can detect incompatible rule sets.
 #: "5": DetFlow — determinism-taint rules DET101–104 and registry-contract
 #: rules CON001–003 over the flow graph.
-CATALOGUE_VERSION = "5"
+#: "6": application-graph registries — call-site contract rule CON004 over
+#: the workload/app/routing registration tables.
+CATALOGUE_VERSION = "6"
 
 ALL_RULES: tuple[Rule, ...] = (
     Rule("DET001", "no wall-clock reads in simulator code", _det001_applies, _det001_check),

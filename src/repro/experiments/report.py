@@ -29,7 +29,13 @@ def format_table(headers: list[str], rows: list[list[str]]) -> str:
 
 
 def comparison_table(summaries: dict[str, RunSummary], title: str = "") -> str:
-    """Figures 6-8/10 style: one row per algorithm, both panels' y-axes."""
+    """Figures 6-8/10 style: one row per algorithm, both panels' y-axes.
+
+    Rows show the *user-traffic* view: byte-identical to the run totals
+    for single-service runs; for application-graph runs the latency and
+    failure columns read the ingress-only block so internal tier-to-tier
+    calls are not double-counted as user traffic.
+    """
     headers = [
         "algorithm",
         "avg resp (s)",
@@ -48,12 +54,12 @@ def comparison_table(summaries: dict[str, RunSummary], title: str = "") -> str:
         rows.append(
             [
                 name,
-                f"{s.avg_response_time:.3f}",
-                f"{s.p95_response_time:.3f}",
-                f"{s.percent_failed:.2f}",
+                f"{s.user_avg_response_time:.3f}",
+                f"{s.user_p95_response_time:.3f}",
+                f"{s.user_percent_failed:.2f}",
                 f"{s.percent_removal_failures:.2f}",
                 f"{s.percent_connection_failures:.2f}",
-                f"{s.availability:.5f}",
+                f"{s.user_availability:.5f}",
                 str(s.horizontal_scale_ups),
                 str(s.horizontal_scale_downs),
                 str(s.vertical_scale_ops),

@@ -17,6 +17,7 @@ auditable and deterministic.
 
 from __future__ import annotations
 
+import itertools
 import warnings
 from dataclasses import dataclass
 
@@ -35,11 +36,13 @@ from repro.metrics.summary import RunSummary
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.platform.faults import FaultInjector, NodeManagerFleet
+from repro.platform.graph import GraphRouter
 from repro.platform.lb_tier import LoadBalancerTier
 from repro.platform.load_balancer import RoutingPolicy
 from repro.platform.monitor import Monitor
 from repro.platform.node_manager import NodeManager
 from repro.platform.registry import ServiceRegistry
+from repro.platform.routing import resolve_routing
 from repro.sanitizer.api import NULL_SANITIZER, Sanitizer
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
@@ -49,6 +52,7 @@ from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
 from repro.telemetry.sampling import SamplingController, SamplingSpec, resolve_sampling
 from repro.telemetry.slo import SloTracker
 from repro.workloads.generator import ClientLoadGenerator, ServiceLoad
+from repro.workloads.graph import ApplicationSpec
 from repro.workloads.requests import Request
 
 
@@ -170,17 +174,23 @@ class Simulation:
     #: backed by :data:`~repro.telemetry.NULL_REGISTRY` (all no-ops) unless
     #: a recording registry was passed to :meth:`build`.
     telemetry: RunTelemetry | None = None
+    #: The application graph this run models, or ``None`` for a plain
+    #: single-service fleet.
+    app: ApplicationSpec | None = None
+    #: The cross-tier router actor (app runs only).
+    router: GraphRouter | None = None
 
     @classmethod
     def build(
         cls,
         *,
         config: SimulationConfig,
-        specs: list[MicroserviceSpec],
+        specs: list[MicroserviceSpec] | None = None,
         loads: list[ServiceLoad],
         policy: AutoscalingPolicy | str,
         workload_label: str = "custom",
-        routing: RoutingPolicy = RoutingPolicy.WEIGHTED_CPU,
+        routing: "RoutingPolicy | str" = RoutingPolicy.WEIGHTED_CPU,
+        app: ApplicationSpec | None = None,
         placement: PlacementStrategy | None = None,
         timeline_every: float = 5.0,
         tracer: Tracer = NULL_TRACER,
@@ -226,15 +236,36 @@ class Simulation:
         to builds that never pass the keyword; like tracers and backends
         it is an observation knob and never part of a RunSpec's identity.
         Requires a recording registry when set.
+
+        ``app`` switches the run to an application graph: the fleet is
+        derived from the graph's tiers (``specs`` must not be passed),
+        ``loads`` must target ingress tiers only, and the engine gains an
+        ``app-router`` phase (right after ``cluster``) that dispatches and
+        joins cross-tier calls.  ``routing`` accepts a
+        :class:`RoutingPolicy` or a registered routing name; it is both
+        the front LB tier's policy and the default for graph edges that
+        do not pin their own.
         """
         config.validate()
         policy = resolve_policy(policy, config)
+        routing = resolve_routing(routing)
+        if app is not None:
+            if specs:
+                raise ExperimentError("pass either app= or specs=, not both")
+            specs = list(app.service_specs())
         if not specs:
             raise ExperimentError("at least one microservice spec is required")
         spec_names = {s.name for s in specs}
         load_names = {l.service for l in loads}
         if not load_names <= spec_names:
             raise ExperimentError(f"loads reference unknown services: {load_names - spec_names}")
+        if app is not None:
+            ingress = set(app.ingress)
+            if not load_names <= ingress:
+                raise ExperimentError(
+                    f"app loads must target ingress tiers {sorted(ingress)}; "
+                    f"got {sorted(load_names - ingress)}"
+                )
 
         if slo is not None and not telemetry.enabled:
             raise ExperimentError("SLO tracking needs a recording telemetry registry")
@@ -265,6 +296,7 @@ class Simulation:
 
         else:
             failure_sink = collector.record_request
+        recording_hub = when_enabled(hub)
         registry = ServiceRegistry(cluster)
         lb = LoadBalancerTier(
             registry,
@@ -273,13 +305,35 @@ class Simulation:
             policy=routing,
             n_balancers=config.cluster.load_balancers,
         )
-        generator = ClientLoadGenerator(loads, rng, sink=lb.submit)
+        router: GraphRouter | None = None
+        if app is not None:
+            collector.enable_graph()
+            hub.enable_graph()
+            # One id space for ingress arrivals and internal graph calls,
+            # shared by the generator and the router (ids shard the LB
+            # tier, so they must be a pure function of the run).
+            request_seq = itertools.count(1)
+            router = GraphRouter(
+                app,
+                registry,
+                config.overheads,
+                rng,
+                failure_sink,
+                lb.submit,
+                request_seq,
+                routing=routing,
+                telemetry=recording_hub,
+            )
+            generator = ClientLoadGenerator(
+                loads, rng, sink=router.ingress, request_seq=request_seq
+            )
+        else:
+            generator = ClientLoadGenerator(loads, rng, sink=lb.submit)
 
         node_managers = {
             name: NodeManager(daemon, window_horizon=max(30.0, config.monitor_period))
             for name, daemon in client.daemons.items()
         }
-        recording_hub = when_enabled(hub)
         monitor = Monitor(
             cluster,
             client,
@@ -325,6 +379,10 @@ class Simulation:
         engine.add_actor("generator", generator)
         engine.add_actor("lb", lb)
         engine.add_actor("cluster", cluster)
+        if router is not None:
+            # Dispatch/join cross-tier calls on the just-settled cluster,
+            # before node managers sample and the monitor acts.
+            engine.add_actor("app-router", router)
         engine.add_actor("node-managers", NodeManagerFleet(node_managers))
         engine.add_actor("monitor", monitor)
         engine.add_actor(
@@ -362,6 +420,8 @@ class Simulation:
             profiler=profiler,
             telemetry=hub,
             sanitizer=sanitizer,
+            app=app,
+            router=router,
         )
 
     def run(self, duration: float) -> RunSummary:
@@ -376,6 +436,7 @@ class Simulation:
             algorithm=self.policy.name,
             workload=self.workload_label,
             duration=self.engine.clock.now,
+            app=self.app.name if self.app is not None else None,
         )
 
 

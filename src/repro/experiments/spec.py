@@ -49,12 +49,14 @@ from repro.metrics.summary import RunSummary
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.platform.load_balancer import RoutingPolicy
+from repro.platform.routing import resolve_routing
 from repro.sanitizer.api import NULL_SANITIZER, Sanitizer
 from repro.sim.rng import RngStreams
 from repro.telemetry.registry import NULL_REGISTRY, MetricRegistry
 from repro.telemetry.sampling import SamplingController, SamplingSpec
 from repro.telemetry.slo import SloTracker
 from repro.workloads.generator import ServiceLoad
+from repro.workloads.graph import ApplicationSpec
 from repro.workloads.patterns import (
     CompositeLoad,
     ConstantLoad,
@@ -193,6 +195,11 @@ class RunSpec:
     loads: tuple[ServiceLoad, ...] = ()
     routing: RoutingPolicy = RoutingPolicy.WEIGHTED_CPU
     timeline_every: float = 5.0
+    #: Application graph for multi-tier runs.  Mutually exclusive with
+    #: ``fleet`` (the fleet is derived from the graph's tiers); omitted
+    #: from the codec when ``None`` so pre-graph spec documents keep
+    #: their canonical bytes.
+    app: ApplicationSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -206,6 +213,22 @@ class RunSpec:
             raise ExperimentError("RunSpec.duration must be positive")
         object.__setattr__(self, "fleet", tuple(self.fleet))
         object.__setattr__(self, "loads", tuple(self.loads))
+        # Routing may arrive as a registered name (the CLI spelling);
+        # normalise to the enum so the codec always writes `.value`.
+        object.__setattr__(self, "routing", resolve_routing(self.routing))
+        if self.app is not None:
+            if self.fleet:
+                raise ExperimentError(
+                    "RunSpec.app and RunSpec.fleet are mutually exclusive; "
+                    "the fleet is derived from the graph's tiers"
+                )
+            ingress = set(self.app.ingress)
+            stray = {load.service for load in self.loads} - ingress
+            if stray:
+                raise ExperimentError(
+                    f"app loads must target ingress tiers {sorted(ingress)}; "
+                    f"got {sorted(stray)}"
+                )
 
     @property
     def key(self) -> str:
@@ -251,6 +274,7 @@ class RunSpec:
             policy=self.policy,
             workload_label=self.label,
             routing=self.routing,
+            app=self.app,
             placement=placement,
             timeline_every=self.timeline_every,
             tracer=tracer,
@@ -290,7 +314,7 @@ class RunSpec:
     # -- codec ---------------------------------------------------------
     def to_dict(self) -> dict:
         """This spec as a ``repro.sweep/1`` document (plain JSON types)."""
-        return {
+        payload = {
             "schema": SWEEP_SCHEMA,
             "kind": "run_spec",
             "label": self.label,
@@ -303,6 +327,11 @@ class RunSpec:
             "fleet": [asdict(spec) for spec in self.fleet],
             "loads": [_load_to_dict(load) for load in self.loads],
         }
+        if self.app is not None:
+            # Appended conditionally so pre-graph documents (and fresh
+            # single-service specs) keep their canonical bytes.
+            payload["app"] = self.app.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -322,6 +351,9 @@ class RunSpec:
             loads=tuple(_load_from_dict(load) for load in data["loads"]),
             routing=RoutingPolicy(data.get("routing", RoutingPolicy.WEIGHTED_CPU.value)),
             timeline_every=data.get("timeline_every", 5.0),
+            app=(
+                ApplicationSpec.from_dict(data["app"]) if data.get("app") is not None else None
+            ),
         )
 
     def canonical_json(self) -> str:
@@ -390,16 +422,16 @@ class SweepSpec:
         sweeps); seeds follow ``seed_mode`` as documented in the module
         docstring.
         """
-        from repro.experiments.configs import WORKLOAD_FACTORIES
+        from repro.workloads.registry import registered_workloads, resolve_workload
 
-        unknown = set(workloads) - set(WORKLOAD_FACTORIES)
+        unknown = set(workloads) - set(registered_workloads())
         if unknown:
             raise ExperimentError(
-                f"unknown workloads: {sorted(unknown)}; known: {sorted(WORKLOAD_FACTORIES)}"
+                f"unknown workloads: {sorted(unknown)}; known: {sorted(registered_workloads())}"
             )
         shards: list[RunSpec] = []
         for workload in workloads:
-            factory, takes_burst = WORKLOAD_FACTORIES[workload]
+            factory, takes_burst = resolve_workload(workload)
             for burst in bursts if takes_burst else (None,):
                 for base_seed in seeds:
                     experiment = (

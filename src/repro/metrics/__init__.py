@@ -9,8 +9,8 @@ from repro.metrics.events import (
     decision_summary,
     render_event_log,
 )
-from repro.metrics.sla import Sla, SlaReport, evaluate_sla
-from repro.metrics.summary import RunSummary, ServiceSummary
+from repro.metrics.sla import Sla, SlaReport, evaluate_sla, evaluate_tier_sla
+from repro.metrics.summary import AppSummary, RunSummary, ServiceSummary
 
 __all__ = [
     "MetricsCollector",
@@ -18,6 +18,7 @@ __all__ = [
     "Sla",
     "SlaReport",
     "evaluate_sla",
+    "evaluate_tier_sla",
     "PricingModel",
     "CostReport",
     "evaluate_costs",
@@ -26,6 +27,7 @@ __all__ = [
     "ScalingEventLog",
     "decision_summary",
     "render_event_log",
+    "AppSummary",
     "RunSummary",
     "ServiceSummary",
 ]

@@ -61,6 +61,12 @@ class MetricsCollector:
 
     def __init__(self) -> None:
         self._services: dict[str, _ServiceAccumulator] = {}
+        # Ingress-only accumulators (user traffic as opposed to internal
+        # graph calls); populated only when graph accounting is enabled so
+        # single-service runs pay nothing.
+        self._ingress: dict[str, _ServiceAccumulator] = {}
+        self._graph_enabled = False
+        self._internal_requests = 0
         self.timeline: list[TimelinePoint] = []
         #: Audit trail of every applied scaling action (who/when/why).
         self.events = ScalingEventLog()
@@ -77,22 +83,45 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Request accounting
     # ------------------------------------------------------------------
+    def enable_graph(self) -> None:
+        """Turn on ingress-vs-internal accounting (app runs only).
+
+        Per-tier accumulators then keep counting *all* traffic (the
+        capacity view), while the ingress accumulators count only user
+        requests — the ones SLA adherence and ``compare_sweep`` report,
+        so internal fan-out never double-counts as user traffic.
+        """
+        self._graph_enabled = True
+
     def record_request(self, request: Request) -> None:
         """Account one *finished* request."""
         if not request.is_finished:
             raise ExperimentError("only finished requests can be recorded")
         acc = self._services.setdefault(request.service, _ServiceAccumulator())
+        ingress_acc: _ServiceAccumulator | None = None
+        if self._graph_enabled:
+            if request.ingress:
+                ingress_acc = self._ingress.setdefault(request.service, _ServiceAccumulator())
+            else:
+                self._internal_requests += 1
         if request.state is RequestState.SUCCEEDED:
             acc.completed += 1
             acc.response_times.append(request.response_time or 0.0)
             self._window_rt_sum += request.response_time or 0.0
             self._window_completed += 1
+            if ingress_acc is not None:
+                ingress_acc.completed += 1
+                ingress_acc.response_times.append(request.response_time or 0.0)
         elif request.failure_reason is FailureReason.REMOVAL:
             acc.removal_failures += 1
             self._window_failed += 1
+            if ingress_acc is not None:
+                ingress_acc.removal_failures += 1
         else:
             acc.connection_failures += 1
             self._window_failed += 1
+            if ingress_acc is not None:
+                ingress_acc.connection_failures += 1
 
     def record_requests(self, requests: list[Request]) -> None:
         """Account a batch of finished requests."""
@@ -157,6 +186,55 @@ class MetricsCollector:
         for acc in self._services.values():
             out.extend(acc.response_times)
         return out
+
+    # ------------------------------------------------------------------
+    # Ingress (user-traffic) reads — populated only in graph runs
+    # ------------------------------------------------------------------
+    @property
+    def graph_enabled(self) -> bool:
+        """True when ingress-vs-internal accounting is on (app runs)."""
+        return self._graph_enabled
+
+    @property
+    def internal_requests(self) -> int:
+        """Finished internal graph calls (never user traffic)."""
+        return self._internal_requests
+
+    def ingress_service_names(self) -> list[str]:
+        """Ingress tiers seen so far, sorted."""
+        return sorted(self._ingress)
+
+    def ingress_stats(self, service: str) -> _ServiceAccumulator:
+        """Ingress-only accumulator for one tier."""
+        try:
+            return self._ingress[service]
+        except KeyError:
+            raise ExperimentError(f"no ingress metrics for service {service!r}") from None
+
+    def ingress_response_times(self) -> list[float]:
+        """End-to-end response times of completed ingress requests."""
+        out: list[float] = []
+        for acc in self._ingress.values():
+            out.extend(acc.response_times)
+        return out
+
+    @property
+    def ingress_requests(self) -> int:
+        """All finished ingress requests (completed + failed)."""
+        return sum(acc.total for acc in self._ingress.values())
+
+    @property
+    def ingress_completed(self) -> int:
+        """Completed ingress requests."""
+        return sum(acc.completed for acc in self._ingress.values())
+
+    @property
+    def ingress_failed(self) -> int:
+        """Failed ingress requests (both failure classes)."""
+        return sum(
+            acc.removal_failures + acc.connection_failures
+            for acc in self._ingress.values()
+        )
 
     @property
     def total_requests(self) -> int:

@@ -83,7 +83,26 @@ class SlaReport:
 
 
 def evaluate_sla(collector: MetricsCollector, sla: Sla) -> SlaReport:
-    """Score a finished run's metrics against an SLA."""
+    """Score a finished run's metrics against an SLA.
+
+    SLAs are contracts with *users*, so in application-graph runs only
+    ingress traffic is scored (end-to-end response times, by
+    construction): internal tier-to-tier calls would otherwise
+    double-count each user request once per fan-out.  For single-service
+    runs every request is ingress and this is the historical behaviour.
+    Per-tier adherence is still available via :func:`evaluate_tier_sla`.
+    """
+    if collector.graph_enabled:
+        slow = sum(
+            1 for rt in collector.ingress_response_times() if rt > sla.response_time_target
+        )
+        return SlaReport(
+            sla=sla,
+            total_requests=collector.ingress_requests,
+            failed_requests=collector.ingress_failed,
+            slow_requests=slow,
+            no_traffic=collector.ingress_requests == 0,
+        )
     slow = sum(1 for rt in collector.all_response_times() if rt > sla.response_time_target)
     failed = collector.total_removal_failures + collector.total_connection_failures
     total = collector.total_requests
@@ -93,4 +112,22 @@ def evaluate_sla(collector: MetricsCollector, sla: Sla) -> SlaReport:
         failed_requests=failed,
         slow_requests=slow,
         no_traffic=total == 0,
+    )
+
+
+def evaluate_tier_sla(collector: MetricsCollector, sla: Sla, service: str) -> SlaReport:
+    """Score one tier's traffic (ingress *and* internal) against an SLA.
+
+    The per-tier view an operator scales against — complements
+    :func:`evaluate_sla`'s end-to-end user view.
+    """
+    acc = collector.service_stats(service)
+    slow = sum(1 for rt in acc.response_times if rt > sla.response_time_target)
+    failed = acc.removal_failures + acc.connection_failures
+    return SlaReport(
+        sla=sla,
+        total_requests=acc.total,
+        failed_requests=failed,
+        slow_requests=slow,
+        no_traffic=acc.total == 0,
     )

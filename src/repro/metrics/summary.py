@@ -45,6 +45,51 @@ class ServiceSummary:
 
 
 @dataclass(frozen=True)
+class AppSummary:
+    """Ingress (user-traffic) statistics for an application-graph run.
+
+    Per-tier :class:`ServiceSummary` rows count *all* traffic — including
+    the internal calls the graph router fans out — which is the right
+    capacity view but would double-count users.  This block counts only
+    requests that entered at an ingress tier; their response times are
+    end-to-end by construction (a tier settles only after its downstream
+    subtree resolves).
+    """
+
+    app: str
+    ingress_requests: int
+    ingress_completed: int
+    ingress_removal_failures: int
+    ingress_connection_failures: int
+    #: Finished internal tier-to-tier calls (the double-count avoided).
+    internal_requests: int
+    avg_response_time: float
+    p50_response_time: float
+    p95_response_time: float
+    p99_response_time: float
+    services: tuple[ServiceSummary, ...] = ()
+
+    @property
+    def ingress_failed(self) -> int:
+        """Failed ingress requests, both failure classes."""
+        return self.ingress_removal_failures + self.ingress_connection_failures
+
+    @property
+    def percent_failed(self) -> float:
+        """Failed user requests as a percentage of all user requests."""
+        if self.ingress_requests == 0:
+            return 0.0
+        return 100.0 * self.ingress_failed / self.ingress_requests
+
+    @property
+    def availability(self) -> float:
+        """Fraction of user requests served."""
+        if self.ingress_requests == 0:
+            return 1.0
+        return 1.0 - self.ingress_failed / self.ingress_requests
+
+
+@dataclass(frozen=True)
 class RunSummary:
     """Whole-run statistics for one (algorithm, workload) experiment."""
 
@@ -69,6 +114,10 @@ class RunSummary:
 
     services: tuple[ServiceSummary, ...] = ()
     timeline: tuple[TimelinePoint, ...] = field(default=(), repr=False)
+    #: Ingress-only block for application-graph runs; ``None`` for plain
+    #: single-service runs (and omitted from :meth:`to_dict`, keeping
+    #: archived summaries byte-identical).
+    app: AppSummary | None = None
 
     # ------------------------------------------------------------------
     # The figures' y-axes
@@ -114,6 +163,47 @@ class RunSummary:
         return baseline.avg_response_time / self.avg_response_time
 
     # ------------------------------------------------------------------
+    # User-traffic view (what comparisons should rank on)
+    # ------------------------------------------------------------------
+    # For single-service runs these equal the run totals; for app runs
+    # they read the ingress-only block so internal graph calls are never
+    # double-counted as user traffic.
+    @property
+    def user_requests(self) -> int:
+        """Finished user (ingress) requests."""
+        return self.app.ingress_requests if self.app is not None else self.total_requests
+
+    @property
+    def user_failed(self) -> int:
+        """Failed user requests."""
+        return self.app.ingress_failed if self.app is not None else self.failed
+
+    @property
+    def user_percent_failed(self) -> float:
+        """Failed user requests as a percentage of user traffic."""
+        return self.app.percent_failed if self.app is not None else self.percent_failed
+
+    @property
+    def user_availability(self) -> float:
+        """Fraction of user requests served."""
+        return self.app.availability if self.app is not None else self.availability
+
+    @property
+    def user_avg_response_time(self) -> float:
+        """Mean end-to-end response time of user requests."""
+        return self.app.avg_response_time if self.app is not None else self.avg_response_time
+
+    @property
+    def user_p95_response_time(self) -> float:
+        """p95 end-to-end response time of user requests."""
+        return self.app.p95_response_time if self.app is not None else self.p95_response_time
+
+    @property
+    def user_p99_response_time(self) -> float:
+        """p99 end-to-end response time of user requests."""
+        return self.app.p99_response_time if self.app is not None else self.p99_response_time
+
+    # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
@@ -124,8 +214,14 @@ class RunSummary:
         algorithm: str,
         workload: str,
         duration: float,
+        app: str | None = None,
     ) -> "RunSummary":
-        """Freeze a collector into an immutable summary."""
+        """Freeze a collector into an immutable summary.
+
+        ``app`` names the application when the collector ran with graph
+        accounting; the ingress-only :class:`AppSummary` block is built
+        from the collector's ingress accumulators in that case.
+        """
         times = collector.all_response_times()
         arr = np.asarray(times) if times else np.asarray([0.0])
         services = []
@@ -143,6 +239,45 @@ class RunSummary:
                     p50_response_time=float(np.percentile(svc_arr, 50)),
                     p99_response_time=float(np.percentile(svc_arr, 99)),
                 )
+            )
+        app_summary: AppSummary | None = None
+        if collector.graph_enabled:
+            ingress_times = collector.ingress_response_times()
+            ingress_arr = np.asarray(ingress_times) if ingress_times else np.asarray([0.0])
+            ingress_services = []
+            for name in collector.ingress_service_names():
+                acc = collector.ingress_stats(name)
+                svc_arr = np.asarray(acc.response_times) if acc.response_times else np.asarray([0.0])
+                ingress_services.append(
+                    ServiceSummary(
+                        service=name,
+                        completed=acc.completed,
+                        removal_failures=acc.removal_failures,
+                        connection_failures=acc.connection_failures,
+                        avg_response_time=float(svc_arr.mean()),
+                        p95_response_time=float(np.percentile(svc_arr, 95)),
+                        p50_response_time=float(np.percentile(svc_arr, 50)),
+                        p99_response_time=float(np.percentile(svc_arr, 99)),
+                    )
+                )
+            app_summary = AppSummary(
+                app=app if app is not None else workload,
+                ingress_requests=collector.ingress_requests,
+                ingress_completed=collector.ingress_completed,
+                ingress_removal_failures=sum(
+                    collector.ingress_stats(n).removal_failures
+                    for n in collector.ingress_service_names()
+                ),
+                ingress_connection_failures=sum(
+                    collector.ingress_stats(n).connection_failures
+                    for n in collector.ingress_service_names()
+                ),
+                internal_requests=collector.internal_requests,
+                avg_response_time=float(ingress_arr.mean()),
+                p50_response_time=float(np.percentile(ingress_arr, 50)),
+                p95_response_time=float(np.percentile(ingress_arr, 95)),
+                p99_response_time=float(np.percentile(ingress_arr, 99)),
+                services=tuple(ingress_services),
             )
         return cls(
             algorithm=algorithm,
@@ -162,6 +297,7 @@ class RunSummary:
             oom_kills=collector.oom_kills,
             services=tuple(services),
             timeline=tuple(collector.timeline),
+            app=app_summary,
         )
 
     # ------------------------------------------------------------------
@@ -174,6 +310,11 @@ class RunSummary:
         payload = asdict(self)
         payload["services"] = [asdict(s) for s in self.services]
         payload["timeline"] = [asdict(p) for p in self.timeline]
+        if self.app is None:
+            # Omit rather than emit null: summaries archived before app
+            # graphs existed stay byte-identical, as do fresh
+            # single-service runs.
+            del payload["app"]
         return payload
 
     def to_json(self, indent: int | None = None) -> str:
@@ -188,6 +329,13 @@ class RunSummary:
         data = dict(payload)
         data["services"] = tuple(ServiceSummary(**s) for s in data.get("services", ()))
         data["timeline"] = tuple(TimelinePoint(**p) for p in data.get("timeline", ()))
+        app_data = data.get("app")
+        if app_data is not None:
+            app_data = dict(app_data)
+            app_data["services"] = tuple(
+                ServiceSummary(**s) for s in app_data.get("services", ())
+            )
+            data["app"] = AppSummary(**app_data)
         return cls(**data)
 
     @classmethod

@@ -36,6 +36,12 @@ class RoutingPolicy(enum.Enum):
     ROUND_ROBIN = "round_robin"
     LEAST_OUTSTANDING = "least_outstanding"
     WEIGHTED_CPU = "weighted_cpu"  # favour replicas with larger CPU requests
+    #: Prefer replicas on the caller's node (no network hop for internal
+    #: graph calls), spilling to remote replicas once the local queue,
+    #: inflated by the co-location contention model, gets deeper than the
+    #: remote one.  Falls back to least-outstanding for requests with no
+    #: caller context (e.g. ingress traffic).
+    TOPOLOGY = "topology"
 
 
 def _least_outstanding_key(container: Container) -> tuple[int, str]:
@@ -110,7 +116,7 @@ class LoadBalancer:
         replicas = self.registry.endpoints(request.service)
         if not replicas:
             return False
-        replica = self._pick(request.service, replicas)
+        replica = self._pick_for(request, replicas)
         overhead = self.distribution_overhead(len(replicas))
         spec = self.registry.spec(request.service)
         if getattr(spec, "stateful", False):
@@ -118,6 +124,50 @@ class LoadBalancer:
         replica.accept(request, self._now, overhead_factor=overhead)
         self.total_routed += 1
         return True
+
+    def _pick_for(self, request: Request, replicas: list[Container]) -> Container:
+        """Request-aware pick hook.
+
+        The base balancer only needs the service name, but subclasses (the
+        graph's per-edge balancers) and the topology policy read routing
+        hints stamped on the request itself.
+        """
+        if self.policy is RoutingPolicy.TOPOLOGY:
+            return self._pick_topology(request, replicas)
+        return self._pick(request.service, replicas)
+
+    def _pick_topology(self, request: Request, replicas: list[Container]) -> Container:
+        """Same-node-preferring pick for internal graph calls.
+
+        A same-node replica serves the call without a network hop, but it
+        competes for the caller's cores — so we stay local only while the
+        local queue, inflated by the co-location contention slope, is no
+        deeper than the remote queue inflated by the contention cap
+        (``config.OverheadModel``'s Section III co-location model).
+        """
+        origin = request.origin_node
+        if origin is None:
+            return min(replicas, key=_least_outstanding_key)
+        local: Container | None = None
+        remote: Container | None = None
+        host_of = self.registry.host_of
+        for replica in replicas:
+            if host_of(replica.container_id) == origin:
+                if local is None or _least_outstanding_key(replica) < _least_outstanding_key(local):
+                    local = replica
+            elif remote is None or _least_outstanding_key(replica) < _least_outstanding_key(remote):
+                remote = replica
+        if local is not None and remote is not None:
+            local_cost = (len(local.inflight) + 1) * (1.0 + self.overheads.colocation_contention)
+            remote_cost = (len(remote.inflight) + 1) * self.overheads.colocation_cap
+            return local if local_cost <= remote_cost else remote
+        if local is not None:
+            return local
+        if remote is not None:
+            return remote
+        # Unreachable (callers never pass an empty replica list), but keeps
+        # the signature total without an assert.
+        return min(replicas, key=_least_outstanding_key)
 
     def _pick(self, service: str, replicas: list[Container]) -> Container:
         if self.policy is RoutingPolicy.ROUND_ROBIN:

@@ -49,3 +49,11 @@ class ServiceRegistry:
         if not self.has_service(service):
             raise ClusterError(f"unknown service {service!r}")
         return self._cluster.service(service).spec
+
+    def host_of(self, container_id: str) -> str:
+        """Name of the node hosting ``container_id``.
+
+        Topology-aware routing reads this to prefer same-node downstream
+        replicas for internal application-graph calls.
+        """
+        return self._cluster.node_of(container_id).name

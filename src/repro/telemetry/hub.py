@@ -69,6 +69,9 @@ class RunTelemetry:
         self._cluster: Cluster | None = None
         self._lb: LoadBalancerTier | None = None
         self._generator: ClientLoadGenerator | None = None
+        #: Per-request ingress/internal accounting; off outside app runs so
+        #: the single-service instrument set is untouched byte-for-byte.
+        self._graph_enabled = False
         # Delta baselines for cumulative pull sources.
         self._prev_routed = 0
         self._prev_rejected = 0
@@ -126,6 +129,31 @@ class RunTelemetry:
             "End-to-end response time of successful requests.",
             unit="seconds",
             labels=("service",),
+        )
+        # Application-graph instruments.  Declared eagerly like the rest of
+        # the catalogue — families with zero children export nothing, so
+        # single-service runs stay byte-identical; children are only minted
+        # once enable_graph() flips per-request graph accounting on.
+        self.app_response_seconds = registry.histogram(
+            "app_request_response_seconds",
+            "End-to-end response time of ingress requests across the application graph.",
+            unit="seconds",
+            labels=("service",),
+        )
+        self.requests_ingress = registry.counter(
+            "requests_ingress",
+            "Finished requests that entered at an ingress tier (user traffic).",
+            labels=("service",),
+        )
+        self.requests_internal = registry.counter(
+            "requests_internal",
+            "Finished internal tier-to-tier calls spawned by the graph router.",
+            labels=("service",),
+        )
+        self.graph_edge_calls = registry.counter(
+            "graph_edge_calls",
+            "Internal calls dispatched per application-graph edge.",
+            labels=("edge",),
         )
         self.lb_routed = registry.counter(
             "lb_requests_routed", "Requests the LB tier assigned to a replica."
@@ -197,6 +225,10 @@ class RunTelemetry:
             cluster=cluster, registry=self.registry, sample_every=self._sample_every
         )
 
+    def enable_graph(self) -> None:
+        """Turn on ingress/internal accounting (called for app runs only)."""
+        self._graph_enabled = True
+
     # ------------------------------------------------------------------
     # Push path
     # ------------------------------------------------------------------
@@ -214,7 +246,15 @@ class RunTelemetry:
                 service=service,
                 reason=reason.value if reason is not None else "unknown",
             )
-        if self.slo is not None:
+        if self._graph_enabled:
+            if request.ingress:
+                self.requests_ingress.inc(service=service)
+            else:
+                self.requests_internal.inc(service=service)
+        # Internal graph calls never count against the user-facing SLO —
+        # only ingress traffic burns error budget (for single-service runs
+        # every request is ingress, so this is the old behaviour).
+        if self.slo is not None and request.ingress:
             good = self.slo.is_good(
                 succeeded=request.state is RequestState.SUCCEEDED,
                 response_time=response if response is not None else float("inf"),
@@ -224,6 +264,16 @@ class RunTelemetry:
     def observe_rejection(self, request: Request) -> None:
         """Record one LB admission failure, then account it as finished."""
         self.observe_request(request)
+
+    def observe_graph_call(self, edge: str) -> None:
+        """Record one internal call dispatched over a graph edge."""
+        self.graph_edge_calls.inc(edge=edge)
+
+    def observe_app_request(self, request: Request) -> None:
+        """Record the end-to-end outcome of one ingress request's tree."""
+        response = request.response_time
+        if request.state is RequestState.SUCCEEDED and response is not None:
+            self.app_response_seconds.observe(response, service=request.service)
 
     # ------------------------------------------------------------------
     # Pull path (engine actor)

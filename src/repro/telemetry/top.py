@@ -182,6 +182,43 @@ def render_top(
                 f"{fail_rate:8.2f} {p50:6.2f}s {p95:6.2f}s {p99:6.2f}s"
             )
 
+    # Application-graph user view: rendered only when the run recorded
+    # end-to-end ingress observations, so single-service frames are
+    # byte-identical to pre-graph releases.  Per-service rows above count
+    # *all* tier traffic (capacity); these rows count each user request
+    # exactly once.
+    app_rows = list(_children(registry, "app_request_response_seconds"))
+    if app_rows:
+        lines.append("")
+        lines.append(
+            f"{'APP INGRESS':<16} {'IN/S':>8} {'E2E-P50':>8} {'E2E-P95':>8} {'E2E-P99':>8}"
+        )
+        ingress = registry.get("requests_ingress")
+        internal = registry.get("requests_internal")
+        for values, hist in app_rows:
+            service = values[0]
+            in_rate = 0.0
+            if ingress is not None:
+                in_child = ingress.peek(service)
+                if isinstance(in_child, Counter):
+                    in_rate = series_rate(in_child, now)
+            p50 = p95 = p99 = 0.0
+            if isinstance(hist, Histogram) and hist.count:
+                p50, p95, p99 = (
+                    hist.quantile(0.5),
+                    hist.quantile(0.95),
+                    hist.quantile(0.99),
+                )
+            lines.append(
+                f"{service:<16} {in_rate:8.2f} {p50:7.2f}s {p95:7.2f}s {p99:7.2f}s"
+            )
+        if internal is not None:
+            internal_rate = 0.0
+            for _, int_child in internal.children():
+                if isinstance(int_child, Counter):
+                    internal_rate += series_rate(int_child, now)
+            lines.append(f"{'(internal)':<16} {internal_rate:8.2f}")
+
     if slo is not None and slo.services():
         lines.append("")
         lines.append(f"{'SLO':<16} {'WINDOW':<8} {'BURN':>8} {'BUDGET':>8}  STATE")

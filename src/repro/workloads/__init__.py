@@ -1,8 +1,18 @@
 """Workload substrate: requests, load patterns, microservice profiles,
-open-loop generation, and the synthetic Bitbrains trace."""
+open-loop generation, application graphs, and the synthetic Bitbrains
+trace — plus the workload/profile/app name registry."""
 
 from repro.workloads.bitbrains import BitbrainsTrace, generate_bitbrains_trace
 from repro.workloads.generator import ClientLoadGenerator, ServiceLoad
+from repro.workloads.graph import (
+    AppRequest,
+    ApplicationSpec,
+    CallEdge,
+    ServiceGraph,
+    ServiceSpec,
+    three_tier_app,
+    three_tier_graph,
+)
 from repro.workloads.patterns import (
     CompositeLoad,
     ConstantLoad,
@@ -21,9 +31,36 @@ from repro.workloads.profiles import (
     NETWORK_BOUND,
     MicroserviceProfile,
 )
+from repro.workloads.registry import (
+    register_app,
+    register_profile,
+    register_workload,
+    registered_apps,
+    registered_profiles,
+    registered_workloads,
+    resolve_app,
+    resolve_profile,
+    resolve_workload,
+)
 from repro.workloads.requests import FailureReason, Request, RequestState
 
 __all__ = [
+    "AppRequest",
+    "ApplicationSpec",
+    "CallEdge",
+    "ServiceGraph",
+    "ServiceSpec",
+    "three_tier_app",
+    "three_tier_graph",
+    "register_app",
+    "register_profile",
+    "register_workload",
+    "registered_apps",
+    "registered_profiles",
+    "registered_workloads",
+    "resolve_app",
+    "resolve_profile",
+    "resolve_workload",
     "Request",
     "RequestState",
     "FailureReason",

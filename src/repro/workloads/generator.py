@@ -46,6 +46,7 @@ class ClientLoadGenerator:
         loads: list[ServiceLoad],
         rng: RngStreams,
         sink: Callable[[Request], None],
+        request_seq: "itertools.count[int] | None" = None,
     ):
         names = [load.service for load in loads]
         if len(set(names)) != len(names):
@@ -56,8 +57,10 @@ class ClientLoadGenerator:
         self.total_generated = 0
         self.generated_by_service: dict[str, int] = {load.service: 0 for load in loads}
         # Per-generator (i.e. per-run) id sequence: request ids shard the
-        # balancer tier, so they must be a pure function of the run.
-        self._request_seq = itertools.count(1)
+        # balancer tier, so they must be a pure function of the run.  App
+        # runs pass the run's shared sequence so internal graph calls and
+        # ingress arrivals draw from one id space.
+        self._request_seq = request_seq if request_seq is not None else itertools.count(1)
         # Streams are prefetched by name so the per-step arrival loop does
         # no string formatting or registry lookups (HOT004).  stream() is
         # cached by name, so draws are identical to lazy lookup.

@@ -147,10 +147,13 @@ PROFILES: dict[str, MicroserviceProfile] = {
 
 
 def get_profile(name: str) -> MicroserviceProfile:
-    """Look up a canonical profile by name."""
-    try:
-        return PROFILES[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown profile {name!r}; known: {sorted(PROFILES)}"
-        ) from None
+    """Look up a profile by name.
+
+    Thin shim over :func:`repro.workloads.registry.resolve_profile` (the
+    one name->profile source, which also sees profiles registered via
+    :func:`~repro.workloads.registry.register_profile`); imported lazily
+    because the registry module imports this one for the canonical table.
+    """
+    from repro.workloads.registry import resolve_profile
+
+    return resolve_profile(name)

@@ -74,6 +74,23 @@ class Request:
     #: distribution overhead measured in Section III-A.
     overhead_factor: float = 1.0
 
+    # Application-graph lifecycle ---------------------------------------
+    #: Downstream calls this request still waits on.  Settlement keeps the
+    #: request in flight — occupying its thread-pool slot and memory —
+    #: until the count reaches zero, which is how downstream saturation
+    #: back-pressures upstream latency.  Always 0 outside graph runs.
+    downstream_pending: int = 0
+    #: Set when any downstream call failed; the join then fails this
+    #: request with a connection failure instead of completing it.
+    downstream_failed: bool = False
+    #: False for internal tier-to-tier calls spawned by the graph router;
+    #: user-traffic accounting (ingress SLO, compare tables) only counts
+    #: requests with this flag set.
+    ingress: bool = True
+    #: Node hosting the replica that issued this call, when known — the
+    #: hint topology-aware routing uses to prefer same-node replicas.
+    origin_node: str | None = None
+
     def __post_init__(self) -> None:
         if self.cpu_work < 0 or self.mem_footprint < 0 or self.net_mbits < 0 or self.disk_mb < 0:
             raise WorkloadError("request demands must be non-negative")

@@ -13,9 +13,11 @@ class TestParser:
         out = capsys.readouterr().out
         assert "kubernetes" in out and "bitbrains" in out
 
-    def test_run_requires_workload(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run"])
+    def test_run_requires_workload_or_app(self):
+        # ``workload`` became optional when ``--app`` arrived; exactly one
+        # of the two must be named, enforced past the parser (exit 2).
+        assert main(["run"]) == 2
+        assert main(["run", "cpu", "--app", "three-tier"]) == 2
 
     def test_run_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):

@@ -419,6 +419,7 @@ class TestFlowRules:
             "CON001",
             "CON002",
             "CON003",
+            "CON004",
         }
         assert all(summary for summary in catalog.values())
 
@@ -588,6 +589,67 @@ class TestContracts:
     def test_abstract_base_is_not_an_implementation(self):
         findings = self._findings()
         assert not any(f.cls.endswith("AutoscalingPolicy") for f in findings)
+
+
+# ----------------------------------------------------------------------
+# DetFlow: call-site registry contracts (CON004)
+# ----------------------------------------------------------------------
+CALLSITE_REGISTRY_SRC = """\
+def register_workload(name, factory, *, takes_burst=True, replace=False):
+    pass
+"""
+
+CALLSITE_USE_SRC = """\
+from repro.workloads.registry import register_workload
+
+
+def cpu_factory():
+    return None
+
+
+register_workload("cpu", cpu_factory)
+register_workload("cpu", cpu_factory)
+register_workload("cpu", cpu_factory, replace=True)
+register_workload("", cpu_factory)
+register_workload("lit", "not-a-factory")
+"""
+
+CALLSITE_SOURCES = [
+    ("src/repro/workloads/registry.py", CALLSITE_REGISTRY_SRC),
+    ("src/repro/experiments/configs.py", CALLSITE_USE_SRC),
+]
+
+
+class TestCallSiteContracts:
+    """CON004 judges ``register_workload``-style call sites, not classes."""
+
+    def _findings(self):
+        graph = build_call_graph(list(CALLSITE_SOURCES))
+        return [f for f in check_contracts(graph) if f.rule == "CON004"]
+
+    def test_duplicate_literal_name_without_replace(self):
+        messages = [f.message for f in self._findings()]
+        assert any("registered twice" in m for m in messages)
+        # The replace=True re-registration is legal and reported nowhere.
+        assert sum("registered twice" in m for m in messages) == 1
+
+    def test_empty_name_and_literal_factory(self):
+        messages = [f.message for f in self._findings()]
+        assert any("non-empty string" in m for m in messages)
+        assert any("'not-a-factory'" in m for m in messages)
+
+    def test_census_counts_distinct_literal_names(self):
+        graph = build_call_graph(list(CALLSITE_SOURCES))
+        # "cpu" and "lit"; the empty name is invalid, not an entry.
+        assert contract_summary(graph)["workload"] == 2
+
+    def test_absent_registry_module_is_skipped(self):
+        # The shared fixture tree has no repro.workloads.registry, so the
+        # call-site registries stay out of its census (the exact pin in
+        # test_discovery_counts_subclasses_and_registered_strangers).
+        graph = build_call_graph(list(FIXTURE_SOURCES))
+        assert "workload" not in contract_summary(graph)
+        assert not any(f.rule == "CON004" for f in check_contracts(graph))
 
 
 # ----------------------------------------------------------------------
@@ -900,3 +962,9 @@ class TestRepositoryAnalyzesClean:
         assert summary["policy"] >= 9
         assert summary["sampling"] >= 2
         assert summary["backend"] >= 1
+        # Call-site registries: the six CLI workloads, the three-tier app,
+        # and the routing table (built-ins are enum members, not call
+        # sites, so the routing census counts extensions only).
+        assert summary["workload"] >= 6
+        assert summary["app"] >= 1
+        assert summary["routing"] >= 0
